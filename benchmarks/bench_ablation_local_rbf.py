@@ -1,0 +1,109 @@
+"""ABLATION — global collocation vs local RBF-FD (scalability extension).
+
+The paper's conclusion: "we aim to improve the memory and computational
+efficiency of DP by massively parallelising the framework."  The standard
+route is local RBF-FD (its ref. [44]): sparse stencil operators instead
+of dense global ones.  This ablation measures both regimes on the same
+clouds — accuracy, operator-build time, solve time and operator storage —
+showing the crossover that motivates that future work.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import measure_run
+from repro.bench.tables import render_table
+from repro.cloud.square import SquareCloud
+from repro.rbf.local import build_local_operators, solve_pde_local
+from repro.rbf.operators import build_nodal_operators
+from repro.rbf.kernels import polyharmonic
+from repro.rbf.solver import BoundaryCondition, LinearPDEProblem, RBFSolver
+from repro.rbf.assembly import LinearOperator2D
+
+SIZES = (12, 20, 28)
+
+
+def exact(p):
+    return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(np.pi)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = []
+    for nx in SIZES:
+        cloud = SquareCloud(nx)
+
+        # Global: dense nodal operators + dense LU solve.
+        (gops, solver), t_build_g, _ = measure_run(
+            lambda: (build_nodal_operators(cloud, polyharmonic(3), 1),
+                     RBFSolver(cloud))
+        )
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={g: BoundaryCondition("dirichlet", value=exact)
+                 for g in ("top", "bottom", "left", "right")},
+        )
+        u_g, t_solve_g, _ = measure_run(lambda: solver.solve(prob))
+        err_g = float(np.max(np.abs(u_g - exact(cloud.points))))
+        bytes_g = gops.dx.nbytes * 3  # dx, dy, lap dense
+
+        # Local: sparse stencil operators + sparse solve.
+        lops, t_build_l, _ = measure_run(
+            lambda: build_local_operators(cloud, stencil_size=15)
+        )
+        u_l, t_solve_l, _ = measure_run(
+            lambda: solve_pde_local(
+                cloud, lops, {"lap": 1.0}, 0.0,
+                {g: exact for g in ("top", "bottom", "left", "right")},
+            )
+        )
+        err_l = float(np.max(np.abs(u_l - exact(cloud.points))))
+        bytes_l = (lops.dx.data.nbytes + lops.dx.indices.nbytes
+                   + lops.dx.indptr.nbytes) * 3
+
+        out.append(
+            (cloud.n, err_g, t_build_g, t_solve_g, bytes_g,
+             err_l, t_build_l, t_solve_l, bytes_l)
+        )
+    return out
+
+
+def test_global_vs_local_table(sweep, save_artifact, benchmark):
+    rows = []
+    for (n, eg, tbg, tsg, bg, el, tbl, tsl, bl) in sweep:
+        rows.append([
+            str(n),
+            f"{eg:.2e}", f"{(tbg + tsg) * 1e3:.0f}", f"{bg / 2**20:.1f}",
+            f"{el:.2e}", f"{(tbl + tsl) * 1e3:.0f}", f"{bl / 2**20:.2f}",
+        ])
+    text = render_table(
+        ["N", "global err", "global ms", "global MiB",
+         "local err", "local ms", "local MiB"],
+        rows,
+        title="ABLATION: dense global collocation vs sparse local RBF-FD "
+        "(Laplace Dirichlet problem)",
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_local_rbf.txt", text)
+
+
+def test_local_operators_use_less_memory(sweep, benchmark):
+    benchmark(lambda: None)
+    for (n, _, _, _, bg, _, _, _, bl) in sweep:
+        assert bl < bg, f"N={n}"
+
+
+def test_both_regimes_converge(sweep, benchmark):
+    benchmark(lambda: None)
+    errs_g = [eg for (_, eg, *_rest) in sweep]
+    errs_l = [row[5] for row in sweep]
+    assert errs_g[-1] < errs_g[0]
+    assert errs_l[-1] < errs_l[0]
+
+
+def test_local_build_scales_better(benchmark):
+    """Operator-build timing at the largest size (the scalability story)."""
+    cloud = SquareCloud(SIZES[-1])
+    benchmark(build_local_operators, cloud, stencil_size=15)

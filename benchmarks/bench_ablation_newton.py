@@ -1,0 +1,73 @@
+"""ABLATION — second-order optimisation on the quadratic Laplace problem.
+
+The paper runs Adam for all three methods.  With DP's exact gradients
+(and a linear PDE) the reduced Hessian is available too: one Gauss–Newton
+step reaches the discrete minimiser exactly.  This ablation quantifies
+the iteration/cost trade: Adam trajectory vs the one-shot Newton solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import measure_run
+from repro.bench.tables import render_table
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.control.newton import LaplaceGaussNewton
+
+
+@pytest.fixture(scope="module")
+def comparison(scale, laplace_problem_bench):
+    prob = laplace_problem_bench
+    dp = LaplaceDP(prob)
+    (c_adam, hist), t_adam, _ = measure_run(
+        lambda: optimize(dp, scale.laplace.iterations, scale.laplace.lr_dp)
+    )
+    (gn_result), t_newton, _ = measure_run(
+        lambda: LaplaceGaussNewton(prob).solve()
+    )
+    c_newton, j_newton = gn_result
+    return {
+        "adam": (hist.best_cost, scale.laplace.iterations, t_adam, c_adam),
+        "newton": (j_newton, 1, t_newton, c_newton),
+    }
+
+
+def test_newton_table(comparison, save_artifact, benchmark):
+    rows = [
+        [name, f"{j:.3e}", str(iters), f"{t * 1e3:.0f}"]
+        for name, (j, iters, t, _) in comparison.items()
+    ]
+    text = render_table(
+        ["optimiser", "final J", "iterations", "time (ms)"],
+        rows,
+        title="ABLATION: Adam (paper setup) vs one-shot Gauss-Newton on the "
+        "quadratic Laplace problem (extension)",
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_newton.txt", text)
+
+
+def test_newton_reaches_exact_minimum(comparison, benchmark):
+    benchmark(lambda: None)
+    j_newton = comparison["newton"][0]
+    assert j_newton < 1e-18
+
+
+def test_newton_beats_adam_budget(comparison, benchmark):
+    benchmark(lambda: None)
+    j_adam = comparison["adam"][0]
+    j_newton = comparison["newton"][0]
+    assert j_newton < j_adam
+
+def test_controls_agree(comparison, benchmark):
+    """Both optimisers find the same (unique, convex) minimiser."""
+    benchmark(lambda: None)
+    c_adam = comparison["adam"][3]
+    c_newton = comparison["newton"][3]
+    assert np.max(np.abs(c_adam - c_newton)) < 0.05
+
+
+def test_gauss_newton_setup_cost(laplace_problem_bench, benchmark):
+    """Jacobian assembly + Cholesky — the price of second order."""
+    benchmark(lambda: LaplaceGaussNewton(laplace_problem_bench).solve())

@@ -1,0 +1,67 @@
+"""ABLATION — control-smoothness penalty (§4).
+
+"the DP control is considerably less smooth than the other two.  This
+could be resolved by ... penalising the control's variations."  The paper
+refrained from enabling the penalty to keep the comparison fair; this
+ablation turns it on and measures the trade-off: control roughness
+(discrete H¹-seminorm) vs achieved tracking cost, per penalty weight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.control.dp import NavierStokesDP
+from repro.control.loop import optimize
+from repro.pde.navier_stokes import NSConfig
+
+WEIGHTS = (0.0, 1e-4, 1e-3, 1e-2)
+
+
+def roughness(c, y):
+    return float(np.sum((np.diff(c) / np.diff(y)) ** 2 * np.diff(y)))
+
+
+@pytest.fixture(scope="module")
+def sweep(scale, ns_problem_bench):
+    prob = ns_problem_bench
+    cfg = NSConfig(
+        reynolds=scale.ns.reynolds,
+        refinements=scale.ns.refinements_dp,
+        pseudo_dt=scale.ns.pseudo_dt,
+    )
+    out = []
+    for w in WEIGHTS:
+        dp = NavierStokesDP(prob, cfg, smoothness_weight=w)
+        c, hist = optimize(dp, scale.ns.iterations, scale.ns.lr)
+        # Tracking cost alone (without the penalty term), for comparison.
+        st = prob.solve(c, cfg)
+        track = prob.cost(st.u, st.v)
+        out.append((w, track, roughness(c, prob.inflow_y)))
+    return out
+
+
+def test_smoothing_table(sweep, save_artifact, benchmark):
+    rows = [
+        [f"{w:g}", f"{track:.3e}", f"{rough:.3e}"] for w, track, rough in sweep
+    ]
+    text = render_table(
+        ["penalty weight", "tracking cost J", "control roughness |c'|²"],
+        rows,
+        title="ABLATION: DP control-variation penalty (paper §4 suggestion)",
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_smoothing.txt", text)
+
+
+def test_penalty_smooths_control(sweep, benchmark):
+    benchmark(lambda: None)
+    roughs = [r for _, _, r in sweep]
+    assert roughs[-1] < roughs[0]  # strongest penalty → smoothest control
+
+
+def test_unpenalised_tracks_best(sweep, benchmark):
+    """The fairness argument: the penalty trades tracking for smoothness."""
+    benchmark(lambda: None)
+    tracks = [t for _, t, _ in sweep]
+    assert tracks[0] <= tracks[-1] * 1.5

@@ -1,0 +1,74 @@
+"""ABLATION — DP through time (the "incorporate time" future work).
+
+The heat-equation extension lets us measure how DP's gradient cost scales
+with the number of *time steps* — the temporal analogue of the
+refinement-count scaling of the Navier–Stokes ablation.  Because the
+stepper reuses one cached LU factorisation, both the forward evolution
+and the reverse sweep are O(steps · N²): the tape grows linearly in the
+step count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import measure_run
+from repro.bench.tables import render_table
+from repro.cloud.square import SquareCloud
+from repro.pde.heat import HeatConfig, HeatEquationProblem, heat_series_solution
+
+STEP_COUNTS = (10, 20, 40, 80)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cloud = SquareCloud(14)
+    out = []
+    for n_steps in STEP_COUNTS:
+        prob = HeatEquationProblem(
+            cloud, HeatConfig(kappa=1.0, dt=2e-4, n_steps=n_steps, theta=0.5)
+        )
+        u_true = heat_series_solution(cloud.x, cloud.y, 0.0)
+        target = prob.evolve(u_true).data
+        c0 = np.zeros(cloud.n)
+        (j, g), t, mem = measure_run(
+            lambda: prob.misfit_value_and_grad(c0, target)
+        )
+        out.append((n_steps, t, mem, j, float(np.linalg.norm(g))))
+    return out
+
+
+def test_time_scaling_table(sweep, save_artifact, benchmark):
+    rows = [
+        [str(n), f"{t * 1e3:.1f}", f"{mem / 2**20:.2f}", f"{j:.3e}"]
+        for n, t, mem, j, _ in sweep
+    ]
+    text = render_table(
+        ["time steps", "grad time (ms)", "peak tape mem (MiB)", "misfit at c=0"],
+        rows,
+        title="ABLATION: DP-through-time gradient cost vs step count "
+        "(heat equation, cached-LU stepper)",
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_time.txt", text)
+
+
+def test_tape_grows_with_steps(sweep, benchmark):
+    benchmark(lambda: None)
+    mems = [m for _, _, m, _, _ in sweep]
+    assert mems[-1] > mems[0]
+
+
+def test_gradients_finite_at_all_horizons(sweep, benchmark):
+    benchmark(lambda: None)
+    for n, _, _, j, gnorm in sweep:
+        assert np.isfinite(j) and np.isfinite(gnorm), n
+
+
+def test_single_step_gradient(benchmark):
+    """The per-step unit of work (one taped triangular solve + VJP)."""
+    cloud = SquareCloud(14)
+    prob = HeatEquationProblem(cloud, HeatConfig(n_steps=1))
+    target = np.zeros(cloud.n)
+    c0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+    j, g = benchmark(prob.misfit_value_and_grad, c0, target)
+    assert np.isfinite(j)

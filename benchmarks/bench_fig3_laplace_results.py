@@ -1,0 +1,114 @@
+"""FIGURE 3 — Laplace control results.
+
+Regenerates every panel's data series:
+
+- (a) optimised control profiles c(x) for DAL/PINN/DP vs the analytic
+  minimiser;
+- (b) cost J vs iteration/epoch for the three methods;
+- (c)–(e) the PINN ω line search: final losses, final costs and retrained
+  costs per ω, and the selected ω*;
+- (f), (g) the optimised DP state vs the analytic state and the absolute
+  error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.control.dp import LaplaceDP
+from repro.pde.laplace import laplace_optimal_control
+
+
+@pytest.fixture(scope="module")
+def problem(laplace_problem_bench):
+    return laplace_problem_bench
+
+
+@pytest.fixture(scope="module")
+def runs(laplace_runs):
+    return laplace_runs
+
+
+def test_fig3a_control_profiles(runs, problem, save_artifact, benchmark):
+    x = problem.control_x
+    exact = laplace_optimal_control(x)
+    rows = [
+        [f"{xi:.3f}", f"{exact[i]:+.4f}"]
+        + [f"{runs[m].control[i]:+.4f}" for m in ("DAL", "PINN", "DP")]
+        for i, xi in enumerate(x)
+    ]
+    text = render_table(
+        ["x", "analytic c*", "DAL", "PINN", "DP"], rows, title="FIG 3a: controls"
+    )
+    benchmark(lambda: None)
+    save_artifact("fig3a_control_profiles.txt", text)
+    # DP and DAL track the analytic optimum at discretisation accuracy.
+    assert np.max(np.abs(runs["DP"].control - exact)) < 0.2
+    assert np.max(np.abs(runs["DAL"].control - exact)) < 0.2
+
+
+def test_fig3b_cost_histories(runs, save_artifact, benchmark):
+    stride = max(len(runs["DP"].cost_history) // 15, 1)
+    lines = ["FIG 3b: cost J vs iteration (strided)"]
+    for m in ("DAL", "DP"):
+        h = runs[m].cost_history[::stride]
+        lines.append(f"{m:>5s}: " + " ".join(f"{v:.2e}" for v in h))
+    lines.append(
+        "PINN (per-omega final costs): "
+        + " ".join(f"{v:.2e}" for v in runs["PINN"].extra["step1_final_costs"])
+    )
+    benchmark(lambda: None)
+    save_artifact("fig3b_cost_histories.txt", "\n".join(lines))
+    # DP reaches the (joint-)lowest cost; DAL matches here because its
+    # adjoint shares the discrete operators (see EXPERIMENTS.md), and
+    # both beat the PINN by orders of magnitude.
+    assert runs["DP"].final_cost <= runs["DAL"].final_cost * 1.5 + 1e-12
+    assert runs["DP"].final_cost <= runs["PINN"].final_cost
+
+
+def test_fig3cde_omega_line_search(runs, save_artifact, benchmark):
+    pinn = runs["PINN"]
+    omegas = pinn.extra["omegas"]
+    rows = [
+        [
+            f"{w:g}",
+            f"{pinn.extra['step1_final_losses'][i]:.3e}",
+            f"{pinn.extra['step1_final_residuals'][i]:.3e}",
+            f"{pinn.extra['step1_final_costs'][i]:.3e}",
+            f"{pinn.extra['step2_costs'][i]:.3e}",
+            "*" if w == pinn.extra["best_omega"] else "",
+        ]
+        for i, w in enumerate(omegas)
+    ]
+    text = render_table(
+        ["omega", "step1 loss", "step1 residual", "step1 cost J",
+         "step2 cost J", "selected"],
+        rows,
+        title="FIG 3c-e: two-step omega line search (paper: omega* = 1e-1 "
+        "from 11 values 1e-3..1e7)",
+    )
+    benchmark(lambda: None)
+    save_artifact("fig3cde_omega_line_search.txt", text)
+    assert pinn.extra["best_omega"] in omegas
+    # Larger omega must push the step-1 cost down (the trade-off panel).
+    costs = pinn.extra["step1_final_costs"]
+    assert costs[-1] <= costs[0]
+
+
+def test_fig3fg_state_error(runs, problem, save_artifact, benchmark):
+    dp = LaplaceDP(problem)
+    u = dp.solve_state(runs["DP"].control)
+    u_exact = problem.optimal_state()
+    err = np.abs(u - u_exact)
+    text = "\n".join(
+        [
+            "FIG 3f-g: optimised DP state vs analytic state",
+            f"max|u|            = {np.abs(u_exact).max():.4f}",
+            f"max abs error     = {err.max():.2e}",
+            f"mean abs error    = {err.mean():.2e}",
+            f"interior max err  = {err[problem.cloud.internal].max():.2e}",
+        ]
+    )
+    benchmark(lambda: None)
+    save_artifact("fig3fg_state_error.txt", text)
+    assert err.max() < 0.2

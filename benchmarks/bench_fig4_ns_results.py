@@ -1,0 +1,111 @@
+"""FIGURE 4 — Navier–Stokes control results.
+
+- (a) the problem geometry (cloud summary — the GMSH-substitute stats);
+- (b) cost J vs iteration for DAL and DP (DAL fails, DP converges);
+- (c) optimised inflow profiles per method vs the parabolic initial guess;
+- (d) outflow profiles vs the parabolic target.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.pde.navier_stokes import NSConfig
+
+
+@pytest.fixture(scope="module")
+def problem(ns_problem_bench):
+    return ns_problem_bench
+
+
+@pytest.fixture(scope="module")
+def runs(ns_runs):
+    return ns_runs
+
+
+def test_fig4a_geometry(problem, save_artifact, benchmark):
+    c = problem.cloud
+    geo = problem.geometry
+    text = "\n".join(
+        [
+            "FIG 4a: channel geometry and cloud (GMSH substitute)",
+            f"domain            = [0, {geo.lx}] x [0, {geo.ly}]",
+            f"blowing/suction x = [{geo.seg_lo}, {geo.seg_hi}]",
+            f"total nodes       = {c.n} (paper: 1385)",
+            f"counts            = {c.counts()}",
+            f"groups            = { {g: len(i) for g, i in c.groups.items()} }",
+        ]
+    )
+    benchmark(lambda: None)
+    save_artifact("fig4a_geometry.txt", text)
+    assert {"blowing", "suction"} <= set(c.groups)
+
+
+def test_fig4b_cost_histories(runs, save_artifact, benchmark):
+    stride = max(len(runs["DP"].cost_history) // 15, 1)
+    lines = ["FIG 4b: cost J vs iteration (DAL diverges/stalls, DP converges)"]
+    for m in ("DAL", "DP"):
+        h = runs[m].cost_history[::stride]
+        lines.append(f"{m:>4s}: " + " ".join(f"{v:.2e}" for v in h))
+    lines.append(
+        f"PINN surrogate J = {runs['PINN'].extra['surrogate_cost']:.2e}"
+    )
+    lines.append(
+        f"PINN control re-simulated with RBF solver: J = "
+        f"{runs['PINN'].extra['physical_cost']:.2e}"
+    )
+    benchmark(lambda: None)
+    save_artifact("fig4b_cost_histories.txt", "\n".join(lines))
+    # DAL ends above DP by a wide margin (paper: 8.2e-2 vs 2.6e-4).
+    assert runs["DAL"].final_cost > 5 * runs["DP"].final_cost
+
+
+def test_fig4c_inflow_profiles(runs, problem, save_artifact, benchmark):
+    y = problem.inflow_y
+    init = problem.default_control()
+    rows = [
+        [f"{yi:.3f}", f"{init[i]:+.4f}"]
+        + [f"{runs[m].control[i]:+.4f}" for m in ("DAL", "PINN", "DP")]
+        for i, yi in enumerate(y)
+    ]
+    text = render_table(
+        ["y", "initial (parabola)", "DAL", "PINN", "DP"],
+        rows,
+        title="FIG 4c: optimised inflow velocity profiles",
+    )
+    benchmark(lambda: None)
+    save_artifact("fig4c_inflow_profiles.txt", text)
+    # DP moved the control away from the initial guess.
+    assert np.max(np.abs(runs["DP"].control - init)) > 1e-3
+
+
+def test_fig4d_outflow_profiles(runs, problem, scale, save_artifact, benchmark):
+    cfg = NSConfig(
+        reynolds=scale.ns.reynolds,
+        refinements=scale.ns.refinements_dp,
+        pseudo_dt=scale.ns.pseudo_dt,
+    )
+    rows = []
+    profiles = {}
+    for m in ("DAL", "PINN", "DP"):
+        st = problem.solve(runs[m].control, cfg)
+        profiles[m] = st.u[problem.outflow]
+    st0 = problem.solve(problem.default_control(), cfg)
+    y = problem.outflow_y
+    for i, yi in enumerate(y):
+        rows.append(
+            [f"{yi:.3f}", f"{problem.u_target[i]:.4f}",
+             f"{st0.u[problem.outflow][i]:.4f}"]
+            + [f"{profiles[m][i]:.4f}" for m in ("DAL", "PINN", "DP")]
+        )
+    text = render_table(
+        ["y", "target", "uncontrolled", "DAL", "PINN", "DP"],
+        rows,
+        title="FIG 4d: outflow u-velocity vs parabolic target",
+    )
+    benchmark(lambda: None)
+    save_artifact("fig4d_outflow_profiles.txt", text)
+    # DP's outflow is closer to the target than the uncontrolled flow.
+    err_dp = np.abs(profiles["DP"] - problem.u_target).max()
+    err_0 = np.abs(st0.u[problem.outflow] - problem.u_target).max()
+    assert err_dp < err_0

@@ -1,0 +1,82 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper at the active
+scale tier (default: seconds-per-benchmark; ``REPRO_FULL=1``: closer to
+paper scale), prints the rows/series, and writes them under
+``benchmarks/artifacts/``.
+
+The expensive end-to-end runs (one optimisation per method × problem) are
+**session-scoped** so that Table 3 and Figures 1/3/4 — which all consume
+the same six runs, exactly as in the paper — compute each run once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.configs import get_scale
+from repro.bench.harness import (
+    make_laplace_problem,
+    make_ns_problem,
+    run_laplace_dal,
+    run_laplace_dp,
+    run_laplace_pinn,
+    run_ns_dal,
+    run_ns_dp,
+    run_ns_pinn,
+)
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active experiment scale tier."""
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a named text artifact and echo it to the terminal."""
+    ARTIFACTS.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = ARTIFACTS / name
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def laplace_problem_bench(scale):
+    """The Laplace control problem shared by every Laplace benchmark."""
+    return make_laplace_problem(scale)
+
+
+@pytest.fixture(scope="session")
+def ns_problem_bench(scale):
+    """The channel-flow problem shared by every NS benchmark."""
+    return make_ns_problem(scale)
+
+
+@pytest.fixture(scope="session")
+def laplace_runs(laplace_problem_bench, scale):
+    """One optimisation run per method on Laplace (Table 3 / Fig. 3)."""
+    return {
+        "DAL": run_laplace_dal(laplace_problem_bench, scale),
+        "DP": run_laplace_dp(laplace_problem_bench, scale),
+        "PINN": run_laplace_pinn(laplace_problem_bench, scale),
+    }
+
+
+@pytest.fixture(scope="session")
+def ns_runs(ns_problem_bench, scale):
+    """One optimisation run per method on NS (Table 3 / Figs. 1, 4)."""
+    return {
+        "DAL": run_ns_dal(ns_problem_bench, scale),
+        "DP": run_ns_dp(ns_problem_bench, scale),
+        "PINN": run_ns_pinn(ns_problem_bench, scale),
+    }

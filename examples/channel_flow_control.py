@@ -1,0 +1,73 @@
+"""Channel-flow optimal control (Fig. 1 / Fig. 4): DAL fails, DP succeeds.
+
+Reproduces the paper's Navier–Stokes experiment at reduced scale: given
+blowing/suction perturbations mid-channel, find the inflow profile whose
+outflow is parabolic.  DAL's continuous adjoint is corrupted by RBF
+derivative noise at Re = 100 and stalls; DP's exact discrete gradients
+converge; at Re = 10, DAL recovers.
+
+Run:  python examples/channel_flow_control.py          (≈ 30 s)
+"""
+
+import numpy as np
+
+from repro.cloud import ChannelCloud
+from repro.control import NavierStokesDAL, NavierStokesDP, optimize
+from repro.pde import ChannelFlowProblem, NSConfig
+
+
+def show_profile(label: str, y: np.ndarray, u: np.ndarray, width: int = 40) -> None:
+    """Crude terminal rendering of a velocity profile."""
+    print(f"  {label}")
+    umax = max(u.max(), 1e-9)
+    for yi, ui in zip(y[::2], u[::2]):
+        bar = "#" * int(round(width * max(ui, 0.0) / umax))
+        print(f"    y={yi:4.2f} |{bar}")
+
+
+def main() -> None:
+    problem = ChannelFlowProblem(cloud=ChannelCloud(21, 11), perturbation=0.3)
+    print(f"channel cloud: {problem.cloud.n} nodes (paper: 1385 via GMSH)")
+
+    cfg_dp = NSConfig(reynolds=100.0, refinements=10, pseudo_dt=0.5)
+    cfg_dal = NSConfig(reynolds=100.0, refinements=3, pseudo_dt=0.5)
+
+    c0 = problem.default_control()
+    st0 = problem.solve(c0, cfg_dp)
+    print(f"\nuncontrolled (parabolic inflow) cost J = {problem.cost(st0.u, st0.v):.3e}")
+
+    # --- DP at Re = 100 -------------------------------------------------
+    dp = NavierStokesDP(problem, cfg_dp)
+    c_dp, h_dp = optimize(dp, n_iterations=60, initial_lr=1e-1)
+    print(f"DP   (Re=100): J {h_dp.costs[0]:.3e} -> {h_dp.best_cost:.3e}")
+
+    # --- DAL at Re = 100: the paper's failure case ----------------------
+    dal = NavierStokesDAL(problem, cfg_dal, adjoint_refinements=30)
+    c_dal, h_dal = optimize(dal, n_iterations=60, initial_lr=1e-1)
+    print(f"DAL  (Re=100): J {h_dal.costs[0]:.3e} -> final {h_dal.costs[-1]:.3e}  "
+          "(fails: adjoint advection needs noisy RBF derivatives of u)")
+
+    # --- DAL at Re = 10: the paper's recovery case ----------------------
+    dal10 = NavierStokesDAL(
+        problem, NSConfig(reynolds=10.0, refinements=3, pseudo_dt=0.5),
+        adjoint_refinements=30,
+    )
+    c_dal10, h_dal10 = optimize(dal10, n_iterations=60, initial_lr=1e-1)
+    print(f"DAL  (Re=10) : J {h_dal10.costs[0]:.3e} -> {h_dal10.best_cost:.3e}  "
+          "(recovers at lower Re)")
+
+    # --- Outflow profiles (Fig. 4d) --------------------------------------
+    st_dp = problem.solve(c_dp, cfg_dp)
+    prof = problem.outflow_profiles(st_dp)
+    print("\nOutflow u-velocity after DP control vs target (Fig. 4d):")
+    show_profile("target (parabola)", prof["y"], prof["target"])
+    show_profile("DP-controlled outflow", prof["y"], prof["u"])
+
+    mismatch0 = np.abs(st0.u[problem.outflow] - problem.u_target).max()
+    mismatch1 = np.abs(prof["u"] - prof["target"]).max()
+    print(f"\nmax outflow mismatch: {mismatch0:.3e} (uncontrolled) -> "
+          f"{mismatch1:.3e} (DP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Gradient accuracy study: why the paper calls DP the "gold standard".
+
+Compares, on both benchmark problems, the gradient of the cost computed
+by (a) DP — reverse-mode AD through the solver, (b) DAL — the continuous
+adjoint, and (c) central finite differences (the reference), plus the
+cost of obtaining each.
+
+Run:  python examples/gradient_accuracy.py          (≈ 20 s)
+"""
+
+import time
+
+import numpy as np
+
+from repro.cloud import ChannelCloud, SquareCloud
+from repro.control import (
+    FiniteDifferenceOracle,
+    LaplaceDAL,
+    LaplaceDP,
+    NavierStokesDAL,
+    NavierStokesDP,
+)
+from repro.pde import ChannelFlowProblem, NSConfig
+from repro.pde.laplace import LaplaceControlProblem
+
+
+def compare(name, dp, dal, c):
+    fd = FiniteDifferenceOracle(dp.value, c, eps=1e-6)
+
+    t0 = time.perf_counter()
+    _, g_dp = dp.value_and_grad(c)
+    t_dp = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _, g_dal = dal.value_and_grad(c)
+    t_dal = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _, g_fd = fd.value_and_grad(c)
+    t_fd = time.perf_counter() - t0
+
+    def rel(a):
+        return np.linalg.norm(a - g_fd) / np.linalg.norm(g_fd)
+
+    def cos(a):
+        return a @ g_fd / (np.linalg.norm(a) * np.linalg.norm(g_fd))
+
+    # DAL's continuous (unweighted-L²) gradient lives in a different
+    # metric than the discrete cost's gradient, so compare both the raw
+    # relative error and the direction (cosine).
+    print(f"\n=== {name} (control dim {c.size}) ===")
+    print(f"  {'method':>4s} | {'rel err vs FD':>13s} | {'cos vs FD':>9s} | {'time':>8s}")
+    print(f"  {'DP':>4s} | {rel(g_dp):13.2e} | {cos(g_dp):9.5f} | {t_dp*1e3:6.1f}ms")
+    print(f"  {'DAL':>4s} | {rel(g_dal):13.2e} | {cos(g_dal):9.5f} | {t_dal*1e3:6.1f}ms")
+    print(f"  {'FD':>4s} | {'(reference)':>13s} | {'1.00000':>9s} | {t_fd*1e3:6.1f}ms "
+          f"({fd.n_evaluations} solves)")
+
+
+def main() -> None:
+    lap = LaplaceControlProblem(SquareCloud(18))
+    compare("Laplace", LaplaceDP(lap), LaplaceDAL(lap), lap.zero_control())
+
+    ns = ChannelFlowProblem(cloud=ChannelCloud(17, 9), perturbation=0.3)
+    cfg = NSConfig(reynolds=100.0, refinements=4, pseudo_dt=0.5)
+    compare(
+        "Navier-Stokes (Re=100)",
+        NavierStokesDP(ns, cfg),
+        NavierStokesDAL(ns, cfg, adjoint_refinements=20),
+        ns.default_control(),
+    )
+
+    print(
+        "\nReading: DP matches the FD reference to ~1e-8 (exact discrete"
+        "\ngradients, one solve + one adjoint solve).  DAL's continuous"
+        "\nadjoint points in nearly the right direction on Laplace"
+        "\n(cos ≈ 0.99; its magnitude differs because the continuous"
+        "\ngradient carries no quadrature weights — 'gradients rising to"
+        "\nvery large values' in the paper) but visibly degrades on"
+        "\nNavier-Stokes (cos ≈ 0.8) — the optimise-then-discretise gap"
+        "\nthe paper attributes to RBF boundary-derivative noise."
+        "\nFD is accurate but needs 2n+1 solves per gradient."
+    )
+
+
+if __name__ == "__main__":
+    main()

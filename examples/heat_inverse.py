@@ -1,0 +1,58 @@
+"""DP through time: recover the initial condition of a heat flow.
+
+The paper's future work includes "incorporat[ing] time".  This example
+shows the library's time extension: evolve the heat equation on the RBF
+cloud with a θ-scheme, then backpropagate *through the whole trajectory*
+(one cached LU factorisation, one triangular solve per step, forward and
+backward) to recover the initial condition from a terminal snapshot — the
+PDE analogue of backpropagation through time.
+
+Run:  python examples/heat_inverse.py          (≈ 10 s)
+"""
+
+import numpy as np
+
+from repro.cloud import SquareCloud
+from repro.nn.optimizers import Adam
+from repro.pde import HeatConfig, HeatEquationProblem, heat_series_solution
+
+
+def main() -> None:
+    cloud = SquareCloud(16)
+    cfg = HeatConfig(kappa=1.0, dt=2e-4, n_steps=40, theta=0.5)
+    problem = HeatEquationProblem(cloud, cfg)
+    T = cfg.dt * cfg.n_steps
+    print(f"cloud: {cloud.n} nodes; horizon T = {T:.3f} ({cfg.n_steps} steps)")
+
+    # Ground truth: the fundamental sine mode; observe only u(T).
+    u_true = heat_series_solution(cloud.x, cloud.y, 0.0)
+    target = problem.evolve(u_true).data
+    decay = np.abs(target).max() / np.abs(u_true).max()
+    print(f"mode decayed to {decay:.3f} of its initial amplitude "
+          "(the inverse problem is exponentially ill-posed)")
+
+    # DP-through-time descent from a cold start.
+    c = np.zeros(cloud.n)
+    opt = Adam(lr=0.05)
+    state = opt.init(c)
+    for it in range(120):
+        j, g = problem.misfit_value_and_grad(c, target)
+        if it % 30 == 0:
+            print(f"  iter {it:3d}: terminal misfit {j:.3e}")
+        c, state = opt.step(c, g, state)
+    j, _ = problem.misfit_value_and_grad(c, target)
+    print(f"  final   : terminal misfit {j:.3e}")
+
+    err = np.max(np.abs(c - u_true) * (problem.mask_int))
+    print(f"recovered initial condition: max interior error {err:.3f} "
+          f"(vs amplitude {np.abs(u_true).max():.1f})")
+    print(
+        "\nNote the gap: the terminal misfit collapses while the initial-"
+        "\ncondition error plateaus — high-frequency components of u0 decay"
+        "\nbelow observability, the classic ill-posedness of backward heat"
+        "\nflow.  Gradient descent acts as an iterative regulariser."
+    )
+
+
+if __name__ == "__main__":
+    main()

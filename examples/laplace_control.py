@@ -1,0 +1,81 @@
+"""Laplace optimal control: the full three-method comparison (Fig. 3).
+
+Runs DAL, DP, FD and a (small-budget) PINN on the same Laplace control
+problem and prints the comparison the paper's Figure 3 and Table 3 make:
+cost trajectories, final costs, and the recovered control profiles
+against the analytic minimiser.
+
+Run:  python examples/laplace_control.py          (≈ 1 minute)
+"""
+
+import numpy as np
+
+from repro.cloud import SquareCloud
+from repro.control import (
+    FiniteDifferenceOracle,
+    LaplaceDAL,
+    LaplaceDP,
+    LaplacePINN,
+    PINNTrainConfig,
+    omega_line_search,
+    optimize,
+)
+from repro.pde.laplace import LaplaceControlProblem
+
+ITERATIONS = 300
+PINN_EPOCHS = 1200
+
+
+def main() -> None:
+    problem = LaplaceControlProblem(SquareCloud(22))
+    c_exact = problem.optimal_control()
+    results = {}
+
+    # --- DAL: direct + analytically derived adjoint per iteration -----
+    dal = LaplaceDAL(problem)
+    c_dal, h_dal = optimize(dal, ITERATIONS, initial_lr=1e-2)
+    results["DAL"] = (c_dal, h_dal.best_cost, h_dal.wall_time_s)
+
+    # --- DP: reverse-mode AD through the collocation solver -----------
+    dp = LaplaceDP(problem)
+    c_dp, h_dp = optimize(dp, ITERATIONS, initial_lr=1e-2)
+    results["DP"] = (c_dp, h_dp.best_cost, h_dp.wall_time_s)
+
+    # --- FD baseline (footnote 11): accurate but O(n) solves/grad -----
+    fd = FiniteDifferenceOracle(dp.value, problem.zero_control())
+    c_fd, h_fd = optimize(fd, ITERATIONS // 10, initial_lr=1e-2)
+    results["FD"] = (c_fd, h_fd.best_cost, h_fd.wall_time_s)
+
+    # --- PINN with the two-step omega line search ----------------------
+    cfg = PINNTrainConfig(epochs=PINN_EPOCHS, lr=2e-3, n_interior=250, n_boundary=30)
+    pinn = LaplacePINN(problem, config=cfg)
+    ls = omega_line_search(pinn, omegas=[1e-1, 1.0, 1e1])
+    c_pinn = pinn.control_values(ls.params_c)
+    # Report the *physical* cost of the PINN's control — re-simulated with
+    # the reference RBF solver — rather than the surrogate's own estimate
+    # (whose boundary-flux evaluation is the PINN's weak spot at small
+    # training budgets; see EXPERIMENTS.md D4).
+    j_pinn_physical = dp.value(c_pinn)
+    results["PINN"] = (c_pinn, j_pinn_physical, float("nan"))
+    print(f"PINN line search selected omega* = {ls.best_omega:g}")
+    print(f"  per-omega retrained (surrogate) costs: "
+          + " ".join(f"{c:.2e}" for c in ls.step2_costs))
+    print(f"  surrogate J of winner {ls.best_cost:.2e}  ->  physical J of its "
+          f"control {j_pinn_physical:.2e}")
+
+    # --- Comparison -----------------------------------------------------
+    print(f"\n{'method':>6s} | {'final J':>10s} | {'max |c - c*|':>12s} | time")
+    for m, (c, j, t) in results.items():
+        err = np.max(np.abs(c - c_exact))
+        print(f"{m:>6s} | {j:10.3e} | {err:12.3e} | {t:.2f}s")
+
+    print(
+        "\nExpected shape (paper Fig. 3 / Table 3): DP reaches a cost many"
+        "\norders below DAL and PINN; DAL and DP track the analytic control"
+        "\nat discretisation accuracy; the PINN control is qualitatively"
+        "\nright but limited by its training budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: solve a PDE mesh-free and optimise a boundary control.
+
+Walks the library's three layers in ~60 lines:
+
+1. build a mesh-free point cloud,
+2. solve a PDE with RBF collocation and check it against the analytic
+   solution,
+3. run differentiable-programming (DP) optimal control on the paper's
+   Laplace problem and compare with the analytic minimiser.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cloud import SquareCloud
+from repro.control import LaplaceDP, optimize
+from repro.pde.laplace import LaplaceControlProblem
+from repro.rbf import (
+    BoundaryCondition,
+    LinearOperator2D,
+    LinearPDEProblem,
+    solve_pde,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A mesh-free cloud: scattered nodes + boundary tags + normals.
+    # ------------------------------------------------------------------
+    cloud = SquareCloud(20)
+    print(f"cloud: {cloud}")
+
+    # ------------------------------------------------------------------
+    # 2. Solve Laplace's equation with known boundary data and compare
+    #    against the exact harmonic solution.
+    # ------------------------------------------------------------------
+    def exact(p):
+        return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(np.pi)
+
+    problem = LinearPDEProblem(
+        operator=LinearOperator2D(lap=1.0),  # D = Δ
+        bcs={
+            g: BoundaryCondition("dirichlet", value=exact)
+            for g in ("top", "bottom", "left", "right")
+        },
+    )
+    u = solve_pde(cloud, problem)
+    err = np.max(np.abs(u - exact(cloud.points)))
+    print(f"forward solve:  max |u - u_exact| = {err:.2e}")
+
+    # ------------------------------------------------------------------
+    # 3. Optimal control with DP: find the top-wall potential c(x) whose
+    #    flux matches the target — gradients flow through the solver.
+    # ------------------------------------------------------------------
+    control_problem = LaplaceControlProblem(SquareCloud(20))
+    oracle = LaplaceDP(control_problem)
+
+    c0 = oracle.initial_control()
+    print(f"initial cost J(0)      = {oracle.value(c0):.3e}")
+
+    c_star, history = optimize(oracle, n_iterations=300, initial_lr=1e-2)
+    print(f"optimised cost         = {history.best_cost:.3e}")
+
+    c_exact = control_problem.optimal_control()
+    print(f"max |c - c*_analytic|  = {np.max(np.abs(c_star - c_exact)):.3e}")
+    print(f"wall time              = {history.wall_time_s:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

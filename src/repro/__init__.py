@@ -1,0 +1,44 @@
+"""repro — reproduction of "A comparison of mesh-free differentiable
+programming and data-driven strategies for optimal control under PDE
+constraints" (Nzoyem, Barton & Deakin, SC-W 2023).
+
+Subpackages
+-----------
+``repro.autodiff``
+    Pure-NumPy reverse-mode automatic differentiation (JAX substitute).
+``repro.nn``
+    Neural-network library: MLPs, activations, optimisers, LR schedules and
+    analytic input-derivative propagation for PINN residuals.
+``repro.cloud``
+    Mesh-free point clouds: unit square (regular/scattered) and the
+    blowing/suction channel geometry, with boundary tagging, outward
+    normals and canonical node ordering.
+``repro.rbf``
+    Radial-basis-function collocation: kernels, polynomial augmentation,
+    global assembly, nodal differentiation matrices and linear PDE solves.
+``repro.pde``
+    Concrete PDE problems: Laplace, Poisson, advection–diffusion and the
+    stationary incompressible Navier–Stokes equations (Chorin-style
+    projection with steady-state refinements).
+``repro.control``
+    The paper's comparison subjects: DAL (direct-adjoint looping), DP
+    (differentiable programming through the RBF solver), PINN (with the
+    two-step omega line search), and a finite-difference baseline.
+``repro.bench``
+    Benchmark harness regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro import autodiff, bench, cloud, control, nn, pde, rbf, utils
+
+__all__ = [
+    "autodiff",
+    "nn",
+    "cloud",
+    "rbf",
+    "pde",
+    "control",
+    "bench",
+    "utils",
+]

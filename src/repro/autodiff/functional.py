@@ -1,0 +1,105 @@
+"""Function transforms: ``grad``, ``value_and_grad``, ``jacobian``.
+
+These mirror the JAX API surface the paper's framework uses.  A function
+``f`` written against :mod:`repro.autodiff` primitives (or against plain
+operator syntax on tensors) is transformed into one returning exact
+gradients of its scalar output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, asdata, tensor
+
+Argnums = Union[int, Tuple[int, ...]]
+
+
+def _normalize_argnums(argnums: Argnums) -> Tuple[int, ...]:
+    return (argnums,) if isinstance(argnums, int) else tuple(argnums)
+
+
+def _wrap_args(args: Sequence[Any], argnums: Tuple[int, ...]) -> Tuple[list, list]:
+    """Promote differentiated positional args to gradient leaves."""
+    wrapped = list(args)
+    leaves = []
+    for i in argnums:
+        leaf = Tensor(asdata(args[i]), requires_grad=True)
+        wrapped[i] = leaf
+        leaves.append(leaf)
+    return wrapped, leaves
+
+
+def value_and_grad(
+    f: Callable[..., Any], argnums: Argnums = 0
+) -> Callable[..., Tuple[float, Any]]:
+    """Return ``g(*args) -> (f(*args), df/dargs)``.
+
+    The output of ``f`` must be a scalar (tensor or float).  Gradients are
+    returned as raw ``numpy`` arrays matching the argument shapes; a single
+    array when ``argnums`` is an int, a tuple otherwise.
+    """
+    nums = _normalize_argnums(argnums)
+
+    def wrapped(*args: Any, **kwargs: Any) -> Tuple[float, Any]:
+        call_args, leaves = _wrap_args(args, nums)
+        out = f(*call_args, **kwargs)
+        out_t = tensor(out)
+        if out_t.size != 1:
+            raise ValueError(
+                f"value_and_grad requires a scalar output, got shape {out_t.shape}"
+            )
+        out_t.backward()
+        grads = tuple(
+            leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+            for leaf in leaves
+        )
+        value = float(out_t.data)
+        if isinstance(argnums, int):
+            return value, grads[0]
+        return value, grads
+
+    return wrapped
+
+
+def grad(f: Callable[..., Any], argnums: Argnums = 0) -> Callable[..., Any]:
+    """Reverse-mode gradient transform (JAX-style ``grad``)."""
+    vg = value_and_grad(f, argnums)
+
+    def wrapped(*args: Any, **kwargs: Any) -> Any:
+        _, g = vg(*args, **kwargs)
+        return g
+
+    return wrapped
+
+
+def jacobian(f: Callable[..., Any], argnum: int = 0) -> Callable[..., np.ndarray]:
+    """Dense Jacobian of a vector-valued function via row-wise reverse mode.
+
+    Runs one backward pass per output component; intended for small outputs
+    (verification, adjoint cross-checks), not production hot loops.
+    """
+
+    def wrapped(*args: Any, **kwargs: Any) -> np.ndarray:
+        call_args = list(args)
+        leaf = Tensor(asdata(args[argnum]), requires_grad=True)
+        call_args[argnum] = leaf
+        out = tensor(f(*call_args, **kwargs))
+        out_flat_shape = out.data.size
+        jac = np.zeros((out_flat_shape,) + leaf.data.shape)
+        for i in range(out_flat_shape):
+            leaf.zero_grad()
+            seed = np.zeros(out.data.shape)
+            seed.flat[i] = 1.0
+            out.backward(seed)
+            jac[i] = leaf.grad if leaf.grad is not None else 0.0
+        return jac.reshape(out.data.shape + leaf.data.shape)
+
+    return wrapped
+
+
+def stop_gradient(x: Any) -> Tensor:
+    """Detach ``x`` from the tape (identity forward, zero backward)."""
+    return tensor(x).detach() if isinstance(x, Tensor) else tensor(x)

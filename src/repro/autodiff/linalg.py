@@ -1,0 +1,147 @@
+"""Differentiable dense linear algebra.
+
+:func:`solve` is the primitive that makes the *discretise-then-optimise*
+strategy possible: differentiating ``x = A^{-1} b`` does **not** retain the
+elementary operations of the factorisation.  Instead the adjoint system
+``A^T w = g`` is solved in the backward pass, giving
+
+.. math::
+
+    \\bar b = A^{-T} \\bar x, \\qquad \\bar A = -\\bar b \\, x^T .
+
+This is mathematically identical to the discrete adjoint method (and to
+what JAX's ``jax.numpy.linalg.solve`` records), so the DP method obtains
+*exact* discrete gradients at the cost of one extra triangular solve per
+linear system — the property the paper calls the "gold standard".
+
+The LU factorisation computed in the forward pass is cached on the tape
+node and reused in the backward pass, halving the factorisation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
+from repro.autodiff import ops
+
+
+def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
+    """Differentiable solution of the linear system ``A x = b``.
+
+    Parameters
+    ----------
+    A:
+        ``(n, n)`` matrix, dense.  May require gradients (needed for the
+        Navier–Stokes DP path where the advection operator depends on the
+        previous velocity iterate).
+    b:
+        ``(n,)`` vector or ``(n, k)`` block of right-hand sides.
+    assume_a:
+        Passed to ``scipy.linalg.lu_factor`` selection; only ``"gen"``
+        (general LU) and ``"pos"`` (Cholesky) are supported.
+
+    Returns
+    -------
+    Tensor
+        ``x`` with a VJP that solves the adjoint (transposed) system.
+    """
+    tA, tb = tensor(A), tensor(b)
+    Ad, bd = tA.data, tb.data
+    if Ad.ndim != 2 or Ad.shape[0] != Ad.shape[1]:
+        raise ValueError(f"solve expects a square matrix, got {Ad.shape}")
+
+    if assume_a == "pos":
+        c = sla.cho_factor(Ad, check_finite=False)
+        x = sla.cho_solve(c, bd, check_finite=False)
+
+        def solve_T(g: np.ndarray) -> np.ndarray:
+            return sla.cho_solve(c, g, check_finite=False)  # symmetric
+
+    else:
+        lu = sla.lu_factor(Ad, check_finite=False)
+        x = sla.lu_solve(lu, bd, check_finite=False)
+
+        def solve_T(g: np.ndarray) -> np.ndarray:
+            return sla.lu_solve(lu, g, trans=1, check_finite=False)
+
+    def vjp_b(g: np.ndarray) -> np.ndarray:
+        return solve_T(g)
+
+    def vjp_A(g: np.ndarray) -> np.ndarray:
+        w = solve_T(g)
+        if x.ndim == 1:
+            return -np.outer(w, x)
+        return -(w @ x.T)
+
+    return make_node(x, [(tA, vjp_A), (tb, vjp_b)], "solve")
+
+
+class LUSolver:
+    """A differentiable solver with a *cached* LU factorisation.
+
+    For optimal-control loops the system matrix is constant across
+    iterations (Laplace: the collocation matrix never changes; NS: the
+    pressure-Poisson matrix is fixed).  Factorising once and reusing the
+    factors for every forward *and* backward (transposed) solve turns the
+    per-iteration cost from O(n³) to O(n²) — this is what makes the scaled
+    benchmark runs tractable and mirrors ``jax.scipy.linalg.lu_solve``
+    composition under ``jit``.
+    """
+
+    def __init__(self, A: np.ndarray) -> None:
+        A = np.asarray(A, dtype=np.float64)
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise ValueError(f"LUSolver expects a square matrix, got {A.shape}")
+        self.n = A.shape[0]
+        self._lu = sla.lu_factor(A, check_finite=False)
+
+    def __call__(self, b: ArrayLike) -> Tensor:
+        """Solve ``A x = b`` differentiably w.r.t. ``b``."""
+        tb = tensor(b)
+        x = sla.lu_solve(self._lu, tb.data, check_finite=False)
+
+        def vjp_b(g: np.ndarray) -> np.ndarray:
+            return sla.lu_solve(self._lu, g, trans=1, check_finite=False)
+
+        return make_node(x, [(tb, vjp_b)], "lu_solve")
+
+    def solve_numpy(self, b: np.ndarray) -> np.ndarray:
+        """Plain NumPy solve (no tape)."""
+        return sla.lu_solve(self._lu, np.asarray(b, dtype=np.float64), check_finite=False)
+
+    def solve_transposed(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` (the adjoint system) without taping."""
+        return sla.lu_solve(self._lu, np.asarray(b, dtype=np.float64), trans=1, check_finite=False)
+
+
+def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
+    """Differentiable least-squares solution ``argmin_x ||A x - b||``.
+
+    Only the right-hand side ``b`` is differentiated (sufficient for the
+    solver paths in this repository where collocation matrices are constant
+    w.r.t. the control); the VJP solves the normal-equation adjoint
+    ``(A^T A) w = g`` and maps back via ``A w``.
+    """
+    tA, tb = tensor(A), tensor(b)
+    Ad, bd = tA.data, tb.data
+    x, *_ = np.linalg.lstsq(Ad, bd, rcond=rcond)
+    gram = Ad.T @ Ad
+
+    def vjp_b(g: np.ndarray) -> np.ndarray:
+        w = np.linalg.solve(gram, g)
+        return Ad @ w
+
+    return make_node(x, [(tb, vjp_b)], "lstsq")
+
+
+def norm(a: ArrayLike, ord: Union[int, float] = 2) -> Tensor:
+    """Differentiable vector norm (2-norm or 1-norm)."""
+    if ord == 2:
+        return ops.sqrt(ops.sum_(ops.square(a)))
+    if ord == 1:
+        return ops.sum_(ops.abs_(a))
+    raise ValueError(f"unsupported norm order {ord!r}")

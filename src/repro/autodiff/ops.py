@@ -1,0 +1,427 @@
+"""Differentiable primitive operations.
+
+Each primitive computes its forward value with plain NumPy (vectorised, no
+Python loops over elements — see the HPC guides) and records one VJP closure
+per differentiable input.  The VJPs are standard; where broadcasting is
+possible the cotangent is reduced with :func:`~repro.autodiff.tensor.unbroadcast`.
+
+Primitives accept raw arrays or :class:`~repro.autodiff.tensor.Tensor`
+inputs interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    ArrayLike,
+    Tensor,
+    asdata,
+    make_node,
+    tensor,
+    unbroadcast,
+)
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a + b`` with NumPy broadcasting."""
+    ta, tb = tensor(a), tensor(b)
+    out = ta.data + tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, s=ta.data.shape: unbroadcast(g, s)),
+            (tb, lambda g, s=tb.data.shape: unbroadcast(g, s)),
+        ],
+        "add",
+    )
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a - b``."""
+    ta, tb = tensor(a), tensor(b)
+    out = ta.data - tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, s=ta.data.shape: unbroadcast(g, s)),
+            (tb, lambda g, s=tb.data.shape: unbroadcast(-g, s)),
+        ],
+        "sub",
+    )
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a * b``."""
+    ta, tb = tensor(a), tensor(b)
+    out = ta.data * tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, o=tb.data, s=ta.data.shape: unbroadcast(g * o, s)),
+            (tb, lambda g, o=ta.data, s=tb.data.shape: unbroadcast(g * o, s)),
+        ],
+        "mul",
+    )
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a / b``."""
+    ta, tb = tensor(a), tensor(b)
+    out = ta.data / tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, d=tb.data, s=ta.data.shape: unbroadcast(g / d, s)),
+            (
+                tb,
+                lambda g, n=ta.data, d=tb.data, s=tb.data.shape: unbroadcast(
+                    -g * n / (d * d), s
+                ),
+            ),
+        ],
+        "div",
+    )
+
+
+def neg(a: ArrayLike) -> Tensor:
+    """Elementwise negation."""
+    ta = tensor(a)
+    return make_node(-ta.data, [(ta, lambda g: -g)], "neg")
+
+
+def power(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise ``a ** b`` differentiable in both arguments.
+
+    The exponent VJP uses ``log(a)`` and is therefore only valid for
+    positive bases when the exponent requires gradients; for the common
+    constant-exponent case (e.g. the cubic polyharmonic kernel ``r**3``)
+    only the base branch is recorded.
+    """
+    ta, tb = tensor(a), tensor(b)
+    out = ta.data ** tb.data
+
+    def vjp_base(g: np.ndarray) -> np.ndarray:
+        return unbroadcast(g * tb.data * ta.data ** (tb.data - 1.0), ta.data.shape)
+
+    parents = [(ta, vjp_base)]
+    if tb.needs_tape():
+
+        def vjp_exp(g: np.ndarray) -> np.ndarray:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                loga = np.where(ta.data > 0, np.log(np.where(ta.data > 0, ta.data, 1.0)), 0.0)
+            return unbroadcast(g * out * loga, tb.data.shape)
+
+        parents.append((tb, vjp_exp))
+    return make_node(out, parents, "power")
+
+
+def square(a: ArrayLike) -> Tensor:
+    """Elementwise square (faster than ``power(a, 2)``)."""
+    ta = tensor(a)
+    return make_node(
+        ta.data * ta.data, [(ta, lambda g, x=ta.data: 2.0 * g * x)], "square"
+    )
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    """Elementwise square root."""
+    ta = tensor(a)
+    out = np.sqrt(ta.data)
+
+    def vjp(g: np.ndarray, o: np.ndarray = out) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            return g * 0.5 / np.where(o > 0, o, np.inf)
+
+    return make_node(out, [(ta, vjp)], "sqrt")
+
+
+def abs_(a: ArrayLike) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the kink)."""
+    ta = tensor(a)
+    return make_node(
+        np.abs(ta.data), [(ta, lambda g, x=ta.data: g * np.sign(x))], "abs"
+    )
+
+
+# ----------------------------------------------------------------------
+# Elementwise transcendentals
+# ----------------------------------------------------------------------
+def exp(a: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    ta = tensor(a)
+    out = np.exp(ta.data)
+    return make_node(out, [(ta, lambda g, o=out: g * o)], "exp")
+
+
+def log(a: ArrayLike) -> Tensor:
+    """Elementwise natural logarithm."""
+    ta = tensor(a)
+    return make_node(np.log(ta.data), [(ta, lambda g, x=ta.data: g / x)], "log")
+
+
+def sin(a: ArrayLike) -> Tensor:
+    """Elementwise sine."""
+    ta = tensor(a)
+    return make_node(np.sin(ta.data), [(ta, lambda g, x=ta.data: g * np.cos(x))], "sin")
+
+
+def cos(a: ArrayLike) -> Tensor:
+    """Elementwise cosine."""
+    ta = tensor(a)
+    return make_node(
+        np.cos(ta.data), [(ta, lambda g, x=ta.data: -g * np.sin(x))], "cos"
+    )
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    """Elementwise hyperbolic tangent (the paper's PINN activation)."""
+    ta = tensor(a)
+    out = np.tanh(ta.data)
+    return make_node(out, [(ta, lambda g, o=out: g * (1.0 - o * o))], "tanh")
+
+
+def sinh(a: ArrayLike) -> Tensor:
+    """Elementwise hyperbolic sine."""
+    ta = tensor(a)
+    return make_node(
+        np.sinh(ta.data), [(ta, lambda g, x=ta.data: g * np.cosh(x))], "sinh"
+    )
+
+
+def cosh(a: ArrayLike) -> Tensor:
+    """Elementwise hyperbolic cosine."""
+    ta = tensor(a)
+    return make_node(
+        np.cosh(ta.data), [(ta, lambda g, x=ta.data: g * np.sinh(x))], "cosh"
+    )
+
+
+def arctan(a: ArrayLike) -> Tensor:
+    """Elementwise inverse tangent."""
+    ta = tensor(a)
+    return make_node(
+        np.arctan(ta.data),
+        [(ta, lambda g, x=ta.data: g / (1.0 + x * x))],
+        "arctan",
+    )
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    ta = tensor(a)
+    out = 1.0 / (1.0 + np.exp(-ta.data))
+    return make_node(out, [(ta, lambda g, o=out: g * o * (1.0 - o))], "sigmoid")
+
+
+# ----------------------------------------------------------------------
+# Selection / clipping
+# ----------------------------------------------------------------------
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise maximum; ties route the gradient to the first input."""
+    ta, tb = tensor(a), tensor(b)
+    out = np.maximum(ta.data, tb.data)
+    mask = ta.data >= tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, m=mask, s=ta.data.shape: unbroadcast(g * m, s)),
+            (tb, lambda g, m=~mask, s=tb.data.shape: unbroadcast(g * m, s)),
+        ],
+        "maximum",
+    )
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise minimum; ties route the gradient to the first input."""
+    ta, tb = tensor(a), tensor(b)
+    out = np.minimum(ta.data, tb.data)
+    mask = ta.data <= tb.data
+    return make_node(
+        out,
+        [
+            (ta, lambda g, m=mask, s=ta.data.shape: unbroadcast(g * m, s)),
+            (tb, lambda g, m=~mask, s=tb.data.shape: unbroadcast(g * m, s)),
+        ],
+        "minimum",
+    )
+
+
+def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable ``np.where`` (the condition itself is constant)."""
+    c = asdata(cond).astype(bool)
+    ta, tb = tensor(a), tensor(b)
+    out = np.where(c, ta.data, tb.data)
+    return make_node(
+        out,
+        [
+            (ta, lambda g, m=c, s=ta.data.shape: unbroadcast(np.where(m, g, 0.0), s)),
+            (tb, lambda g, m=c, s=tb.data.shape: unbroadcast(np.where(m, 0.0, g), s)),
+        ],
+        "where",
+    )
+
+
+def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
+    """Clamp values to ``[lo, hi]``; gradient is zero outside the interval."""
+    ta = tensor(a)
+    out = np.clip(ta.data, lo, hi)
+    mask = (ta.data >= lo) & (ta.data <= hi)
+    return make_node(out, [(ta, lambda g, m=mask: g * m)], "clip")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum_(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Sum reduction."""
+    ta = tensor(a)
+    out = ta.data.sum(axis=axis, keepdims=keepdims)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        if axis is None:
+            return np.broadcast_to(g, ta.data.shape).copy()
+        g2 = g
+        if not keepdims:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            for ax in sorted(a % ta.data.ndim for a in axes):
+                g2 = np.expand_dims(g2, ax)
+        return np.broadcast_to(g2, ta.data.shape).copy()
+
+    return make_node(out, [(ta, vjp)], "sum")
+
+
+def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Mean reduction."""
+    ta = tensor(a)
+    out = ta.data.mean(axis=axis, keepdims=keepdims)
+    denom = ta.data.size if axis is None else np.prod(
+        [ta.data.shape[ax] for ax in ((axis,) if isinstance(axis, int) else axis)]
+    )
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        if axis is None:
+            return np.broadcast_to(g / denom, ta.data.shape).copy()
+        g2 = g
+        if not keepdims:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            for ax in sorted(a % ta.data.ndim for a in axes):
+                g2 = np.expand_dims(g2, ax)
+        return np.broadcast_to(g2 / denom, ta.data.shape).copy()
+
+    return make_node(out, [(ta, vjp)], "mean")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra (dense) — the workhorses of DP through the RBF solver
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product with the standard VJPs.
+
+    Supports the 1-D/2-D combinations used by the solver (matrix@vector,
+    matrix@matrix, vector@matrix, vector@vector).
+    """
+    ta, tb = tensor(a), tensor(b)
+    A, B = ta.data, tb.data
+    out = A @ B
+
+    def vjp_a(g: np.ndarray) -> np.ndarray:
+        if A.ndim == 1 and B.ndim == 1:  # inner product
+            return g * B
+        if A.ndim == 1:  # (k,) @ (k,n) -> (n,)
+            return B @ g
+        if B.ndim == 1:  # (m,k) @ (k,) -> (m,)
+            return np.outer(g, B)
+        return g @ B.T
+
+    def vjp_b(g: np.ndarray) -> np.ndarray:
+        if A.ndim == 1 and B.ndim == 1:
+            return g * A
+        if A.ndim == 1:
+            return np.outer(A, g)
+        if B.ndim == 1:
+            return A.T @ g
+        return A.T @ g
+
+    return make_node(out, [(ta, vjp_a), (tb, vjp_b)], "matmul")
+
+
+def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """1-D inner product ``sum(a * b)``."""
+    return sum_(mul(a, b))
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Differentiable reshape."""
+    ta = tensor(a)
+    return make_node(
+        ta.data.reshape(shape),
+        [(ta, lambda g, s=ta.data.shape: g.reshape(s))],
+        "reshape",
+    )
+
+
+def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    """Differentiable transpose / axis permutation."""
+    ta = tensor(a)
+    out = np.transpose(ta.data, axes)
+    inv = None if axes is None else tuple(np.argsort(axes))
+    return make_node(out, [(ta, lambda g: np.transpose(g, inv))], "transpose")
+
+
+def getitem(a: ArrayLike, index) -> Tensor:
+    """Differentiable indexing/slicing (``np.add.at`` scatter in the VJP)."""
+    ta = tensor(a)
+    out = ta.data[index]
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        full = np.zeros_like(ta.data)
+        np.add.at(full, index, g)
+        return full
+
+    return make_node(np.array(out, copy=True), [(ta, vjp)], "getitem")
+
+
+def concatenate(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    ts = [tensor(p) for p in parts]
+    out = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.data.shape[axis] for t in ts]
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    parents = []
+    for i, t in enumerate(ts):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+
+        def vjp(g: np.ndarray, lo=lo, hi=hi) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            return g[tuple(slicer)]
+
+        parents.append((t, vjp))
+    return make_node(out, parents, "concatenate")
+
+
+def stack(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Differentiable stacking along a new axis."""
+    ts = [tensor(p) for p in parts]
+    out = np.stack([t.data for t in ts], axis=axis)
+
+    parents = []
+    for i, t in enumerate(ts):
+
+        def vjp(g: np.ndarray, i=i) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        parents.append((t, vjp))
+    return make_node(out, parents, "stack")

@@ -1,0 +1,55 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+- :mod:`repro.bench.configs` — scaled experiment configurations with a
+  ``default`` tier (CI-speed) and a ``full`` tier (``REPRO_FULL=1``).
+- :mod:`repro.bench.metrics` — wall-time + peak-memory measurement of a
+  control run (Table 3 rows).
+- :mod:`repro.bench.harness` — end-to-end runners: one function per
+  method × problem, returning :class:`~repro.control.problem.ControlResult`.
+- :mod:`repro.bench.tables` — plain-text table renderers matching the
+  paper's layout.
+"""
+
+from repro.bench.configs import (
+    ExperimentScale,
+    LaplaceScale,
+    NavierStokesScale,
+    PinnScale,
+    get_scale,
+    is_full_scale,
+)
+from repro.bench.metrics import measure_run
+from repro.bench.harness import (
+    run_laplace_dal,
+    run_laplace_dp,
+    run_laplace_fd,
+    run_laplace_pinn,
+    run_ns_dal,
+    run_ns_dp,
+    run_ns_pinn,
+    make_laplace_problem,
+    make_ns_problem,
+)
+from repro.bench.tables import render_table, render_hyperparameter_table, render_performance_table
+
+__all__ = [
+    "ExperimentScale",
+    "LaplaceScale",
+    "NavierStokesScale",
+    "PinnScale",
+    "get_scale",
+    "is_full_scale",
+    "measure_run",
+    "run_laplace_dal",
+    "run_laplace_dp",
+    "run_laplace_fd",
+    "run_laplace_pinn",
+    "run_ns_dal",
+    "run_ns_dp",
+    "run_ns_pinn",
+    "make_laplace_problem",
+    "make_ns_problem",
+    "render_table",
+    "render_hyperparameter_table",
+    "render_performance_table",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Runs the end-to-end reproduction (every method × problem at the active
+scale tier) and prints the paper's Tables 1–3 plus the headline series.
+``REPRO_FULL=1`` switches to the paper-scale tier.
+
+Options
+-------
+``--skip-pinn``
+    Skip the (slow) PINN line searches; DAL/DP rows only.
+``--problem {laplace,ns,all}``
+    Restrict to one benchmark problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.configs import get_scale
+from repro.bench.harness import (
+    make_laplace_problem,
+    make_ns_problem,
+    run_laplace_dal,
+    run_laplace_dp,
+    run_laplace_pinn,
+    run_ns_dal,
+    run_ns_dp,
+    run_ns_pinn,
+)
+from repro.bench.tables import render_performance_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation tables.",
+    )
+    parser.add_argument("--skip-pinn", action="store_true",
+                        help="skip the slow PINN line searches")
+    parser.add_argument("--problem", choices=("laplace", "ns", "all"),
+                        default="all")
+    args = parser.parse_args(argv)
+
+    scale = get_scale()
+    print(f"scale tier: {scale.name}  (set REPRO_FULL=1 for paper scale)\n")
+
+    results = []
+    if args.problem in ("laplace", "all"):
+        prob = make_laplace_problem(scale)
+        print(f"Laplace problem: {prob.cloud.n} nodes, "
+              f"{prob.n_control}-dimensional control")
+        for name, runner in (("DAL", run_laplace_dal), ("DP", run_laplace_dp)):
+            r = runner(prob, scale)
+            results.append(r)
+            print("  " + r.summary())
+        if not args.skip_pinn:
+            r = run_laplace_pinn(prob, scale)
+            results.append(r)
+            print("  " + r.summary()
+                  + f"  (omega* = {r.extra['best_omega']:g})")
+
+    if args.problem in ("ns", "all"):
+        prob = make_ns_problem(scale)
+        print(f"\nNavier-Stokes channel: {prob.cloud.n} nodes, "
+              f"Re = {scale.ns.reynolds:g}")
+        for name, runner in (("DAL", run_ns_dal), ("DP", run_ns_dp)):
+            r = runner(prob, scale)
+            results.append(r)
+            print("  " + r.summary())
+        if not args.skip_pinn:
+            r = run_ns_pinn(prob, scale)
+            results.append(r)
+            print("  " + r.summary()
+                  + f"  (physical J = {r.extra['physical_cost']:.3e})")
+
+    print()
+    print(render_performance_table(
+        results, title=f"TABLE 3 (scale tier: {scale.name})"
+    ))
+    print(
+        "\nPaper (full scale): Laplace J = 4.6e-3 / 1.6e-2 / 2.2e-9,"
+        "\n                    NS      J = 8.2e-2 / 1.0e-3 / 2.6e-4"
+        "  (DAL / PINN / DP)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

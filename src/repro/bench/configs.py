@@ -1,0 +1,115 @@
+"""Scaled experiment configurations.
+
+The paper's full runs take hours (Table 3: up to 26.8 h for the NS PINN
+on an RTX 3090).  The benchmark suite therefore runs a *scaled* tier by
+default — small enough for seconds-per-benchmark on one CPU core, large
+enough that every qualitative comparison (who wins, failure modes,
+crossovers) still manifests — and a ``full`` tier selected with
+``REPRO_FULL=1`` that moves every knob towards the paper's values.
+
+Paper values, for reference:
+
+=====================  =========  =========  =========
+hyperparameter         DAL        PINN       DP
+=====================  =========  =========  =========
+Laplace lr             1e-2       1e-3       1e-2
+Laplace iters/epochs   500        20k        500
+Laplace cloud          100×100    100×100    100×100
+NS lr                  1e-1       1e-3       1e-1
+NS iters/epochs        350        100k       350
+NS refinements k       3          —          10
+NS cloud               1385       1385       1385
+=====================  =========  =========  =========
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def is_full_scale() -> bool:
+    """True when the ``REPRO_FULL`` environment switch is set."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+
+@dataclass(frozen=True)
+class LaplaceScale:
+    """Laplace-problem knobs (paper values in comments)."""
+
+    nx: int = 26                 # paper: 100
+    iterations: int = 150        # paper: 500
+    lr_dal: float = 1e-2         # paper: 1e-2
+    lr_dp: float = 1e-2          # paper: 1e-2
+
+
+@dataclass(frozen=True)
+class NavierStokesScale:
+    """Navier–Stokes knobs (paper values in comments)."""
+
+    nx: int = 21                 # cloud ≈ nx*ny ≈ 1385 at full scale
+    ny: int = 11
+    iterations: int = 60         # paper: 350
+    lr: float = 1e-1             # paper: 1e-1
+    refinements_dal: int = 3     # paper: 3
+    refinements_dp: int = 10     # paper: 10
+    adjoint_refinements: int = 30
+    reynolds: float = 100.0
+    pseudo_dt: float = 0.5
+    perturbation: float = 0.3
+
+
+@dataclass(frozen=True)
+class PinnScale:
+    """PINN knobs (paper values in comments)."""
+
+    laplace_epochs: int = 2000       # paper: 20k
+    laplace_hidden: Tuple[int, ...] = (30, 30, 30)  # paper: 3×30
+    laplace_lr: float = 2e-3         # paper: 1e-3
+    laplace_omegas: Tuple[float, ...] = (1e-1, 1.0, 1e1)
+    # paper: 11 values 1e-3..1e7, ω* = 1e-1
+    ns_epochs: int = 1500            # paper: 100k
+    ns_hidden: Tuple[int, ...] = (40, 40, 40)  # paper: 5×50 (full tier)
+    ns_lr: float = 1e-3              # paper: 1e-3
+    ns_omegas: Tuple[float, ...] = (1.0, 1e1)
+    # paper: 9 values 1e-3..1e5, ω* = 1
+    n_interior: int = 300
+    n_boundary: int = 30
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """The complete scale bundle for one tier."""
+
+    name: str
+    laplace: LaplaceScale = field(default_factory=LaplaceScale)
+    ns: NavierStokesScale = field(default_factory=NavierStokesScale)
+    pinn: PinnScale = field(default_factory=PinnScale)
+
+
+DEFAULT_SCALE = ExperimentScale(name="default")
+
+FULL_SCALE = ExperimentScale(
+    name="full",
+    laplace=LaplaceScale(nx=60, iterations=500),
+    ns=NavierStokesScale(
+        nx=43, ny=32, iterations=350, refinements_dal=3, refinements_dp=10,
+        adjoint_refinements=60,
+    ),
+    pinn=PinnScale(
+        laplace_epochs=20000,
+        laplace_lr=1e-3,
+        laplace_omegas=tuple(10.0**k for k in range(-3, 8)),
+        ns_epochs=20000,
+        ns_hidden=(50, 50, 50, 50, 50),
+        ns_omegas=tuple(10.0**k for k in range(-3, 6)),
+        n_interior=1000,
+        n_boundary=80,
+    ),
+)
+
+
+def get_scale() -> ExperimentScale:
+    """Return the active tier (``REPRO_FULL=1`` selects the full tier)."""
+    return FULL_SCALE if is_full_scale() else DEFAULT_SCALE

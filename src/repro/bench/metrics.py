@@ -1,0 +1,24 @@
+"""Run measurement: wall time + peak traced memory (Table 3 columns)."""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, TypeVar
+
+from repro.utils.timers import PeakMemory, Timer
+
+T = TypeVar("T")
+
+
+def measure_run(fn: Callable[[], T]) -> Tuple[T, float, int]:
+    """Execute ``fn`` and return ``(result, wall_seconds, peak_bytes)``.
+
+    Peak memory is tracked with ``tracemalloc`` (Python allocations,
+    which dominate here: NumPy buffers including retained autodiff
+    tapes).  Note that tracing slows execution somewhat; wall times are
+    therefore measured on the *same* footing for every method, preserving
+    the comparison the paper's Table 3 makes.
+    """
+    with PeakMemory() as mem:
+        with Timer() as timer:
+            result = fn()
+    return result, timer.elapsed, mem.peak_bytes

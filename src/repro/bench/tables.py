@@ -1,0 +1,84 @@
+"""Plain-text table renderers matching the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.control.problem import ControlResult
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_hyperparameter_table(
+    title: str, rows: Dict[str, Dict[str, str]]
+) -> str:
+    """Render a Table-1/2-style hyperparameter summary.
+
+    ``rows`` maps hyperparameter name → {"DAL": ..., "PINN": ..., "DP": ...};
+    missing entries render as the paper's "-" (not applicable).
+    """
+    headers = ["Hyperparameter", "DAL", "PINN", "DP"]
+    body = [
+        [name, vals.get("DAL", "-"), vals.get("PINN", "-"), vals.get("DP", "-")]
+        for name, vals in rows.items()
+    ]
+    return render_table(headers, body, title=title)
+
+
+def render_performance_table(results: List[ControlResult], title: str = "") -> str:
+    """Render a Table-3-style performance summary from control results."""
+    headers = ["Problem", "Metric", "DAL", "PINN", "DP"]
+    by_key = {(r.problem, r.method): r for r in results}
+    problems = []
+    for r in results:
+        if r.problem not in problems:
+            problems.append(r.problem)
+    rows = []
+    for prob in problems:
+        def get(method: str):
+            return by_key.get((prob, method))
+
+        def fmt(method: str, f):
+            r = get(method)
+            return f(r) if r is not None else "-"
+
+        rows.append(
+            [prob, "Time (s)"]
+            + [fmt(m, lambda r: f"{r.wall_time_s:.2f}") for m in ("DAL", "PINN", "DP")]
+        )
+        rows.append(
+            [prob, "Peak mem. (MiB)"]
+            + [
+                fmt(m, lambda r: f"{r.peak_mem_bytes / 2**20:.1f}")
+                for m in ("DAL", "PINN", "DP")
+            ]
+        )
+        rows.append(
+            [prob, "Epochs / Iters."]
+            + [fmt(m, lambda r: str(r.iterations)) for m in ("DAL", "PINN", "DP")]
+        )
+        rows.append(
+            [prob, "Final cost J"]
+            + [
+                fmt(m, lambda r: f"{r.final_cost:.2e}")
+                for m in ("DAL", "PINN", "DP")
+            ]
+        )
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,40 @@
+"""Mesh-free point clouds.
+
+The paper's methods are all mesh-free: they consume scattered,
+disconnected nodes with boundary tags and outward normals.  This package
+provides:
+
+- :class:`~repro.cloud.base.Cloud` — nodes + boundary groups + normals,
+  with the canonical node ordering the paper's RBF boundary handling
+  requires (internal → Dirichlet → Neumann → Robin).
+- :class:`~repro.cloud.square.SquareCloud` — the unit square of the
+  Laplace problem (regular grid or scattered interior).
+- :class:`~repro.cloud.channel.ChannelCloud` — the blowing/suction channel
+  of the Navier–Stokes problem (Fig. 4a), with wall grading; this is the
+  repository's substitute for the paper's GMSH-extracted 1385-node cloud.
+- :mod:`repro.cloud.halton` — low-discrepancy sequences for scattered
+  interiors.
+- :mod:`repro.cloud.neighbors` — kd-tree neighbour queries.
+"""
+
+from repro.cloud.base import Cloud, BoundaryKind, KIND_ORDER
+from repro.cloud.halton import halton_sequence, van_der_corput
+from repro.cloud.square import SquareCloud
+from repro.cloud.channel import ChannelCloud, ChannelGeometry
+from repro.cloud.disk import DiskCloud
+from repro.cloud.neighbors import nearest_neighbors, min_spacing, fill_distance
+
+__all__ = [
+    "Cloud",
+    "BoundaryKind",
+    "KIND_ORDER",
+    "halton_sequence",
+    "van_der_corput",
+    "SquareCloud",
+    "ChannelCloud",
+    "ChannelGeometry",
+    "DiskCloud",
+    "nearest_neighbors",
+    "min_spacing",
+    "fill_distance",
+]

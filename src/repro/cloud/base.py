@@ -1,0 +1,223 @@
+"""The :class:`Cloud` container: scattered nodes with boundary structure.
+
+The paper (§2.1): "Our implementation accounts for all three major
+boundary conditions in the literature by careful (re)ordering of the
+nodes: first the N_i internal nodes, then N_d Dirichlet nodes, then N_n
+Neumann nodes, and finally N_r Robin nodes."  :class:`Cloud` enforces this
+canonical ordering at construction time, so the RBF assembly can address
+contiguous row blocks per boundary kind.
+
+A cloud consists of
+
+- ``points`` — ``(N, 2)`` node coordinates,
+- named *groups* (e.g. ``"internal"``, ``"top"``, ``"inflow"``) each with a
+  :class:`BoundaryKind`,
+- outward unit ``normals`` for boundary nodes (NaN on internal nodes),
+- per-group arclength ``coords`` used for boundary quadrature and for
+  evaluating control profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+class BoundaryKind(Enum):
+    """Node classification used for collocation-row assembly ordering."""
+
+    INTERNAL = 0
+    DIRICHLET = 1
+    NEUMANN = 2
+    ROBIN = 3
+
+
+KIND_ORDER: Tuple[BoundaryKind, ...] = (
+    BoundaryKind.INTERNAL,
+    BoundaryKind.DIRICHLET,
+    BoundaryKind.NEUMANN,
+    BoundaryKind.ROBIN,
+)
+
+
+@dataclass
+class Cloud:
+    """An ordered mesh-free point cloud.
+
+    Parameters (pre-ordering; the constructor reorders everything)
+    ----------
+    points:
+        ``(N, 2)`` coordinates.
+    group_of:
+        Length-``N`` sequence of group names, one per node.
+    kinds:
+        Mapping group name → :class:`BoundaryKind`.  Exactly the groups
+        appearing in ``group_of`` must be present.
+    normals:
+        ``(N, 2)`` outward unit normals (rows for internal nodes ignored).
+    coords:
+        Optional length-``N`` arclength coordinate of each boundary node
+        along its group (used for quadrature / control evaluation).
+    """
+
+    points: np.ndarray
+    group_of: np.ndarray
+    kinds: Dict[str, BoundaryKind]
+    normals: np.ndarray
+    coords: Optional[np.ndarray] = None
+    groups: Dict[str, np.ndarray] = field(init=False)
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must be (N, 2), got {pts.shape}")
+        n = pts.shape[0]
+        group_of = np.asarray(self.group_of, dtype=object)
+        if group_of.shape != (n,):
+            raise ValueError("group_of must have one entry per node")
+        used = set(group_of.tolist())
+        missing = used - set(self.kinds)
+        if missing:
+            raise ValueError(f"groups without a BoundaryKind: {sorted(missing)}")
+        normals = np.asarray(self.normals, dtype=np.float64)
+        if normals.shape != (n, 2):
+            raise ValueError("normals must be (N, 2)")
+        coords = (
+            np.full(n, np.nan)
+            if self.coords is None
+            else np.asarray(self.coords, dtype=np.float64)
+        )
+        if coords.shape != (n,):
+            raise ValueError("coords must have one entry per node")
+
+        # Canonical reordering: by kind, then by group name (stable), then
+        # by original index (stable sort keeps generator ordering within a
+        # group, which generators use to keep boundary nodes arclength
+        # sorted).
+        kind_rank = np.array(
+            [KIND_ORDER.index(self.kinds[g]) for g in group_of], dtype=np.int64
+        )
+        group_rank_map = {g: i for i, g in enumerate(sorted(used))}
+        group_rank = np.array([group_rank_map[g] for g in group_of], dtype=np.int64)
+        order = np.lexsort((np.arange(n), group_rank, kind_rank))
+
+        self.points = pts[order]
+        self.group_of = group_of[order]
+        self.normals = normals[order]
+        self.coords = coords[order]
+        self.groups = {
+            g: np.flatnonzero(self.group_of == g) for g in sorted(used)
+        }
+
+        # Normalise boundary normals defensively.
+        for g, idx in self.groups.items():
+            if self.kinds[g] is BoundaryKind.INTERNAL:
+                continue
+            nrm = self.normals[idx]
+            lens = np.linalg.norm(nrm, axis=1)
+            if np.any(lens < 1e-12):
+                raise ValueError(f"zero-length normal in group {g!r}")
+            self.normals[idx] = nrm / lens[:, None]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total node count N."""
+        return self.points.shape[0]
+
+    @property
+    def x(self) -> np.ndarray:
+        """x-coordinates of all nodes."""
+        return self.points[:, 0]
+
+    @property
+    def y(self) -> np.ndarray:
+        """y-coordinates of all nodes."""
+        return self.points[:, 1]
+
+    def indices_of_kind(self, kind: BoundaryKind) -> np.ndarray:
+        """All node indices of the given kind, in canonical order."""
+        mask = np.zeros(self.n, dtype=bool)
+        for g, idx in self.groups.items():
+            if self.kinds[g] is kind:
+                mask[idx] = True
+        return np.flatnonzero(mask)
+
+    @property
+    def internal(self) -> np.ndarray:
+        """Indices of internal nodes (always the leading block)."""
+        return self.indices_of_kind(BoundaryKind.INTERNAL)
+
+    @property
+    def boundary(self) -> np.ndarray:
+        """Indices of all boundary nodes."""
+        mask = np.ones(self.n, dtype=bool)
+        mask[self.internal] = False
+        return np.flatnonzero(mask)
+
+    def counts(self) -> Dict[str, int]:
+        """Node counts per kind: ``{"internal": Ni, "dirichlet": Nd, ...}``."""
+        return {
+            kind.name.lower(): self.indices_of_kind(kind).size
+            for kind in KIND_ORDER
+        }
+
+    def group_points(self, group: str) -> np.ndarray:
+        """Coordinates of the nodes of a group."""
+        return self.points[self.groups[group]]
+
+    def group_coords(self, group: str) -> np.ndarray:
+        """Arclength coordinates of a boundary group (sorted ascending)."""
+        c = self.coords[self.groups[group]]
+        if np.any(np.isnan(c)):
+            raise ValueError(f"group {group!r} has no arclength coordinates")
+        return c
+
+    def group_normals(self, group: str) -> np.ndarray:
+        """Outward unit normals of a boundary group."""
+        return self.normals[self.groups[group]]
+
+    def with_kinds(self, kinds: Mapping[str, BoundaryKind]) -> "Cloud":
+        """Return a re-ordered copy with different boundary-kind assignment.
+
+        Lets one geometry serve several PDEs (e.g. velocity components and
+        pressure apply *different* BC kinds to the same channel groups).
+        """
+        new_kinds = dict(self.kinds)
+        new_kinds.update(kinds)
+        return Cloud(
+            points=self.points.copy(),
+            group_of=self.group_of.copy(),
+            kinds=new_kinds,
+            normals=self.normals.copy(),
+            coords=self.coords.copy(),
+        )
+
+    def validate(self) -> None:
+        """Run structural invariants; raises ``ValueError`` on violation."""
+        # Kind blocks must be contiguous and in canonical order.
+        ranks = np.array(
+            [KIND_ORDER.index(self.kinds[g]) for g in self.group_of]
+        )
+        if np.any(np.diff(ranks) < 0):
+            raise ValueError("node ordering violates kind-block invariant")
+        # No duplicate points.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(self.points)
+        pairs = tree.query_pairs(1e-12)
+        if pairs:
+            raise ValueError(f"duplicate points: {sorted(pairs)[:5]} ...")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.counts()
+        return (
+            f"Cloud(N={self.n}, internal={c['internal']}, "
+            f"dirichlet={c['dirichlet']}, neumann={c['neumann']}, "
+            f"robin={c['robin']}, groups={sorted(self.groups)})"
+        )

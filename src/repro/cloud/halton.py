@@ -1,0 +1,45 @@
+"""Low-discrepancy sequences for scattered point clouds.
+
+Halton points fill a rectangle far more evenly than i.i.d. uniforms, which
+keeps RBF collocation matrices better conditioned — the mesh-free analogue
+of a quality mesh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FIRST_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29)
+
+
+def van_der_corput(n: int, base: int = 2, start: int = 1) -> np.ndarray:
+    """First ``n`` van der Corput radical-inverse values in ``base``.
+
+    ``start`` skips the initial elements (skipping index 0 avoids the
+    degenerate point at the origin).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if base < 2:
+        raise ValueError("base must be >= 2")
+    out = np.empty(n)
+    for i in range(n):
+        k = start + i
+        x, denom = 0.0, 1.0
+        while k > 0:
+            denom *= base
+            k, rem = divmod(k, base)
+            x += rem / denom
+        out[i] = x
+    return out
+
+
+def halton_sequence(n: int, dim: int = 2, start: int = 1) -> np.ndarray:
+    """First ``n`` points of the ``dim``-dimensional Halton sequence.
+
+    Returns an ``(n, dim)`` array in the open unit cube.
+    """
+    if dim > len(_FIRST_PRIMES):
+        raise ValueError(f"dim must be <= {len(_FIRST_PRIMES)}")
+    cols = [van_der_corput(n, base=_FIRST_PRIMES[d], start=start) for d in range(dim)]
+    return np.stack(cols, axis=1)

@@ -1,0 +1,51 @@
+"""kd-tree neighbour queries and cloud-quality metrics.
+
+Used by the conditioning diagnostics (separation distance drives the
+collocation matrix conditioning) and by the local RBF-FD extension.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def nearest_neighbors(
+    points: np.ndarray, k: int, queries: np.ndarray = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of the ``k`` nearest nodes to each query.
+
+    Queries default to the points themselves (self-matches included, so
+    the first neighbour of each point is itself at distance 0).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if k < 1 or k > points.shape[0]:
+        raise ValueError(f"k must be in [1, {points.shape[0]}]")
+    tree = cKDTree(points)
+    q = points if queries is None else np.asarray(queries, dtype=np.float64)
+    dists, idx = tree.query(q, k=k)
+    if k == 1:
+        dists, idx = dists[:, None], idx[:, None]
+    return idx, dists
+
+
+def min_spacing(points: np.ndarray) -> float:
+    """Separation distance: the smallest pairwise node distance."""
+    _, dists = nearest_neighbors(points, k=2)
+    return float(np.min(dists[:, 1]))
+
+
+def fill_distance(points: np.ndarray, resolution: int = 50) -> float:
+    """Fill distance over the bounding box (max hole radius), approximated
+    on a ``resolution²`` probe grid."""
+    points = np.asarray(points, dtype=np.float64)
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    gx = np.linspace(lo[0], hi[0], resolution)
+    gy = np.linspace(lo[1], hi[1], resolution)
+    xx, yy = np.meshgrid(gx, gy, indexing="ij")
+    probes = np.stack([xx.ravel(), yy.ravel()], axis=1)
+    tree = cKDTree(points)
+    dists, _ = tree.query(probes, k=1)
+    return float(np.max(dists))

@@ -1,0 +1,224 @@
+"""Direct-adjoint looping (DAL) — optimise-then-discretise.
+
+For each gradient evaluation DAL solves the *direct* PDE, then the
+analytically derived *adjoint* PDE, then evaluates the continuous gradient
+formula — all discretised with the same RBF machinery.
+
+Laplace (§3.1)
+--------------
+With ``J(c) = ∫ |u_y(x,1) − cos πx|² dx`` and Dirichlet control on the top
+wall, Green's identity yields the adjoint problem
+
+.. math::
+
+    \\Delta \\lambda = 0, \\qquad
+    \\lambda(x, 1) = 2\\,(u_y(x,1) - \\cos \\pi x), \\qquad
+    \\lambda = 0 \\text{ on the other walls},
+
+and the gradient ``∇J(x) = ∂λ/∂y(x, 1)``.  Because the adjoint system
+matrix equals the direct one, a single LU factorisation serves both.
+
+Navier–Stokes (§3.2)
+--------------------
+The continuous adjoint of the stationary system is the reversed-advection
+problem
+
+.. math::
+
+    (-\\mathbf u \\cdot \\nabla)\\boldsymbol\\lambda
+    - \\tfrac{1}{Re}\\Delta \\boldsymbol\\lambda
+    = -(\\nabla \\mathbf u)^T \\boldsymbol\\lambda + \\nabla \\sigma,
+    \\qquad \\nabla \\cdot \\boldsymbol\\lambda = 0,
+
+with ``λ = 0`` on every boundary where the direct velocity is prescribed
+and the Robin outflow condition
+
+.. math::
+
+    \\tfrac{1}{Re}\\partial_n \\lambda + (\\mathbf u \\cdot \\mathbf n)
+    \\lambda + \\sigma \\mathbf n + (u - u_t,\\; v) = 0 ,
+
+solved with the same projection scheme as the direct problem.  The
+gradient on the inflow is ``∇J(y) = −(1/Re) ∂λ_x/∂x(0,y) − σ(0,y)``.
+
+The reaction term ``(∇u)ᵀλ`` requires RBF derivatives of the direct
+velocity — this is precisely where the paper reports DAL breaking down at
+``Re = 100`` (boundary derivative noise, the Runge phenomenon), while a
+reduced ``Re = 10`` "led to better solutions with DAL".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.autodiff.linalg import LUSolver
+from repro.pde.laplace import LaplaceControlProblem
+from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
+from repro.utils.validation import check_finite
+
+
+class LaplaceDAL:
+    """DAL oracle for the Laplace control problem."""
+
+    def __init__(self, problem: LaplaceControlProblem) -> None:
+        self.problem = problem
+        # Direct and adjoint share the system matrix (Laplace operator,
+        # all-Dirichlet rows): one factorisation for both.
+        self.solver = LUSolver(problem.system)
+
+    def value(self, c: np.ndarray) -> float:
+        """Direct solve + cost quadrature."""
+        u = self.solver.solve_numpy(self.problem.rhs(np.asarray(c, dtype=np.float64)))
+        return self.problem.cost_from_state(u)
+
+    def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
+        """One direct + one adjoint solve, then the OTD gradient formula."""
+        p = self.problem
+        c = np.asarray(c, dtype=np.float64)
+        u = self.solver.solve_numpy(p.rhs(c))
+        mismatch = p.flux_rows @ u - p.target
+        cost = float(p.quad_w @ (mismatch * mismatch))
+
+        # Adjoint: zero data everywhere except the top wall.
+        b_adj = np.zeros(p.cloud.n)
+        b_adj[p.top] = 2.0 * mismatch
+        lam = self.solver.solve_numpy(b_adj)
+
+        # Continuous gradient ∇J(x) = ∂λ/∂y(x, 1), discretised with the
+        # nodal derivative rows.  (OTD: no knowledge of the discrete
+        # quadrature — its small inconsistency with the discrete J is the
+        # hallmark of optimise-then-discretise.)
+        grad = p.nodal.dy[p.top] @ lam
+        return cost, grad
+
+    def initial_control(self) -> np.ndarray:
+        """Zero control."""
+        return self.problem.zero_control()
+
+    def solve_adjoint(self, c: np.ndarray) -> np.ndarray:
+        """Expose the adjoint field (for tests/figures)."""
+        p = self.problem
+        u = self.solver.solve_numpy(p.rhs(np.asarray(c, dtype=np.float64)))
+        mismatch = p.flux_rows @ u - p.target
+        b_adj = np.zeros(p.cloud.n)
+        b_adj[p.top] = 2.0 * mismatch
+        return self.solver.solve_numpy(b_adj)
+
+
+@dataclass
+class NSAdjointState:
+    """Adjoint velocity/pressure fields with convergence history."""
+
+    lx: np.ndarray
+    ly: np.ndarray
+    sigma: np.ndarray
+    update_history: list
+
+
+class NavierStokesDAL:
+    """DAL oracle for the channel-flow problem."""
+
+    def __init__(
+        self,
+        problem: ChannelFlowProblem,
+        config: Optional[NSConfig] = None,
+        adjoint_refinements: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or NSConfig(refinements=3)
+        self.adjoint_refinements = (
+            adjoint_refinements
+            if adjoint_refinements is not None
+            else max(3 * self.config.refinements, 15)
+        )
+
+    # ------------------------------------------------------------------
+    def value(self, c: np.ndarray) -> float:
+        """Direct solve + outflow cost."""
+        st = self.problem.solve(np.asarray(c, dtype=np.float64), self.config)
+        return self.problem.cost(st.u, st.v)
+
+    def solve_adjoint(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> NSAdjointState:
+        """Solve the adjoint system for a frozen direct flow ``(u, v)``."""
+        pr = self.problem
+        nd, mask, cfg = pr.nodal, pr.mask_int, self.config
+        Re, dt = cfg.reynolds, cfg.pseudo_dt
+        n = pr.cloud.n
+
+        # RBF derivatives of the direct velocity — the noisy ingredient.
+        ux, uy = nd.dx @ u, nd.dy @ u
+        vx, vy = nd.dx @ v, nd.dy @ v
+
+        # Adjoint momentum matrix: reversed advection; Dirichlet rows on
+        # the velocity-prescribed boundaries; Robin rows at the outflow.
+        op = (-u)[:, None] * nd.dx + (-v)[:, None] * nd.dy - (1.0 / Re) * nd.lap
+        A = mask[:, None] * op
+        for g in ("inflow", "wall_bottom", "wall_top", "blowing", "suction"):
+            idx = pr.cloud.groups[g]
+            A[idx] = 0.0
+            A[idx, idx] = 1.0
+        out = pr.outflow
+        beta = Re * u[out]  # Re (u·n) with n = (1, 0)
+        A[out] = nd.normal[out]
+        A[out, out] += beta
+        lu = sla.lu_factor(A, check_finite=False)
+
+        lx = np.zeros(n)
+        ly = np.zeros(n)
+        sigma = np.zeros(n)
+        mismatch_u = u[out] - pr.u_target
+        mismatch_v = v[out]
+        hist = []
+
+        for _ in range(self.adjoint_refinements):
+            sx, sy = nd.dx @ sigma, nd.dy @ sigma
+            bx = mask * (-(lx * ux + ly * vx) + sx)
+            by = mask * (-(lx * uy + ly * vy) + sy)
+            # Outflow Robin data (σ lagged):  n = (1, 0).
+            bx_full = bx.copy()
+            by_full = by.copy()
+            bx_full[out] = -Re * (sigma[out] + mismatch_u)
+            by_full[out] = -Re * mismatch_v
+            lx_star = sla.lu_solve(lu, bx_full, check_finite=False)
+            ly_star = sla.lu_solve(lu, by_full, check_finite=False)
+
+            div = nd.dx @ lx_star + nd.dy @ ly_star
+            phi = pr.pressure_solver.solve_numpy(mask * div / dt)
+            lx_new = lx_star - dt * pr.free_uv * (nd.dx @ phi)
+            ly_new = ly_star - dt * pr.free_uv * (nd.dy @ phi)
+            sigma = sigma - phi  # +∇σ convention: opposite sign to p
+
+            hist.append(
+                float(
+                    max(np.max(np.abs(lx_new - lx)), np.max(np.abs(ly_new - ly)))
+                )
+            )
+            lx, ly = lx_new, ly_new
+            if not (np.all(np.isfinite(lx)) and np.all(np.isfinite(ly))):
+                break  # adjoint blow-up: report as-is (the failure mode)
+
+        return NSAdjointState(lx=lx, ly=ly, sigma=sigma, update_history=hist)
+
+    def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Direct solve, adjoint solve, continuous gradient formula."""
+        pr = self.problem
+        c = np.asarray(c, dtype=np.float64)
+        st = pr.solve(c, self.config)
+        cost = pr.cost(st.u, st.v)
+        adj = self.solve_adjoint(st.u, st.v)
+        nd = pr.nodal
+        inflow = pr.inflow
+        # ∇J(y) = −(1/Re) ∂λx/∂x (0, y) − σ(0, y)
+        dlx_dx = nd.dx @ adj.lx
+        grad = -(1.0 / self.config.reynolds) * dlx_dx[inflow] - adj.sigma[inflow]
+        return cost, grad
+
+    def initial_control(self) -> np.ndarray:
+        """Parabolic inflow."""
+        return self.problem.default_control()

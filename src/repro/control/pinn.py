@@ -1,0 +1,509 @@
+"""Physics-informed neural networks for optimal control (§2.3, §3).
+
+Following Mowlavi & Nabi (2023), which the paper reproduces, a *pair* of
+networks is trained: a state network ``u_θ`` (the PDE solution surrogate)
+and a control network ``c_θ``.  The loss is the multi-objective
+
+.. math::
+
+    \\mathcal L = \\mathcal L_{\\mathcal F}
+                + \\mathcal L_{\\mathcal B}(u_\\theta, c_\\theta)
+                + \\omega \\, \\mathcal J(u_\\theta),
+
+where the PDE residual and boundary penalties are evaluated at scattered
+collocation points (mesh-free, like the RBF methods) and the cost
+objective ``J`` is weighted by a coefficient ω found by the **two-step
+line search**:
+
+1. for each ω in a log-spaced range, train a fresh ``(u_θ, c_θ)`` pair by
+   *alternating* Adam updates on the full loss;
+2. since fitting the PDE is imperative, retrain a fresh state network
+   ``u'_θ`` for each ω with the step-1 control frozen and *no* ``ωJ``
+   term; the pair whose retrained state yields the lowest ``J`` wins.
+
+Spatial derivatives inside the residuals come from
+:func:`repro.nn.derivatives.mlp_with_derivatives` (analytic propagation),
+so one reverse pass per step yields exact weight gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.cloud.halton import halton_sequence
+from repro.nn.derivatives import mlp_with_derivatives
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import Adam
+from repro.nn.pytree import value_and_grad_tree
+from repro.nn.schedules import paper_schedule
+from repro.pde.laplace import (
+    LaplaceControlProblem,
+    laplace_bottom_data,
+    laplace_side_data,
+    laplace_target_flux,
+)
+from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig, poiseuille_profile
+from repro.utils.quadrature import trapezoid_weights
+
+
+@dataclass
+class PINNTrainConfig:
+    """Training hyperparameters (Table 1/2 rows, scaled).
+
+    ``epochs`` follows the paper's piecewise-constant LR schedule; the
+    alternating flag switches between joint and alternating updates of the
+    two networks.
+    """
+
+    epochs: int = 2000
+    lr: float = 1e-3
+    seed: int = 0
+    n_interior: int = 400
+    n_boundary: int = 40
+    alternating: bool = True
+    log_every: int = 0
+
+
+@dataclass
+class PINNRunResult:
+    """Trained pair for one ω plus per-epoch histories."""
+
+    omega: float
+    params_u: Any
+    params_c: Any
+    loss_history: List[float] = field(default_factory=list)
+    cost_history: List[float] = field(default_factory=list)
+    residual_history: List[float] = field(default_factory=list)
+
+
+@dataclass
+class LineSearchResult:
+    """Outcome of the two-step ω line search."""
+
+    best_omega: float
+    best_cost: float
+    step1: List[PINNRunResult]
+    step2_costs: List[float]
+    params_u_retrained: Any
+    params_c: Any
+
+
+def _train(
+    loss_fn,
+    params: Dict[str, Any],
+    config: PINNTrainConfig,
+    alternating_keys: Optional[Sequence[str]] = None,
+    trackers=(),
+) -> Tuple[Dict[str, Any], List[float], Dict[str, List[float]]]:
+    """Generic Adam training loop over a dict-of-pytrees parameter set.
+
+    When ``alternating_keys`` is given, epoch ``t`` only applies the
+    update to key ``alternating_keys[t % len]`` (the Mowlavi & Nabi
+    alternating scheme); gradients for the frozen parts are discarded.
+    """
+    vg = value_and_grad_tree(loss_fn)
+    opt = Adam(lr=config.lr)
+    state = opt.init(params)
+    schedule = paper_schedule(config.lr)
+    history: List[float] = []
+    tracked: Dict[str, List[float]] = {name: [] for name, _ in trackers}
+    for epoch in range(config.epochs):
+        val, grads = vg(params)
+        history.append(val)
+        for name, fn in trackers:
+            tracked[name].append(fn(params))
+        lr = schedule(epoch, config.epochs)
+        if alternating_keys:
+            active = alternating_keys[epoch % len(alternating_keys)]
+            for k in params:
+                if k != active:
+                    grads[k] = _zeros_like_tree(grads[k])
+        params, state = opt.step(params, grads, state, lr=lr)
+    return params, history, tracked
+
+
+def _zeros_like_tree(tree):
+    from repro.nn.pytree import tree_map
+
+    return tree_map(lambda x: np.zeros_like(np.asarray(x)), tree)
+
+
+# ======================================================================
+# Laplace
+# ======================================================================
+class LaplacePINN:
+    """PINN for the Laplace control problem.
+
+    The paper's architecture: a 3×30 tanh MLP for the state and a small
+    MLP for the 1-D control; training points are a scattered (Halton)
+    interior cloud plus equispaced boundary points, while evaluation runs
+    on the RBF problem's regular grid ("this regularised the PINN and
+    improved generalisation").
+    """
+
+    def __init__(
+        self,
+        problem: LaplaceControlProblem,
+        state_hidden: Sequence[int] = (30, 30, 30),
+        control_hidden: Sequence[int] = (20, 20),
+        config: Optional[PINNTrainConfig] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or PINNTrainConfig()
+        self.net_u = MLP(2, state_hidden, 1)
+        self.net_c = MLP(1, control_hidden, 1)
+        cfg = self.config
+
+        # Collocation sets.
+        self.x_int = halton_sequence(cfg.n_interior, 2)
+        nb = cfg.n_boundary
+        t = np.linspace(0.0, 1.0, nb)
+        self.x_bottom = np.stack([t, np.zeros(nb)], axis=1)
+        self.x_left = np.stack([np.zeros(nb), t], axis=1)
+        self.x_right = np.stack([np.ones(nb), t], axis=1)
+        tt = np.linspace(0.0, 1.0, nb)
+        self.x_top = np.stack([tt, np.ones(nb)], axis=1)
+        self.top_quad = trapezoid_weights(tt)
+        self.bottom_data = laplace_bottom_data(t)
+        self.side_data = laplace_side_data(t)
+        self.top_target = laplace_target_flux(tt)
+
+    # ------------------------------------------------------------------
+    def init_params(self, seed: Optional[int] = None) -> Dict[str, Any]:
+        """Fresh parameter pair ``{"u": ..., "c": ...}``."""
+        seed = self.config.seed if seed is None else seed
+        return {
+            "u": self.net_u.init_params(seed),
+            "c": self.net_c.init_params(seed + 1),
+        }
+
+    def residual_loss(self, pu) -> Any:
+        """Mean-square Laplace residual at interior collocation points."""
+        _, _, d2 = mlp_with_derivatives(self.net_u, pu, self.x_int)
+        lap = d2[0] + d2[1]
+        return ops.mean(ops.square(lap))
+
+    def boundary_loss(self, pu, pc) -> Any:
+        """Dirichlet penalties on all four walls (top links to ``c_θ``)."""
+        u_b = self.net_u.apply(pu, self.x_bottom)[:, 0]
+        u_l = self.net_u.apply(pu, self.x_left)[:, 0]
+        u_r = self.net_u.apply(pu, self.x_right)[:, 0]
+        u_t = self.net_u.apply(pu, self.x_top)[:, 0]
+        c_t = self.net_c.apply(pc, self.x_top[:, 0:1])[:, 0]
+        return (
+            ops.mean(ops.square(u_b - self.bottom_data))
+            + ops.mean(ops.square(u_l - self.side_data))
+            + ops.mean(ops.square(u_r - self.side_data))
+            + ops.mean(ops.square(u_t - c_t))
+        )
+
+    def cost_objective(self, pu) -> Any:
+        """``J = ∫ |∂u_θ/∂y(x,1) − cos πx|² dx`` by trapezoid quadrature."""
+        _, du, _ = mlp_with_derivatives(self.net_u, pu, self.x_top, need_second=False)
+        flux = du[1][:, 0]
+        return ops.sum_(self.top_quad * ops.square(flux - self.top_target))
+
+    def loss(self, params: Dict[str, Any], omega: float) -> Any:
+        """Full multi-objective loss ``L_F + L_B + ω J``."""
+        return (
+            self.residual_loss(params["u"])
+            + self.boundary_loss(params["u"], params["c"])
+            + omega * self.cost_objective(params["u"])
+        )
+
+    # ------------------------------------------------------------------
+    def train_pair(
+        self, omega: float, config: Optional[PINNTrainConfig] = None, seed=None
+    ) -> PINNRunResult:
+        """Line-search step 1: alternating training of ``(u_θ, c_θ)``."""
+        cfg = config or self.config
+        params = self.init_params(seed)
+        trackers = (
+            ("cost", lambda p: float(self.cost_objective(p["u"]).data)),
+            ("residual", lambda p: float(self.residual_loss(p["u"]).data)),
+        )
+        params, hist, tracked = _train(
+            lambda p: self.loss(p, omega),
+            params,
+            cfg,
+            alternating_keys=("u", "c") if cfg.alternating else None,
+            trackers=trackers,
+        )
+        return PINNRunResult(
+            omega=omega,
+            params_u=params["u"],
+            params_c=params["c"],
+            loss_history=hist,
+            cost_history=tracked["cost"],
+            residual_history=tracked["residual"],
+        )
+
+    def retrain_state(
+        self, params_c, config: Optional[PINNTrainConfig] = None, seed=None
+    ):
+        """Line-search step 2: fresh state net, frozen control, no ωJ."""
+        cfg = config or self.config
+        params = {"u": self.net_u.init_params((seed or cfg.seed) + 7)}
+
+        def forward_loss(p):
+            return self.residual_loss(p["u"]) + self.boundary_loss(
+                p["u"], params_c
+            )
+
+        params, hist, _ = _train(forward_loss, params, cfg)
+        return params["u"], hist
+
+    # ------------------------------------------------------------------
+    # Evaluation on the RBF problem's grid (cross-method comparison)
+    # ------------------------------------------------------------------
+    def control_values(self, params_c) -> np.ndarray:
+        """``c_θ`` sampled at the RBF problem's control abscissae."""
+        x = self.problem.control_x[:, None]
+        return self.net_c.apply(params_c, x).data[:, 0]
+
+    def evaluate_cost(self, params_u) -> float:
+        """J of the state surrogate on the test grid (paper's metric)."""
+        p = self.problem
+        pts = np.stack([p.control_x, np.ones_like(p.control_x)], axis=1)
+        _, du, _ = mlp_with_derivatives(self.net_u, params_u, pts, need_second=False)
+        flux = du[1].data[:, 0]
+        mism = flux - p.target
+        return float(p.quad_w @ (mism * mism))
+
+    def state_values(self, params_u, points: np.ndarray) -> np.ndarray:
+        """Surrogate state at arbitrary points."""
+        return self.net_u.apply(params_u, points).data[:, 0]
+
+
+# ======================================================================
+# Navier–Stokes
+# ======================================================================
+class NavierStokesPINN:
+    """PINN for the channel-flow control problem.
+
+    State net ``(x, y) → (u, v, p)`` (paper: 5×50 tanh), control net
+    ``y → c`` for the inflow velocity.  The loss enforces the momentum and
+    continuity residuals, "all Dirichlet and homogeneous Neumann boundary
+    penalty terms for the velocity", and the pressure Dirichlet condition
+    at the outlet only.
+    """
+
+    def __init__(
+        self,
+        problem: ChannelFlowProblem,
+        ns_config: Optional[NSConfig] = None,
+        state_hidden: Sequence[int] = (50, 50, 50, 50, 50),
+        control_hidden: Sequence[int] = (20, 20),
+        config: Optional[PINNTrainConfig] = None,
+    ) -> None:
+        self.problem = problem
+        self.ns_config = ns_config or NSConfig()
+        self.config = config or PINNTrainConfig()
+        self.net_u = MLP(2, state_hidden, 3)  # (u, v, p)
+        self.net_c = MLP(1, control_hidden, 1)
+        cfg = self.config
+        geo = problem.geometry
+
+        # Interior collocation: Halton scaled to the channel.
+        h = halton_sequence(cfg.n_interior, 2)
+        self.x_int = h * np.array([geo.lx, geo.ly])
+
+        nb = cfg.n_boundary
+        yb = np.linspace(0.0, geo.ly, nb)
+        xb = np.linspace(0.0, geo.lx, nb)
+        self.x_in = np.stack([np.zeros(nb), yb], axis=1)
+        self.x_out = np.stack([np.full(nb, geo.lx), yb], axis=1)
+        self.x_bot = np.stack([xb, np.zeros(nb)], axis=1)
+        self.x_top = np.stack([xb, np.full(nb, geo.ly)], axis=1)
+        self.out_quad = trapezoid_weights(yb)
+        self.out_target = poiseuille_profile(yb, geo.ly)
+
+        # Blowing / suction data along the walls (zero off-segment).
+        from repro.pde.navier_stokes import _segment_bump
+
+        self.v_bot_data = np.where(
+            (xb >= geo.seg_lo) & (xb <= geo.seg_hi),
+            _segment_bump(xb, geo.seg_lo, geo.seg_hi, problem.perturbation),
+            0.0,
+        )
+        self.v_top_data = self.v_bot_data.copy()
+
+    # ------------------------------------------------------------------
+    def init_params(self, seed: Optional[int] = None) -> Dict[str, Any]:
+        """Fresh ``{"u": state_params, "c": control_params}``."""
+        seed = self.config.seed if seed is None else seed
+        return {
+            "u": self.net_u.init_params(seed),
+            "c": self.net_c.init_params(seed + 1),
+        }
+
+    def residual_loss(self, pu) -> Any:
+        """Momentum + continuity mean-square residuals (interior)."""
+        Re = self.ns_config.reynolds
+        w, dw, d2w = mlp_with_derivatives(self.net_u, pu, self.x_int)
+        u, v = w[:, 0], w[:, 1]
+        ux, vx, px = dw[0][:, 0], dw[0][:, 1], dw[0][:, 2]
+        uy, vy, py = dw[1][:, 0], dw[1][:, 1], dw[1][:, 2]
+        lap_u = d2w[0][:, 0] + d2w[1][:, 0]
+        lap_v = d2w[0][:, 1] + d2w[1][:, 1]
+        mom_x = u * ux + v * uy + px - (1.0 / Re) * lap_u
+        mom_y = u * vx + v * vy + py - (1.0 / Re) * lap_v
+        cont = ux + vy
+        return (
+            ops.mean(ops.square(mom_x))
+            + ops.mean(ops.square(mom_y))
+            + ops.mean(ops.square(cont))
+        )
+
+    def boundary_loss(self, pu, pc) -> Any:
+        """Velocity Dirichlet/Neumann penalties + outlet pressure."""
+        w_in = self.net_u.apply(pu, self.x_in)
+        c_in = self.net_c.apply(pc, self.x_in[:, 1:2])[:, 0]
+        w_bot = self.net_u.apply(pu, self.x_bot)
+        w_top = self.net_u.apply(pu, self.x_top)
+        w_out, dw_out, _ = mlp_with_derivatives(
+            self.net_u, pu, self.x_out, need_second=False
+        )
+        loss = (
+            ops.mean(ops.square(w_in[:, 0] - c_in))
+            + ops.mean(ops.square(w_in[:, 1]))
+            + ops.mean(ops.square(w_bot[:, 0]))
+            + ops.mean(ops.square(w_bot[:, 1] - self.v_bot_data))
+            + ops.mean(ops.square(w_top[:, 0]))
+            + ops.mean(ops.square(w_top[:, 1] - self.v_top_data))
+            # Outflow: homogeneous Neumann on u, v; Dirichlet p = 0.
+            + ops.mean(ops.square(dw_out[0][:, 0]))
+            + ops.mean(ops.square(dw_out[0][:, 1]))
+            + ops.mean(ops.square(w_out[:, 2]))
+        )
+        return loss
+
+    def cost_objective(self, pu) -> Any:
+        """Outflow-tracking cost of the surrogate."""
+        w = self.net_u.apply(pu, self.x_out)
+        du = w[:, 0] - self.out_target
+        dv = w[:, 1]
+        return 0.5 * ops.sum_(self.out_quad * (ops.square(du) + ops.square(dv)))
+
+    def loss(self, params: Dict[str, Any], omega: float) -> Any:
+        """Full multi-objective loss."""
+        return (
+            self.residual_loss(params["u"])
+            + self.boundary_loss(params["u"], params["c"])
+            + omega * self.cost_objective(params["u"])
+        )
+
+    # ------------------------------------------------------------------
+    def train_pair(
+        self, omega: float, config: Optional[PINNTrainConfig] = None, seed=None
+    ) -> PINNRunResult:
+        """Line-search step 1 for the channel problem."""
+        cfg = config or self.config
+        params = self.init_params(seed)
+        trackers = (
+            ("cost", lambda p: float(self.cost_objective(p["u"]).data)),
+            ("residual", lambda p: float(self.residual_loss(p["u"]).data)),
+        )
+        params, hist, tracked = _train(
+            lambda p: self.loss(p, omega),
+            params,
+            cfg,
+            alternating_keys=("u", "c") if cfg.alternating else None,
+            trackers=trackers,
+        )
+        return PINNRunResult(
+            omega=omega,
+            params_u=params["u"],
+            params_c=params["c"],
+            loss_history=hist,
+            cost_history=tracked["cost"],
+            residual_history=tracked["residual"],
+        )
+
+    def retrain_state(
+        self, params_c, config: Optional[PINNTrainConfig] = None, seed=None
+    ):
+        """Line-search step 2 for the channel problem."""
+        cfg = config or self.config
+        params = {"u": self.net_u.init_params((seed or cfg.seed) + 7)}
+
+        def forward_loss(p):
+            return self.residual_loss(p["u"]) + self.boundary_loss(p["u"], params_c)
+
+        params, hist, _ = _train(forward_loss, params, cfg)
+        return params["u"], hist
+
+    # ------------------------------------------------------------------
+    def control_values(self, params_c) -> np.ndarray:
+        """``c_θ`` sampled at the RBF problem's inflow nodes."""
+        y = self.problem.inflow_y[:, None]
+        return self.net_c.apply(params_c, y).data[:, 0]
+
+    def evaluate_cost(self, params_u) -> float:
+        """Surrogate cost on the RBF problem's outflow nodes."""
+        p = self.problem
+        pts = np.stack(
+            [np.full_like(p.outflow_y, p.geometry.lx), p.outflow_y], axis=1
+        )
+        w = self.net_u.apply(params_u, pts).data
+        du = w[:, 0] - p.u_target
+        dv = w[:, 1]
+        return float(0.5 * (p.quad_w @ (du * du + dv * dv)))
+
+    def evaluate_cost_physical(self, params_c, ns_config: Optional[NSConfig] = None) -> float:
+        """Cost of the PINN *control* under the reference RBF solver.
+
+        Fig. 1's message — "PINN achieves good control at the expense of
+        first principles" — is visible by re-simulating the PINN control
+        with the physical solver and comparing to the surrogate's claim.
+        """
+        cfg = ns_config or self.ns_config
+        c = self.control_values(params_c)
+        st = self.problem.solve(c, cfg)
+        return self.problem.cost(st.u, st.v)
+
+
+# ======================================================================
+# Two-step line search (shared)
+# ======================================================================
+def omega_line_search(
+    pinn,
+    omegas: Sequence[float],
+    config_step1: Optional[PINNTrainConfig] = None,
+    config_step2: Optional[PINNTrainConfig] = None,
+) -> LineSearchResult:
+    """Run the Mowlavi & Nabi two-step strategy over an ω range.
+
+    The paper tried 11 values (1e-3 … 1e+7) for Laplace, settling on
+    ω* = 1e-1, and 9 values (1e-3 … 1e+5) for Navier–Stokes, settling on
+    ω* = 1.
+    """
+    if not omegas:
+        raise ValueError("need at least one omega")
+    cfg1 = config_step1 or pinn.config
+    cfg2 = config_step2 or cfg1
+    step1: List[PINNRunResult] = []
+    step2_costs: List[float] = []
+    best = None
+
+    for omega in omegas:
+        run = pinn.train_pair(omega, cfg1)
+        step1.append(run)
+        pu_re, _ = pinn.retrain_state(run.params_c, cfg2)
+        cost = pinn.evaluate_cost(pu_re)
+        step2_costs.append(cost)
+        if best is None or cost < best[1]:
+            best = (omega, cost, pu_re, run.params_c)
+
+    return LineSearchResult(
+        best_omega=best[0],
+        best_cost=best[1],
+        step1=step1,
+        step2_costs=step2_costs,
+        params_u_retrained=best[2],
+        params_c=best[3],
+    )

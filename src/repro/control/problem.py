@@ -1,0 +1,49 @@
+"""The common oracle interface all control methods implement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class CostOracle(Protocol):
+    """A differentiable cost functional ``J(c)`` over a discrete control."""
+
+    def value(self, c: np.ndarray) -> float:
+        """Evaluate ``J(c)``."""
+        ...
+
+    def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Evaluate ``J(c)`` and ``∇J(c)``."""
+        ...
+
+    def initial_control(self) -> np.ndarray:
+        """The method-appropriate starting control."""
+        ...
+
+
+@dataclass
+class ControlResult:
+    """Outcome of one optimisation run (one row of the paper's Table 3)."""
+
+    method: str
+    problem: str
+    control: np.ndarray
+    final_cost: float
+    iterations: int
+    wall_time_s: float = 0.0
+    peak_mem_bytes: int = 0
+    cost_history: List[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        mem = self.peak_mem_bytes / 2**20
+        return (
+            f"{self.problem:>13s} | {self.method:>4s} | "
+            f"J={self.final_cost:.3e} | iters={self.iterations} | "
+            f"t={self.wall_time_s:.2f}s | peak={mem:.1f}MiB"
+        )

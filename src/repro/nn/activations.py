@@ -1,0 +1,79 @@
+"""Activation functions with first and second derivatives.
+
+Each activation is a triple of callables ``(f, f', f'')`` built from
+autodiff primitives.  The derivative members are needed by
+:mod:`repro.nn.derivatives` to propagate input-derivatives through the
+network analytically; because they are expressed with primitive ops they
+remain differentiable w.r.t. the network weights.
+
+The paper uses ``tanh`` throughout ("infinitely differentiable tanh
+activation"); the registry also carries ``sin`` and ``sigmoid`` for
+experimentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import ArrayLike, Tensor
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An activation with its first two derivatives.
+
+    Attributes
+    ----------
+    f, df, d2f:
+        Callables mapping a tensor to σ(z), σ'(z), σ''(z) respectively.
+    name:
+        Registry key.
+    """
+
+    name: str
+    f: Callable[[ArrayLike], Tensor]
+    df: Callable[[ArrayLike], Tensor]
+    d2f: Callable[[ArrayLike], Tensor]
+
+
+def _tanh_df(z: ArrayLike) -> Tensor:
+    t = ops.tanh(z)
+    return 1.0 - ops.square(t)
+
+
+def _tanh_d2f(z: ArrayLike) -> Tensor:
+    t = ops.tanh(z)
+    return -2.0 * t * (1.0 - ops.square(t))
+
+
+def _sigmoid_df(z: ArrayLike) -> Tensor:
+    s = ops.sigmoid(z)
+    return s * (1.0 - s)
+
+
+def _sigmoid_d2f(z: ArrayLike) -> Tensor:
+    s = ops.sigmoid(z)
+    return s * (1.0 - s) * (1.0 - 2.0 * s)
+
+
+def _sin_d2f(z: ArrayLike) -> Tensor:
+    return -ops.sin(z)
+
+
+ACTIVATIONS: Dict[str, Activation] = {
+    "tanh": Activation("tanh", ops.tanh, _tanh_df, _tanh_d2f),
+    "sigmoid": Activation("sigmoid", ops.sigmoid, _sigmoid_df, _sigmoid_d2f),
+    "sin": Activation("sin", ops.sin, ops.cos, _sin_d2f),
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation triple by name."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {sorted(ACTIVATIONS)}"
+        ) from exc

@@ -1,0 +1,106 @@
+"""Analytic propagation of input-derivatives through an MLP.
+
+PINN losses contain spatial derivatives of the network output —
+``∂u/∂x``, ``∂²u/∂x²`` (Laplacian), advection terms, divergence.  With JAX
+one nests ``grad`` calls; our tape engine instead propagates the triple
+
+.. math::
+
+    (a, \\; \\partial a/\\partial x_i, \\; \\partial^2 a/\\partial x_i^2)
+    \\quad i = 1..d
+
+layer by layer:
+
+- affine layer ``z = a W + b``:  ``z_i' = a_i' W``,  ``z_i'' = a_i'' W``;
+- elementwise activation ``a = σ(z)``:
+  ``a_i' = σ'(z) z_i'``,
+  ``a_i'' = σ''(z) (z_i')² + σ'(z) z_i''``.
+
+Because every step is written with autodiff primitives, the result is
+itself on the tape: one reverse pass yields exact weight-gradients of any
+residual built from ``u``, ``∇u``, ``Δu`` — precisely what PINN training
+needs, without nested autodiff.  (Pure second derivatives per coordinate
+suffice for every operator in the paper: Laplacian, gradient, divergence,
+advection.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import ArrayLike, Tensor, tensor
+from repro.nn.mlp import MLP
+
+import numpy as np
+
+
+def mlp_forward(model: MLP, params: Any, x: ArrayLike) -> Tensor:
+    """Plain forward pass (alias of :meth:`MLP.apply` for symmetry)."""
+    return model.apply(params, x)
+
+
+def mlp_with_derivatives(
+    model: MLP,
+    params: Any,
+    x: ArrayLike,
+    need_second: bool = True,
+) -> Tuple[Tensor, List[Tensor], List[Tensor]]:
+    """Evaluate the network and its first/second input-derivatives.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.nn.mlp.MLP` architecture.
+    params:
+        Parameter pytree (arrays or tape tensors).
+    x:
+        ``(batch, in_dim)`` evaluation points.
+    need_second:
+        When False, skips the second-derivative propagation (≈30 % cheaper;
+        used by first-order residual terms such as the continuity equation).
+
+    Returns
+    -------
+    (u, du, d2u)
+        ``u`` has shape ``(batch, out_dim)``; ``du[i]`` and ``d2u[i]`` are
+        ``∂u/∂x_i`` and ``∂²u/∂x_i²`` with the same shape.  ``d2u`` is an
+        empty list when ``need_second`` is False.
+    """
+    xt = tensor(x)
+    if xt.ndim != 2 or xt.shape[1] != model.in_dim:
+        raise ValueError(
+            f"x must have shape (batch, {model.in_dim}), got {xt.shape}"
+        )
+    batch, d = xt.shape
+
+    act = model.activation
+    a = xt
+    # Seed: da/dx_i = e_i (constant), d2a/dx_i^2 = 0.
+    da: List[Tensor] = []
+    d2a: List[Tensor] = []
+    for i in range(d):
+        seed = np.zeros((batch, d))
+        seed[:, i] = 1.0
+        da.append(tensor(seed))
+        if need_second:
+            d2a.append(tensor(np.zeros((batch, d))))
+
+    last = model.n_layers - 1
+    for li, layer in enumerate(params):
+        W, b = layer["W"], layer["b"]
+        z = ops.matmul(a, W) + b
+        dz = [ops.matmul(g, W) for g in da]
+        d2z = [ops.matmul(h, W) for h in d2a] if need_second else []
+        if li < last:
+            s1 = act.df(z)
+            a = act.f(z)
+            if need_second:
+                s2 = act.d2f(z)
+                d2a = [
+                    s2 * ops.square(dz[i]) + s1 * d2z[i] for i in range(d)
+                ]
+            da = [s1 * dz[i] for i in range(d)]
+        else:
+            a, da, d2a = z, dz, d2z
+    return a, da, d2a

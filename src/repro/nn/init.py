@@ -1,0 +1,45 @@
+"""Weight initialisation schemes.
+
+Glorot (Xavier) initialisation keeps pre-activation variance roughly
+constant across tanh layers, which matters for PINNs whose losses contain
+second derivatives of the network output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_normal(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot normal: ``N(0, 2 / (fan_in + fan_out))``."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.standard_normal((fan_in, fan_out)) * std
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot uniform: ``U(-a, a)`` with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal: ``N(0, 2 / fan_in)`` (for ReLU-family activations)."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.standard_normal((fan_in, fan_out)) * std
+
+
+def zeros_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    del rng, fan_in
+    return np.zeros(fan_out)
+
+
+INITIALIZERS = {
+    "glorot_normal": glorot_normal,
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+}

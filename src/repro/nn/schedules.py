@@ -1,0 +1,60 @@
+"""Learning-rate schedules.
+
+The paper (§3): "the initial learning rate was divided by 10 after half
+the iterations or epochs, and again by 10 at 75 % completion" — a
+piecewise-constant schedule applied identically to DAL, PINN and DP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ConstantSchedule:
+    """A constant learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def __call__(self, step: int, total: int) -> float:
+        """Return the learning rate for ``step`` of ``total``."""
+        del step, total
+        return self.lr
+
+
+class PiecewiseConstantSchedule:
+    """Multiply the base rate by factors at fractional milestones.
+
+    Parameters
+    ----------
+    base_lr:
+        Initial learning rate.
+    milestones:
+        Mapping from completion fraction to *cumulative* multiplier, e.g.
+        ``{0.5: 0.1, 0.75: 0.01}`` reproduces the paper's schedule.
+    """
+
+    def __init__(self, base_lr: float, milestones: Dict[float, float]) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        for frac in milestones:
+            if not 0.0 < frac < 1.0:
+                raise ValueError("milestone fractions must be in (0, 1)")
+        self.base_lr = float(base_lr)
+        self.milestones = dict(sorted(milestones.items()))
+
+    def __call__(self, step: int, total: int) -> float:
+        """Learning rate at ``step`` (0-based) of a ``total``-step run."""
+        if total <= 0:
+            raise ValueError("total must be positive")
+        frac = step / total
+        factor = 1.0
+        for milestone, mult in self.milestones.items():
+            if frac >= milestone:
+                factor = mult
+        return self.base_lr * factor
+
+
+def paper_schedule(base_lr: float) -> PiecewiseConstantSchedule:
+    """The schedule used throughout the paper: ÷10 at 50 %, ÷100 at 75 %."""
+    return PiecewiseConstantSchedule(base_lr, {0.5: 0.1, 0.75: 0.01})

@@ -1,0 +1,34 @@
+"""Steady advection–diffusion operator builder.
+
+``(b · ∇)u − κ Δu + σ u = q`` — the linear prototype of the Navier–Stokes
+momentum operator (frozen advection), used to stress-test the solver at
+high Péclet number and in the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.rbf.assembly import LinearOperator2D
+
+Coefficient = Union[float, np.ndarray]
+
+
+def advection_diffusion_operator(
+    bx: Coefficient,
+    by: Coefficient,
+    kappa: Coefficient = 1.0,
+    sigma: Coefficient = 0.0,
+) -> LinearOperator2D:
+    """Build ``(b·∇) − κΔ + σI`` as a :class:`LinearOperator2D`.
+
+    Coefficients may be scalars or per-evaluation-point arrays (the frozen
+    velocity field in a Picard iteration).
+    """
+
+    def negate(c: Coefficient) -> Coefficient:
+        return -np.asarray(c, dtype=np.float64) if not np.isscalar(c) else -float(c)
+
+    return LinearOperator2D(lap=negate(kappa), dx=bx, dy=by, identity=sigma)

@@ -1,0 +1,135 @@
+"""Nodal-space assembly helpers shared by the NumPy and autodiff paths.
+
+A field's discrete system is assembled from three ingredients:
+
+- the *interior operator matrix* (rows of ``a·Δ + b·∂x + c·∂y + d·I`` from
+  the nodal differentiation matrices), masked to interior rows;
+- *boundary rows* — unit rows for Dirichlet nodes, outward-normal
+  derivative rows for Neumann nodes, ``normal + β·I`` for Robin nodes;
+- a right-hand side with the source on interior rows and boundary data on
+  boundary rows.
+
+Unlike :class:`repro.rbf.solver.RBFSolver`, these helpers do **not**
+require the cloud's ordering kinds to match the imposed conditions: the
+Navier–Stokes problem applies *different* BC kinds per field (u, v, p) on
+the same cloud, so rows are taken per group index directly.
+
+Everything here is written so Tensors flow through unchanged: masks,
+boundary rows and selection matrices are constant arrays; multiplying or
+adding them to tape tensors records the proper VJPs.  The *same* assembly
+code therefore serves the DAL (NumPy) and DP (autodiff) solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.base import BoundaryKind, Cloud
+from repro.rbf.operators import NodalOperators
+
+
+@dataclass(frozen=True)
+class FieldBCs:
+    """Per-group boundary-kind assignment for one scalar field.
+
+    ``kinds`` maps group name → ``"dirichlet" | "neumann" | "robin"``;
+    every non-internal group of the cloud must appear.  ``robin_beta``
+    holds β per Robin group (scalar or per-node array in group order).
+    """
+
+    kinds: Mapping[str, str]
+    robin_beta: Mapping[str, Union[float, np.ndarray]] = field(default_factory=dict)
+
+    def validate(self, cloud: Cloud) -> None:
+        """Check every boundary group is covered with a known kind."""
+        for g, k in cloud.kinds.items():
+            if k is BoundaryKind.INTERNAL:
+                continue
+            got = self.kinds.get(g)
+            if got not in ("dirichlet", "neumann", "robin"):
+                raise ValueError(
+                    f"group {g!r} needs a BC kind in "
+                    f"('dirichlet','neumann','robin'), got {got!r}"
+                )
+
+
+def interior_mask(cloud: Cloud) -> np.ndarray:
+    """0/1 float vector selecting interior nodes."""
+    m = np.zeros(cloud.n)
+    m[cloud.internal] = 1.0
+    return m
+
+
+def selection_matrix(n: int, idx: np.ndarray) -> np.ndarray:
+    """``(n, len(idx))`` matrix scattering per-group values into a field.
+
+    ``S @ values`` places ``values[k]`` at node ``idx[k]`` — a constant
+    linear map, hence differentiable scatter for tape tensors.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    S = np.zeros((n, idx.size))
+    S[idx, np.arange(idx.size)] = 1.0
+    return S
+
+
+def boundary_rows(cloud: Cloud, nodal: NodalOperators, bcs: FieldBCs) -> np.ndarray:
+    """``(N, N)`` matrix holding only the boundary-condition rows."""
+    bcs.validate(cloud)
+    n = cloud.n
+    rows = np.zeros((n, n))
+    for g, idx in cloud.groups.items():
+        if cloud.kinds[g] is BoundaryKind.INTERNAL:
+            continue
+        kind = bcs.kinds[g]
+        if kind == "dirichlet":
+            rows[idx, idx] = 1.0
+        elif kind == "neumann":
+            rows[idx] = nodal.normal[idx]
+        else:  # robin
+            rows[idx] = nodal.normal[idx]
+            beta = np.broadcast_to(
+                np.asarray(bcs.robin_beta.get(g, 0.0), dtype=np.float64),
+                idx.shape,
+            )
+            rows[idx, idx] += beta
+    return rows
+
+
+def assemble_field_system(
+    cloud: Cloud,
+    nodal: NodalOperators,
+    interior_operator,  # (N, N) array or Tensor
+    bcs: FieldBCs,
+):
+    """Full system matrix: interior operator rows + boundary rows.
+
+    ``interior_operator`` may be a tape tensor (NS momentum operator,
+    which depends on the frozen advection velocity); the mask/boundary
+    parts are constants.
+    """
+    mask = interior_mask(cloud)[:, None]
+    return mask * interior_operator + boundary_rows(cloud, nodal, bcs)
+
+
+def scatter_boundary_values(
+    cloud: Cloud,
+    values_by_group: Dict[str, Union[np.ndarray, object]],
+):
+    """Sum of ``S_g @ v_g`` over groups — a boundary RHS vector.
+
+    Values may be NumPy arrays or tape tensors (the inflow control);
+    tensors propagate through the constant selection matmul.
+    """
+    from repro.autodiff import ops
+
+    out = None
+    for g, v in values_by_group.items():
+        S = selection_matrix(cloud.n, cloud.groups[g])
+        term = ops.matmul(S, v)
+        out = term if out is None else out + term
+    if out is None:
+        return np.zeros(cloud.n)
+    return out

@@ -1,0 +1,191 @@
+"""Global collocation assembly in coefficient space.
+
+Solving :math:`\\mathcal D(u) = q` with boundary conditions means
+collocating the interpolant at the nodes: internal nodes get PDE rows,
+Dirichlet nodes identity rows, Neumann nodes normal-derivative rows, Robin
+nodes the mixed rows, followed by the ``M`` polynomial moment constraints.
+Because the cloud is canonically ordered, the blocks are contiguous.
+
+A general second-order linear operator is described by
+:class:`LinearOperator2D`:
+
+.. math::
+
+    \\mathcal D = a\\,\\Delta + b\\,\\partial_x + c\\,\\partial_y + d\\,I
+
+with spatially varying coefficient arrays — enough for Laplace, Poisson,
+advection–diffusion and the frozen-advection Navier–Stokes momentum
+operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.base import BoundaryKind, Cloud
+from repro.rbf.kernels import Kernel
+from repro.rbf.polynomials import (
+    n_poly_terms,
+    poly_dx_matrix,
+    poly_dy_matrix,
+    poly_lap_matrix,
+    poly_matrix,
+)
+
+Coefficient = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LinearOperator2D:
+    """``a·Δ + b·∂x + c·∂y + d·I`` with scalar or per-point coefficients."""
+
+    lap: Coefficient = 0.0
+    dx: Coefficient = 0.0
+    dy: Coefficient = 0.0
+    identity: Coefficient = 0.0
+
+    def row_matrix(
+        self,
+        kernel: Kernel,
+        points: np.ndarray,
+        centers: np.ndarray,
+        degree: int,
+    ) -> np.ndarray:
+        """Rows ``[D φ_j | D P_m]`` of the operator at ``points``."""
+        npts = points.shape[0]
+
+        def col(c: Coefficient) -> np.ndarray:
+            arr = np.asarray(c, dtype=np.float64)
+            if arr.ndim == 0:
+                return np.full((npts, 1), float(arr))
+            if arr.shape != (npts,):
+                raise ValueError(
+                    f"coefficient must be scalar or shape ({npts},), got {arr.shape}"
+                )
+            return arr[:, None]
+
+        a, b, c, d = (col(self.lap), col(self.dx), col(self.dy), col(self.identity))
+        gx, gy = kernel.grad_matrices(points, centers)
+        phi_block = (
+            a * kernel.lap_matrix(points, centers)
+            + b * gx
+            + c * gy
+            + d * kernel.phi_matrix(points, centers)
+        )
+        poly_block = (
+            a * poly_lap_matrix(points, degree)
+            + b * poly_dx_matrix(points, degree)
+            + c * poly_dy_matrix(points, degree)
+            + d * poly_matrix(points, degree)
+        )
+        return np.concatenate([phi_block, poly_block], axis=1)
+
+
+def interpolation_matrix(
+    kernel: Kernel, centers: np.ndarray, degree: int
+) -> np.ndarray:
+    """The symmetric ``(N+M)×(N+M)`` RBF interpolation system
+
+    ``[[Φ, P], [Pᵀ, 0]]`` used both for interpolation fits and for the
+    nodal differentiation matrices.
+    """
+    n = centers.shape[0]
+    m = n_poly_terms(degree)
+    phi = kernel.phi_matrix(centers, centers)
+    p = poly_matrix(centers, degree)
+    out = np.zeros((n + m, n + m))
+    out[:n, :n] = phi
+    out[:n, n:] = p
+    out[n:, :n] = p.T
+    return out
+
+
+def operator_eval_matrix(
+    kernel: Kernel,
+    op: LinearOperator2D,
+    points: np.ndarray,
+    centers: np.ndarray,
+    degree: int,
+) -> np.ndarray:
+    """``(Np)×(N+M)`` rows of an operator against the full basis."""
+    return op.row_matrix(kernel, points, centers, degree)
+
+
+def assemble_collocation_system(
+    cloud: Cloud,
+    kernel: Kernel,
+    degree: int,
+    operator: LinearOperator2D,
+    robin_beta: Optional[Dict[str, Coefficient]] = None,
+) -> Tuple[np.ndarray, Dict[str, slice]]:
+    """Assemble the square collocation matrix on the (λ, γ) unknowns.
+
+    Returns the ``(N+M)×(N+M)`` matrix and a mapping from row-block name
+    (``"internal"``, ``"dirichlet"``, ``"neumann"``, ``"robin"``,
+    ``"moment"``) to its row slice; the caller fills the matching
+    right-hand-side entries (PDE source, boundary data, zeros).
+    """
+    centers = cloud.points
+    n = cloud.n
+    m = n_poly_terms(degree)
+    rows = np.zeros((n + m, n + m))
+    blocks: Dict[str, slice] = {}
+    cursor = 0
+
+    # Internal rows: the PDE operator.
+    idx = cloud.indices_of_kind(BoundaryKind.INTERNAL)
+    if idx.size:
+        rows[cursor : cursor + idx.size] = operator.row_matrix(
+            kernel, cloud.points[idx], centers, degree
+        )
+    blocks["internal"] = slice(cursor, cursor + idx.size)
+    cursor += idx.size
+
+    # Dirichlet rows: identity operator.
+    idx = cloud.indices_of_kind(BoundaryKind.DIRICHLET)
+    if idx.size:
+        ident = LinearOperator2D(identity=1.0)
+        rows[cursor : cursor + idx.size] = ident.row_matrix(
+            kernel, cloud.points[idx], centers, degree
+        )
+    blocks["dirichlet"] = slice(cursor, cursor + idx.size)
+    cursor += idx.size
+
+    # Neumann rows: ∂/∂n.
+    idx = cloud.indices_of_kind(BoundaryKind.NEUMANN)
+    if idx.size:
+        nrm = cloud.normals[idx]
+        op_n = LinearOperator2D(dx=nrm[:, 0], dy=nrm[:, 1])
+        rows[cursor : cursor + idx.size] = op_n.row_matrix(
+            kernel, cloud.points[idx], centers, degree
+        )
+    blocks["neumann"] = slice(cursor, cursor + idx.size)
+    cursor += idx.size
+
+    # Robin rows: ∂/∂n + β·I, with per-group β.
+    idx = cloud.indices_of_kind(BoundaryKind.ROBIN)
+    if idx.size:
+        beta = np.zeros(idx.size)
+        if robin_beta:
+            pos = {node: k for k, node in enumerate(idx)}
+            for g, b in robin_beta.items():
+                gidx = cloud.groups[g]
+                beta[[pos[i] for i in gidx]] = np.broadcast_to(
+                    np.asarray(b, dtype=np.float64), gidx.shape
+                )
+        nrm = cloud.normals[idx]
+        op_r = LinearOperator2D(dx=nrm[:, 0], dy=nrm[:, 1], identity=beta)
+        rows[cursor : cursor + idx.size] = op_r.row_matrix(
+            kernel, cloud.points[idx], centers, degree
+        )
+    blocks["robin"] = slice(cursor, cursor + idx.size)
+    cursor += idx.size
+
+    # Moment constraints: Pᵀ λ = 0.
+    if m:
+        rows[cursor : cursor + m, :n] = poly_matrix(centers, degree).T
+    blocks["moment"] = slice(cursor, cursor + m)
+    return rows, blocks

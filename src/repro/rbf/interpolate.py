@@ -1,0 +1,76 @@
+"""RBF interpolation: fit to nodal values, evaluate anywhere.
+
+Used for off-node evaluation (e.g. sampling the optimised state on the
+regular test grid the paper's figures use) and for exactness tests
+(polynomial reproduction up to the appended degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.rbf.assembly import LinearOperator2D, interpolation_matrix
+from repro.rbf.kernels import Kernel, polyharmonic
+from repro.rbf.polynomials import n_poly_terms
+
+
+@dataclass
+class RBFInterpolant:
+    """A fitted RBF interpolant ``û(x) = Σ λⱼ φ(‖x−xⱼ‖) + Σ γₘ Pₘ(x)``."""
+
+    kernel: Kernel
+    degree: int
+    centers: np.ndarray
+    lam: np.ndarray
+    gam: np.ndarray
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the interpolant at ``(Np, 2)`` points."""
+        return self.apply(LinearOperator2D(identity=1.0), x)
+
+    def apply(self, op: LinearOperator2D, x: np.ndarray) -> np.ndarray:
+        """Evaluate a differential operator of the interpolant at points."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        rows = op.row_matrix(self.kernel, x, self.centers, self.degree)
+        coeffs = np.concatenate([self.lam, self.gam])
+        return rows @ coeffs
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """``(Np, 2)`` gradient of the interpolant."""
+        gx = self.apply(LinearOperator2D(dx=1.0), x)
+        gy = self.apply(LinearOperator2D(dy=1.0), x)
+        return np.stack([gx, gy], axis=1)
+
+    def laplacian(self, x: np.ndarray) -> np.ndarray:
+        """Laplacian of the interpolant at points."""
+        return self.apply(LinearOperator2D(lap=1.0), x)
+
+
+def fit_interpolant(
+    centers: np.ndarray,
+    values: np.ndarray,
+    kernel: Optional[Kernel] = None,
+    degree: int = 1,
+) -> RBFInterpolant:
+    """Fit the interpolation system ``A (λ, γ) = (values, 0)``."""
+    kernel = kernel or polyharmonic(3)
+    centers = np.asarray(centers, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    n = centers.shape[0]
+    if values.shape != (n,):
+        raise ValueError(f"values must have shape ({n},), got {values.shape}")
+    m = n_poly_terms(degree)
+    A = interpolation_matrix(kernel, centers, degree)
+    rhs = np.concatenate([values, np.zeros(m)])
+    coeffs = sla.solve(A, rhs, check_finite=False)
+    return RBFInterpolant(
+        kernel=kernel,
+        degree=degree,
+        centers=centers,
+        lam=coeffs[:n],
+        gam=coeffs[n:],
+    )

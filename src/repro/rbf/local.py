@@ -1,0 +1,219 @@
+"""Local RBF-FD: sparse differentiation matrices from per-node stencils.
+
+The paper's global collocation builds dense ``N×N`` operators — accurate
+but ``O(N³)`` to factor and ``O(N²)`` to store, which is why its future
+work aims at "massively parallelising the framework".  RBF-FD (Tolstykh
+2000, ref. [44] of the paper) is the standard scalable alternative: each
+node gets a small stencil of its ``k`` nearest neighbours; a *local*
+polyharmonic interpolation system yields that node's differentiation
+weights; the assembled operators are sparse with ``k`` nonzeros per row.
+
+The stencil systems all share one shape ``(k+M)×(k+M)``, so the weight
+computation is fully batched through ``numpy.linalg.solve`` on an
+``(N, k+M, k+M)`` stack — no Python-level loop over nodes.
+
+This module is an *extension* (the paper's experiments all use the global
+solver); the ablation benchmark ``bench_ablation_local_rbf.py`` compares
+the two regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.cloud.base import BoundaryKind, Cloud
+from repro.cloud.neighbors import nearest_neighbors
+from repro.rbf.kernels import Kernel, polyharmonic
+from repro.rbf.polynomials import (
+    n_poly_terms,
+    poly_dx_matrix,
+    poly_dy_matrix,
+    poly_lap_matrix,
+    poly_matrix,
+)
+
+
+@dataclass
+class LocalOperators:
+    """Sparse nodal operators from RBF-FD stencils.
+
+    Attributes mirror :class:`repro.rbf.operators.NodalOperators` but the
+    matrices are ``scipy.sparse.csr_matrix`` with ``stencil_size``
+    nonzeros per row.
+    """
+
+    cloud: Cloud
+    kernel: Kernel
+    degree: int
+    stencil_size: int
+    dx: sp.csr_matrix
+    dy: sp.csr_matrix
+    lap: sp.csr_matrix
+    normal: sp.csr_matrix
+
+
+def default_stencil_size(degree: int) -> int:
+    """The usual RBF-FD heuristic: at least twice the polynomial count."""
+    return max(2 * n_poly_terms(degree) + 1, 12)
+
+
+def build_local_operators(
+    cloud: Cloud,
+    kernel: Optional[Kernel] = None,
+    degree: int = 1,
+    stencil_size: Optional[int] = None,
+) -> LocalOperators:
+    """Assemble sparse ``∂x, ∂y, Δ`` (and boundary-normal) operators.
+
+    For node *i* with stencil ``S_i`` the weights solve the local saddle
+    system
+
+    .. math::
+
+        \\begin{bmatrix} \\Phi & P \\\\ P^T & 0 \\end{bmatrix}
+        \\begin{bmatrix} w \\\\ \\gamma \\end{bmatrix}
+        =
+        \\begin{bmatrix} L\\phi(x_i, \\cdot) \\\\ L P(x_i) \\end{bmatrix},
+
+    where Φ and P are evaluated on the (locally shifted) stencil points —
+    shifting to the stencil centre keeps the polyharmonic system well
+    conditioned.
+    """
+    kernel = kernel or polyharmonic(3)
+    n = cloud.n
+    m = n_poly_terms(degree)
+    k = stencil_size or default_stencil_size(degree)
+    if k > n:
+        raise ValueError(f"stencil size {k} exceeds cloud size {n}")
+
+    idx, _ = nearest_neighbors(cloud.points, k)  # (n, k), self first
+    # Stencil coordinates shifted to each node (x_i at the local origin).
+    pts = cloud.points[idx] - cloud.points[:, None, :]  # (n, k, 2)
+
+    # Batched local interpolation systems A: (n, k+m, k+m).
+    diff = pts[:, :, None, :] - pts[:, None, :, :]  # (n, k, k, 2)
+    r = np.sqrt(np.sum(diff * diff, axis=3))
+    A = np.zeros((n, k + m, k + m))
+    A[:, :k, :k] = kernel.phi(r)
+    flat = pts.reshape(-1, 2)
+    P = poly_matrix(flat, degree).reshape(n, k, m)
+    A[:, :k, k:] = P
+    A[:, k:, :k] = P.transpose(0, 2, 1)
+
+    # Right-hand sides: each operator L applied to φ(x_i − ·) and P at the
+    # local origin.  With the shift, the evaluation point is 0, so the
+    # distance to stencil point j is ‖pts[i, j]‖ and the gradient factor
+    # is (0 − pts[i, j]).
+    rr = np.sqrt(np.sum(pts * pts, axis=2))  # (n, k)
+    w_ratio = kernel.dphi_over_r(rr)
+    zero = np.zeros((n, 2))
+    rhs = {
+        "dx": np.concatenate(
+            [w_ratio * (-pts[:, :, 0]), poly_dx_matrix(zero, degree)], axis=1
+        ),
+        "dy": np.concatenate(
+            [w_ratio * (-pts[:, :, 1]), poly_dy_matrix(zero, degree)], axis=1
+        ),
+        "lap": np.concatenate(
+            [kernel.lap(rr), poly_lap_matrix(zero, degree)], axis=1
+        ),
+    }
+
+    # One batched solve per operator: A w = rhs.
+    weights = {}
+    for name, b in rhs.items():
+        sol = np.linalg.solve(A, b[:, :, None])[:, :k, 0]  # drop γ block
+        weights[name] = sol
+
+    rows = np.repeat(np.arange(n), k)
+    cols = idx.ravel()
+
+    def assemble(w: np.ndarray) -> sp.csr_matrix:
+        return sp.csr_matrix((w.ravel(), (rows, cols)), shape=(n, n))
+
+    dx = assemble(weights["dx"])
+    dy = assemble(weights["dy"])
+    lap = assemble(weights["lap"])
+
+    # Boundary-normal rows.
+    normal = sp.lil_matrix((n, n))
+    bidx = cloud.boundary
+    if bidx.size:
+        nrm = cloud.normals[bidx]
+        dn = sp.diags(nrm[:, 0]) @ dx[bidx] + sp.diags(nrm[:, 1]) @ dy[bidx]
+        normal[bidx] = dn
+    return LocalOperators(
+        cloud=cloud,
+        kernel=kernel,
+        degree=degree,
+        stencil_size=k,
+        dx=dx,
+        dy=dy,
+        lap=lap,
+        normal=normal.tocsr(),
+    )
+
+
+def solve_pde_local(
+    cloud: Cloud,
+    local_ops: LocalOperators,
+    operator_coeffs: dict,
+    source,
+    bc_values: dict,
+) -> np.ndarray:
+    """Sparse linear PDE solve with RBF-FD operators.
+
+    Parameters
+    ----------
+    operator_coeffs:
+        Mapping with optional keys ``"lap"``, ``"dx"``, ``"dy"``,
+        ``"identity"`` — scalar coefficients of the interior operator.
+    source:
+        Scalar, per-interior-node array, or callable of interior points.
+    bc_values:
+        Mapping group name → boundary values (array or callable); groups
+        tagged Dirichlet get unit rows, Neumann groups get normal rows.
+    """
+    n = cloud.n
+    interior = cloud.internal
+    A = sp.lil_matrix((n, n))
+    op = sp.csr_matrix((n, n))
+    if operator_coeffs.get("lap"):
+        op = op + operator_coeffs["lap"] * local_ops.lap
+    if operator_coeffs.get("dx"):
+        op = op + operator_coeffs["dx"] * local_ops.dx
+    if operator_coeffs.get("dy"):
+        op = op + operator_coeffs["dy"] * local_ops.dy
+    if operator_coeffs.get("identity"):
+        op = op + operator_coeffs["identity"] * sp.eye(n)
+    A[interior] = op[interior]
+
+    b = np.zeros(n)
+    pts_int = cloud.points[interior]
+    if callable(source):
+        b[interior] = source(pts_int)
+    else:
+        b[interior] = np.broadcast_to(
+            np.asarray(source, dtype=np.float64), interior.shape
+        )
+
+    for g, values in bc_values.items():
+        gi = cloud.groups[g]
+        kind = cloud.kinds[g]
+        if kind is BoundaryKind.DIRICHLET:
+            A[gi, gi] = 1.0
+        elif kind is BoundaryKind.NEUMANN:
+            A[gi] = local_ops.normal[gi]
+        else:
+            raise ValueError(f"unsupported kind {kind} for local solve")
+        pts = cloud.points[gi]
+        b[gi] = values(pts) if callable(values) else np.broadcast_to(
+            np.asarray(values, dtype=np.float64), gi.shape
+        )
+
+    return spla.spsolve(A.tocsr(), b)

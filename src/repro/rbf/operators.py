@@ -1,0 +1,118 @@
+"""Nodal differentiation matrices.
+
+Given a cloud with nodes :math:`x_1..x_N`, the RBF interpolation system
+``A = [[Φ, P], [Pᵀ, 0]]`` maps nodal values ``u`` to coefficients
+``(λ, γ) = A⁻¹ [u; 0]``.  Composing with the operator evaluation rows
+``B_L = [LΦ | LP]`` yields the dense nodal differentiation matrix
+
+.. math::
+
+    D_L = B_L \\, (A^{-1})_{[:, :N]}  \\qquad (L u)(x_i) = (D_L u)_i .
+
+One LU factorisation of ``A`` produces every operator matrix (identity,
+∂x, ∂y, Δ, boundary-normal rows).  These matrices are *constant* for a
+fixed cloud: the entire PDE-and-control pipeline downstream — DAL adjoint
+solves, Navier–Stokes refinement iterations, DP autodiff — reduces to
+dense matrix algebra, which is both fast (BLAS) and trivially
+differentiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.cloud.base import Cloud
+from repro.rbf.assembly import LinearOperator2D, interpolation_matrix
+from repro.rbf.kernels import Kernel
+from repro.rbf.polynomials import n_poly_terms
+
+
+@dataclass
+class NodalOperators:
+    """Bundle of dense nodal operator matrices for one cloud/kernel pair.
+
+    Attributes
+    ----------
+    cloud, kernel, degree:
+        The discretisation this bundle was built for.
+    identity:
+        ``N×N`` interpolation-consistency matrix (≈ I; its deviation from
+        the exact identity is a discretisation-quality diagnostic).
+    dx, dy, lap:
+        Nodal first-derivative and Laplacian matrices.
+    normal:
+        ``N×N`` matrix whose boundary rows evaluate ``∂u/∂n`` (internal
+        rows are zero).
+    """
+
+    cloud: Cloud
+    kernel: Kernel
+    degree: int
+    identity: np.ndarray
+    dx: np.ndarray
+    dy: np.ndarray
+    lap: np.ndarray
+    normal: np.ndarray
+    _coeff_map: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.cloud.n
+
+    def coefficient_map(self) -> np.ndarray:
+        """``(N+M)×N`` matrix mapping nodal values to (λ, γ) coefficients."""
+        return self._coeff_map
+
+    def operator_matrix(self, op: LinearOperator2D) -> np.ndarray:
+        """Nodal matrix of an arbitrary ``a·Δ + b·∂x + c·∂y + d·I`` operator."""
+        rows = op.row_matrix(
+            self.kernel, self.cloud.points, self.cloud.points, self.degree
+        )
+        return rows @ self._coeff_map
+
+
+def build_nodal_operators(
+    cloud: Cloud, kernel: Kernel, degree: int = 1
+) -> NodalOperators:
+    """Factor the interpolation system once and emit all operator matrices."""
+    n = cloud.n
+    m = n_poly_terms(degree)
+    A = interpolation_matrix(kernel, cloud.points, degree)
+    lu = sla.lu_factor(A, check_finite=False)
+    # Solve A X = [I; 0] for the nodal-values→coefficients map (N rhs at once).
+    rhs = np.zeros((n + m, n))
+    rhs[:n, :n] = np.eye(n)
+    coeff_map = sla.lu_solve(lu, rhs, check_finite=False)
+
+    pts = cloud.points
+
+    def mat(op: LinearOperator2D) -> np.ndarray:
+        return op.row_matrix(kernel, pts, pts, degree) @ coeff_map
+
+    identity = mat(LinearOperator2D(identity=1.0))
+    dx = mat(LinearOperator2D(dx=1.0))
+    dy = mat(LinearOperator2D(dy=1.0))
+    lap = mat(LinearOperator2D(lap=1.0))
+
+    normal = np.zeros((n, n))
+    bidx = cloud.boundary
+    if bidx.size:
+        nrm = cloud.normals[bidx]
+        normal[bidx] = nrm[:, 0:1] * dx[bidx] + nrm[:, 1:2] * dy[bidx]
+
+    return NodalOperators(
+        cloud=cloud,
+        kernel=kernel,
+        degree=degree,
+        identity=identity,
+        dx=dx,
+        dy=dy,
+        lap=lap,
+        normal=normal,
+        _coeff_map=coeff_map,
+    )

@@ -1,0 +1,78 @@
+"""Monomial augmentation for RBF collocation (RBF-FD style).
+
+Appending polynomials of maximum degree ``n`` (paper: ``n = 1``, giving
+``M = (n+d choose n) = 3`` terms in 2-D) guarantees polynomial
+reproduction and removes the polyharmonic kernel's conditional positive
+definiteness issue.  Terms are ordered by total degree then by power of
+``y``: ``1, x, y, x², xy, y², ...``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import List, Tuple
+
+import numpy as np
+
+
+def monomial_exponents(degree: int) -> List[Tuple[int, int]]:
+    """Exponent pairs ``(px, py)`` of all 2-D monomials up to ``degree``."""
+    if degree < 0:
+        raise ValueError("degree must be >= 0")
+    return [
+        (d - j, j) for d in range(degree + 1) for j in range(d + 1)
+    ]
+
+
+def n_poly_terms(degree: int) -> int:
+    """Number of monomials up to total ``degree`` in 2-D: C(degree+2, 2)."""
+    if degree < 0:
+        return 0
+    return comb(degree + 2, 2)
+
+
+def poly_matrix(x: np.ndarray, degree: int) -> np.ndarray:
+    """``P[i, m] = x_i^{px_m} y_i^{py_m}``, shape ``(Np, M)``."""
+    x = np.asarray(x, dtype=np.float64)
+    exps = monomial_exponents(degree)
+    return np.stack(
+        [x[:, 0] ** px * x[:, 1] ** py for (px, py) in exps], axis=1
+    )
+
+
+def poly_dx_matrix(x: np.ndarray, degree: int) -> np.ndarray:
+    """``∂P/∂x`` evaluated at the points."""
+    x = np.asarray(x, dtype=np.float64)
+    cols = []
+    for px, py in monomial_exponents(degree):
+        if px == 0:
+            cols.append(np.zeros(x.shape[0]))
+        else:
+            cols.append(px * x[:, 0] ** (px - 1) * x[:, 1] ** py)
+    return np.stack(cols, axis=1)
+
+
+def poly_dy_matrix(x: np.ndarray, degree: int) -> np.ndarray:
+    """``∂P/∂y`` evaluated at the points."""
+    x = np.asarray(x, dtype=np.float64)
+    cols = []
+    for px, py in monomial_exponents(degree):
+        if py == 0:
+            cols.append(np.zeros(x.shape[0]))
+        else:
+            cols.append(py * x[:, 0] ** px * x[:, 1] ** (py - 1))
+    return np.stack(cols, axis=1)
+
+
+def poly_lap_matrix(x: np.ndarray, degree: int) -> np.ndarray:
+    """``ΔP`` evaluated at the points."""
+    x = np.asarray(x, dtype=np.float64)
+    cols = []
+    for px, py in monomial_exponents(degree):
+        lap = np.zeros(x.shape[0])
+        if px >= 2:
+            lap = lap + px * (px - 1) * x[:, 0] ** (px - 2) * x[:, 1] ** py
+        if py >= 2:
+            lap = lap + py * (py - 1) * x[:, 0] ** px * x[:, 1] ** (py - 2)
+        cols.append(lap)
+    return np.stack(cols, axis=1)

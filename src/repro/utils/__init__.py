@@ -1,0 +1,21 @@
+"""Shared numerical utilities: quadrature, timers, validation helpers."""
+
+from repro.utils.quadrature import trapezoid_weights, boundary_integral
+from repro.utils.timers import Timer, PeakMemory
+from repro.utils.validation import (
+    check_finite,
+    relative_l2_error,
+    max_abs_error,
+    rms,
+)
+
+__all__ = [
+    "trapezoid_weights",
+    "boundary_integral",
+    "Timer",
+    "PeakMemory",
+    "check_finite",
+    "relative_l2_error",
+    "max_abs_error",
+    "rms",
+]

@@ -1,0 +1,46 @@
+"""Quadrature rules on boundary point sets.
+
+The paper's cost objectives are line integrals along boundary segments
+(e.g. the outflow of the channel).  On a mesh-free cloud the boundary nodes
+of a segment are scattered along a line; we sort them by arclength and use
+composite trapezoid weights, which is second-order accurate and — being a
+fixed linear functional of the nodal values — trivially differentiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def trapezoid_weights(coords: np.ndarray) -> np.ndarray:
+    """Composite-trapezoid weights for nodes ordered along a 1-D coordinate.
+
+    Parameters
+    ----------
+    coords:
+        ``(n,)`` sorted arclength coordinates of the boundary nodes.
+
+    Returns
+    -------
+    ``(n,)`` weights such that ``w @ f`` approximates ``∫ f ds``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.size
+    if n < 2:
+        raise ValueError("trapezoid rule needs at least two nodes")
+    if np.any(np.diff(coords) <= 0):
+        raise ValueError("coordinates must be strictly increasing")
+    w = np.zeros(n)
+    d = np.diff(coords)
+    w[:-1] += 0.5 * d
+    w[1:] += 0.5 * d
+    return w
+
+
+def boundary_integral(values: np.ndarray, coords: np.ndarray) -> float:
+    """Trapezoid approximation of ``∫ f ds`` given unsorted boundary nodes."""
+    coords = np.asarray(coords, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(coords)
+    w = trapezoid_weights(coords[order])
+    return float(w @ values[order])

@@ -1,0 +1,68 @@
+"""Wall-time and peak-memory measurement for the Table-3 benchmark.
+
+The paper reports wall-clock hours and peak memory (GB) per method.  We
+measure wall time with ``perf_counter`` and peak *Python-allocation* memory
+with ``tracemalloc``, which captures the dominant term here (NumPy array
+buffers, including retained autodiff tapes).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from types import TracebackType
+from typing import Optional, Type
+
+
+class Timer:
+    """Context manager measuring elapsed wall time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+class PeakMemory:
+    """Context manager measuring peak traced memory in bytes.
+
+    Nesting is supported: if ``tracemalloc`` is already tracing, the manager
+    snapshots rather than stopping the trace on exit.
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes: int = 0
+        self._started_here = False
+
+    def __enter__(self) -> "PeakMemory":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        if self._started_here:
+            tracemalloc.stop()
+
+    @property
+    def peak_mib(self) -> float:
+        """Peak memory in MiB."""
+        return self.peak_bytes / 2**20

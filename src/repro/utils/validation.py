@@ -1,0 +1,36 @@
+"""Small validation and error-metric helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_finite(x: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise ``FloatingPointError`` if ``x`` contains NaN or Inf."""
+    x = np.asarray(x)
+    if not np.all(np.isfinite(x)):
+        bad = int(np.size(x) - np.sum(np.isfinite(x)))
+        raise FloatingPointError(f"{name} contains {bad} non-finite entries")
+    return x
+
+
+def relative_l2_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||approx - exact||_2 / ||exact||_2`` (absolute norm if exact≈0)."""
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    denom = np.linalg.norm(exact)
+    err = np.linalg.norm(approx - exact)
+    return float(err / denom) if denom > 1e-14 else float(err)
+
+
+def max_abs_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Maximum absolute pointwise error."""
+    return float(
+        np.max(np.abs(np.asarray(approx, dtype=np.float64) - np.asarray(exact, dtype=np.float64)))
+    )
+
+
+def rms(x: np.ndarray) -> float:
+    """Root-mean-square of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(np.sqrt(np.mean(x * x)))

@@ -1,0 +1,53 @@
+"""Tests for numerical gradient-checking utilities."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.check import (
+    check_gradient,
+    directional_numerical_derivative,
+    numerical_gradient,
+)
+
+
+def quadratic(x):
+    return float(np.sum(x**2) + np.sum(x))
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0, 0.5])
+        g = numerical_gradient(quadratic, x)
+        np.testing.assert_allclose(g, 2 * x + 1, rtol=1e-6)
+
+    def test_preserves_input(self):
+        x = np.array([1.0, 2.0])
+        x_copy = x.copy()
+        numerical_gradient(quadratic, x)
+        np.testing.assert_array_equal(x, x_copy)
+
+    def test_matrix_input(self):
+        X = np.ones((2, 2))
+        g = numerical_gradient(lambda m: float(np.sum(m**3)), X)
+        np.testing.assert_allclose(g, 3 * np.ones((2, 2)), rtol=1e-5)
+
+
+class TestDirectionalDerivative:
+    def test_matches_inner_product(self):
+        x = np.array([1.0, 2.0])
+        d = np.array([0.6, 0.8])
+        num = directional_numerical_derivative(quadratic, x, d)
+        analytic = float((2 * x + 1) @ d)
+        assert abs(num - analytic) < 1e-6
+
+
+class TestCheckGradient:
+    def test_accepts_correct_gradient(self):
+        x = np.array([0.3, -0.7, 1.1])
+        worst = check_gradient(quadratic, 2 * x + 1, x)
+        assert worst < 1e-5
+
+    def test_rejects_wrong_gradient(self):
+        x = np.array([0.3, -0.7, 1.1])
+        with pytest.raises(AssertionError):
+            check_gradient(quadratic, np.zeros(3), x)

@@ -1,0 +1,103 @@
+"""Tests for grad / value_and_grad / jacobian transforms."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.functional import grad, jacobian, stop_gradient, value_and_grad
+from repro.autodiff.tensor import Tensor
+
+
+class TestValueAndGrad:
+    def test_scalar_function(self):
+        v, g = value_and_grad(lambda x: ops.sum_(ops.square(x)))(np.array([1.0, 2.0]))
+        assert v == 5.0
+        np.testing.assert_allclose(g, [2.0, 4.0])
+
+    def test_returns_python_float(self):
+        v, _ = value_and_grad(lambda x: ops.sum_(x))(np.ones(3))
+        assert isinstance(v, float)
+
+    def test_multiple_argnums(self):
+        def f(a, b):
+            return ops.sum_(a * b)
+
+        v, (ga, gb) = value_and_grad(f, argnums=(0, 1))(
+            np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        )
+        assert v == 11.0
+        np.testing.assert_allclose(ga, [3.0, 4.0])
+        np.testing.assert_allclose(gb, [1.0, 2.0])
+
+    def test_second_argnum_only(self):
+        def f(a, b):
+            return ops.sum_(a * b)
+
+        _, gb = value_and_grad(f, argnums=1)(np.ones(2), np.array([5.0, 6.0]))
+        np.testing.assert_allclose(gb, [1.0, 1.0])
+
+    def test_non_scalar_output_raises(self):
+        with pytest.raises(ValueError, match="scalar"):
+            value_and_grad(lambda x: x * 2.0)(np.ones(3))
+
+    def test_unused_argument_gets_zero_grad(self):
+        def f(a, b):
+            return ops.sum_(a)
+
+        _, (ga, gb) = value_and_grad(f, argnums=(0, 1))(np.ones(2), np.ones(3))
+        np.testing.assert_allclose(gb, np.zeros(3))
+
+    def test_kwargs_passed_through(self):
+        def f(a, scale=1.0):
+            return ops.sum_(a) * scale
+
+        v, g = value_and_grad(f)(np.ones(2), scale=3.0)
+        assert v == 6.0
+        np.testing.assert_allclose(g, [3.0, 3.0])
+
+
+class TestGrad:
+    def test_matches_analytic(self):
+        g = grad(lambda x: ops.sum_(ops.sin(x)))(np.array([0.0, np.pi / 2]))
+        np.testing.assert_allclose(g, np.cos([0.0, np.pi / 2]), atol=1e-14)
+
+    def test_grad_of_float_output(self):
+        # f may return a plain float (e.g. a constant branch)
+        g = grad(lambda x: ops.mean(x) * 1.0)(np.ones(4))
+        np.testing.assert_allclose(g, 0.25 * np.ones(4))
+
+    def test_scalar_input(self):
+        g = grad(lambda x: x * x)(np.array(3.0))
+        np.testing.assert_allclose(g, 6.0)
+
+
+class TestJacobian:
+    def test_linear_map(self):
+        A = np.arange(6, dtype=float).reshape(2, 3)
+        J = jacobian(lambda x: ops.matmul(A, x))(np.ones(3))
+        np.testing.assert_allclose(J, A)
+
+    def test_elementwise(self):
+        x = np.array([1.0, 2.0])
+        J = jacobian(lambda t: ops.square(t))(x)
+        np.testing.assert_allclose(J, np.diag(2 * x))
+
+    def test_shape_matrix_output(self):
+        x = np.ones(2)
+        J = jacobian(lambda t: ops.stack([t, 2.0 * t]))(x)
+        assert J.shape == (2, 2, 2)
+
+
+class TestStopGradient:
+    def test_blocks_flow(self):
+        def f(x):
+            return ops.sum_(stop_gradient(x) * x)
+
+        g = grad(f)(np.array([2.0, 3.0]))
+        # d/dx [const * x] = const = x values
+        np.testing.assert_allclose(g, [2.0, 3.0])
+
+    def test_on_raw_array(self):
+        t = stop_gradient(np.ones(2))
+        assert isinstance(t, Tensor)
+        assert not t.needs_tape()

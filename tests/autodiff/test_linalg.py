@@ -1,0 +1,160 @@
+"""Tests for differentiable linear algebra — the DP-enabling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.check import numerical_gradient
+from repro.autodiff.functional import grad, value_and_grad
+from repro.autodiff.linalg import LUSolver, lstsq, norm, solve
+
+RNG = np.random.default_rng(3)
+N = 6
+A = RNG.standard_normal((N, N)) + N * np.eye(N)
+SPD = A @ A.T + np.eye(N)
+B = RNG.standard_normal(N)
+B2 = RNG.standard_normal((N, 2))
+
+
+class TestSolve:
+    def test_forward_matches_numpy(self):
+        x = solve(A, B)
+        np.testing.assert_allclose(x.data, np.linalg.solve(A, B), rtol=1e-12)
+
+    def test_forward_block_rhs(self):
+        x = solve(A, B2)
+        np.testing.assert_allclose(x.data, np.linalg.solve(A, B2), rtol=1e-12)
+
+    def test_grad_wrt_rhs(self):
+        def f(b):
+            return ops.sum_(ops.square(solve(A, b)))
+
+        g = grad(f)(B)
+        num = numerical_gradient(lambda b: float(f(b).data), B)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+    def test_grad_wrt_matrix(self):
+        def f(M):
+            return ops.sum_(ops.square(solve(M, B)))
+
+        g = grad(f)(A)
+        num = numerical_gradient(lambda M: float(f(M).data), A)
+        np.testing.assert_allclose(g, num, rtol=1e-4, atol=1e-7)
+
+    def test_grad_wrt_matrix_and_rhs_jointly(self):
+        w = RNG.standard_normal(N)
+
+        def f(M, b):
+            return ops.sum_(solve(M, b) * w)
+
+        _, (gM, gb) = value_and_grad(f, argnums=(0, 1))(A, B)
+        numM = numerical_gradient(lambda M: float(f(M, B).data), A.copy())
+        numb = numerical_gradient(lambda b: float(f(A, b).data), B.copy())
+        np.testing.assert_allclose(gM, numM, rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(gb, numb, rtol=1e-5, atol=1e-8)
+
+    def test_cholesky_path_on_spd(self):
+        x = solve(SPD, B, assume_a="pos")
+        np.testing.assert_allclose(x.data, np.linalg.solve(SPD, B), rtol=1e-10)
+
+    def test_cholesky_grad(self):
+        def f(b):
+            return ops.sum_(ops.square(solve(SPD, b, assume_a="pos")))
+
+        g = grad(f)(B)
+        num = numerical_gradient(lambda b: float(f(b).data), B)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            solve(np.ones((2, 3)), np.ones(2))
+
+    def test_solve_through_chain(self):
+        # The DP-for-Laplace pattern: c -> rhs -> solve -> quadratic cost.
+        S = RNG.standard_normal((N, 3))
+        w = np.abs(RNG.standard_normal(N)) + 0.1
+
+        def f(c):
+            u = solve(A, ops.matmul(S, c) + B)
+            return ops.sum_(w * ops.square(u))
+
+        c0 = RNG.standard_normal(3)
+        g = grad(f)(c0)
+        num = numerical_gradient(lambda c: float(f(c).data), c0)
+        np.testing.assert_allclose(g, num, rtol=1e-6, atol=1e-9)
+
+
+class TestLUSolver:
+    def test_matches_solve(self):
+        lus = LUSolver(A)
+        np.testing.assert_allclose(lus(B).data, np.linalg.solve(A, B), rtol=1e-12)
+
+    def test_grad_matches_fresh_solve(self):
+        lus = LUSolver(A)
+
+        def f_cached(b):
+            return ops.sum_(ops.square(lus(b)))
+
+        def f_fresh(b):
+            return ops.sum_(ops.square(solve(A, b)))
+
+        g1 = grad(f_cached)(B)
+        g2 = grad(f_fresh)(B)
+        np.testing.assert_allclose(g1, g2, rtol=1e-12)
+
+    def test_solve_numpy_and_transposed(self):
+        lus = LUSolver(A)
+        np.testing.assert_allclose(
+            lus.solve_numpy(B), np.linalg.solve(A, B), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            lus.solve_transposed(B), np.linalg.solve(A.T, B), rtol=1e-12
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            LUSolver(np.ones((2, 3)))
+
+    def test_reuse_many_rhs(self):
+        lus = LUSolver(A)
+        for _ in range(5):
+            b = RNG.standard_normal(N)
+            np.testing.assert_allclose(
+                lus.solve_numpy(b), np.linalg.solve(A, b), rtol=1e-10
+            )
+
+
+class TestLstsq:
+    def test_forward_overdetermined(self):
+        M = RNG.standard_normal((10, 4))
+        b = RNG.standard_normal(10)
+        x = lstsq(M, b)
+        expected, *_ = np.linalg.lstsq(M, b, rcond=None)
+        np.testing.assert_allclose(x.data, expected, rtol=1e-10)
+
+    def test_grad_wrt_rhs(self):
+        M = RNG.standard_normal((10, 4))
+        b = RNG.standard_normal(10)
+
+        def f(bb):
+            return ops.sum_(ops.square(lstsq(M, bb)))
+
+        g = grad(f)(b)
+        num = numerical_gradient(lambda bb: float(f(bb).data), b)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+
+class TestNorm:
+    def test_l2_value(self):
+        assert abs(float(norm(B).data) - np.linalg.norm(B)) < 1e-12
+
+    def test_l2_grad(self):
+        g = grad(lambda x: norm(x))(B)
+        np.testing.assert_allclose(g, B / np.linalg.norm(B), rtol=1e-10)
+
+    def test_l1_value(self):
+        assert abs(float(norm(B, ord=1).data) - np.abs(B).sum()) < 1e-12
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            norm(B, ord=3)

@@ -1,0 +1,201 @@
+"""Gradient correctness of every primitive op against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.check import numerical_gradient
+from repro.autodiff.functional import grad
+
+
+def _check(f, x, atol=1e-7, rtol=1e-5):
+    """Compare reverse-mode gradient to central differences.
+
+    Works on a private copy: ``numerical_gradient`` perturbs its argument
+    in place, and the lambdas under test capture module-level constants
+    that must not alias the perturbed variable.
+    """
+    x = np.array(x, dtype=np.float64, copy=True)
+    g = grad(lambda t: ops.sum_(f(t)))(x)
+    num = numerical_gradient(lambda t: float(ops.sum_(f(t)).data), x)
+    np.testing.assert_allclose(g, num, atol=atol, rtol=rtol)
+
+
+RNG = np.random.default_rng(7)
+X = RNG.uniform(0.5, 2.0, size=(3, 4))
+V = RNG.uniform(0.5, 2.0, size=6)
+
+
+class TestArithmetic:
+    def test_add(self):
+        _check(lambda t: ops.add(t, X), X.copy())
+
+    def test_add_broadcast_scalar(self):
+        _check(lambda t: ops.add(t, 2.0), X)
+
+    def test_add_broadcast_row(self):
+        _check(lambda t: ops.add(t, X[0]), X)
+
+    def test_sub_both_sides(self):
+        _check(lambda t: ops.sub(t, X), X.copy())
+        _check(lambda t: ops.sub(X, t), X.copy())
+
+    def test_mul(self):
+        _check(lambda t: ops.mul(t, X + 1), X)
+
+    def test_mul_broadcast_column(self):
+        col = X[:, :1]
+        _check(lambda t: ops.mul(t, col), X)
+
+    def test_div_numerator_and_denominator(self):
+        _check(lambda t: ops.div(t, X + 1), X)
+        _check(lambda t: ops.div(X, t), X.copy())
+
+    def test_neg(self):
+        _check(ops.neg, X)
+
+    def test_power_constant_exponent(self):
+        _check(lambda t: ops.power(t, 3.0), X)
+
+    def test_power_differentiable_exponent(self):
+        e = np.full_like(V, 1.5)
+        g = grad(lambda t: ops.sum_(ops.power(V, t)))(e)
+        num = numerical_gradient(
+            lambda t: float(ops.sum_(ops.power(V, t)).data), e
+        )
+        np.testing.assert_allclose(g, num, atol=1e-6, rtol=1e-5)
+
+    def test_square_matches_power(self):
+        a = ops.square(X).data
+        np.testing.assert_allclose(a, X * X)
+        _check(ops.square, X)
+
+    def test_sqrt(self):
+        _check(ops.sqrt, X)
+
+    def test_abs(self):
+        y = RNG.standard_normal(8) + 0.1  # keep away from the kink
+        _check(ops.abs_, y)
+
+
+class TestTranscendentals:
+    @pytest.mark.parametrize(
+        "fn",
+        [ops.exp, ops.log, ops.sin, ops.cos, ops.tanh, ops.sinh, ops.cosh,
+         ops.arctan, ops.sigmoid],
+        ids=lambda f: f.__name__,
+    )
+    def test_elementwise(self, fn):
+        _check(fn, X * 0.3 + 0.5)
+
+
+class TestSelection:
+    def test_maximum(self):
+        y = X.copy()
+        y[0, 0] += 1.0  # avoid ties
+        _check(lambda t: ops.maximum(t, np.full_like(X, 1.2)), y)
+
+    def test_minimum(self):
+        _check(lambda t: ops.minimum(t, np.full_like(X, 1.2)), X + 0.01)
+
+    def test_where(self):
+        mask = X > 1.0
+        _check(lambda t: ops.where(mask, t * 2.0, t * 3.0), X)
+
+    def test_clip_gradient_zero_outside(self):
+        x = np.array([-1.0, 0.5, 2.0])
+        g = grad(lambda t: ops.sum_(ops.clip(t, 0.0, 1.0)))(x)
+        np.testing.assert_allclose(g, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        _check(ops.sum_, X)
+
+    def test_sum_axis0(self):
+        _check(lambda t: ops.sum_(t, axis=0), X)
+
+    def test_sum_axis1_keepdims(self):
+        _check(lambda t: ops.sum_(t, axis=1, keepdims=True), X)
+
+    def test_sum_negative_axis(self):
+        _check(lambda t: ops.sum_(t, axis=-1), X)
+
+    def test_mean_all(self):
+        _check(ops.mean, X)
+
+    def test_mean_axis(self):
+        _check(lambda t: ops.mean(t, axis=0), X)
+
+    def test_mean_value(self):
+        assert abs(float(ops.mean(X).data) - X.mean()) < 1e-14
+
+
+class TestLinearAlgebra:
+    A = RNG.standard_normal((4, 4))
+    M = RNG.standard_normal((3, 4))
+
+    def test_matmul_matrix_vector(self):
+        _check(lambda t: ops.matmul(self.M, t), X[0])
+
+    def test_matmul_vector_matrix(self):
+        _check(lambda t: ops.matmul(t, self.A), X[0])
+
+    def test_matmul_matrix_matrix_left(self):
+        _check(lambda t: ops.matmul(t, self.A), X)
+
+    def test_matmul_matrix_matrix_right(self):
+        _check(lambda t: ops.matmul(self.M, t), RNG.standard_normal((4, 2)))
+
+    def test_matmul_inner_product(self):
+        _check(lambda t: ops.matmul(t, V), V + 1.0)
+
+    def test_dot(self):
+        _check(lambda t: ops.dot(t, V), V.copy())
+
+    def test_matmul_values(self):
+        np.testing.assert_allclose(
+            ops.matmul(self.M, self.A).data, self.M @ self.A
+        )
+
+
+class TestShapes:
+    def test_reshape(self):
+        _check(lambda t: ops.reshape(t, (4, 3)), X)
+
+    def test_transpose_default(self):
+        _check(ops.transpose, X)
+
+    def test_transpose_axes(self):
+        Y = RNG.standard_normal((2, 3, 4))
+        _check(lambda t: ops.transpose(t, (2, 0, 1)), Y)
+
+    def test_getitem_slice(self):
+        _check(lambda t: ops.getitem(t, slice(1, 3)), X)
+
+    def test_getitem_fancy_index_repeated(self):
+        idx = np.array([0, 1, 1, 2])
+        # repeated indices must accumulate in the scatter-add VJP
+        _check(lambda t: ops.getitem(t, idx), V[:4])
+
+    def test_getitem_2d(self):
+        _check(lambda t: ops.getitem(t, (slice(None), 2)), X)
+
+    def test_concatenate_axis0(self):
+        _check(lambda t: ops.concatenate([t, X]), X.copy())
+
+    def test_concatenate_axis1(self):
+        _check(lambda t: ops.concatenate([t, X], axis=1), X.copy())
+
+    def test_concatenate_three_parts(self):
+        _check(lambda t: ops.concatenate([t, 2.0 * t, X]), X.copy())
+
+    def test_stack_axis0(self):
+        _check(lambda t: ops.stack([t, 2.0 * t]), V)
+
+    def test_stack_axis1(self):
+        _check(lambda t: ops.stack([t, t * t], axis=1), V)
+
+    def test_stack_values(self):
+        out = ops.stack([V, V + 1], axis=1).data
+        np.testing.assert_allclose(out, np.stack([V, V + 1], axis=1))

@@ -1,0 +1,19 @@
+"""Tests for the ``python -m repro.bench`` entry point."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_laplace_only_skip_pinn(self, capsys):
+        rc = main(["--skip-pinn", "--problem", "laplace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TABLE 3" in out
+        assert "laplace" in out
+        assert "navier-stokes" not in out
+
+    def test_invalid_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--problem", "burgers"])

@@ -1,0 +1,59 @@
+"""Tests for benchmark scale configuration."""
+
+import os
+
+import pytest
+
+from repro.bench.configs import (
+    DEFAULT_SCALE,
+    FULL_SCALE,
+    get_scale,
+    is_full_scale,
+)
+
+
+class TestScaleSelection:
+    def test_default_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not is_full_scale()
+        assert get_scale().name == "default"
+
+    def test_full_when_env_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_scale()
+        assert get_scale().name == "full"
+
+    def test_falsy_values(self, monkeypatch):
+        for v in ("0", "", "false", "False"):
+            monkeypatch.setenv("REPRO_FULL", v)
+            assert not is_full_scale()
+
+
+class TestPaperAlignment:
+    """The *full* tier must match the paper's printed hyperparameters."""
+
+    def test_ns_refinements(self):
+        assert FULL_SCALE.ns.refinements_dal == 3
+        assert FULL_SCALE.ns.refinements_dp == 10
+
+    def test_ns_iterations(self):
+        assert FULL_SCALE.ns.iterations == 350
+
+    def test_laplace_iterations(self):
+        assert FULL_SCALE.laplace.iterations == 500
+
+    def test_pinn_epochs(self):
+        assert FULL_SCALE.pinn.laplace_epochs == 20000
+
+    def test_pinn_omega_ranges(self):
+        assert len(FULL_SCALE.pinn.laplace_omegas) == 11  # 1e-3 … 1e7
+        assert len(FULL_SCALE.pinn.ns_omegas) == 9  # 1e-3 … 1e5
+
+    def test_lr_values(self):
+        assert DEFAULT_SCALE.laplace.lr_dal == 1e-2
+        assert DEFAULT_SCALE.ns.lr == 1e-1
+        assert FULL_SCALE.pinn.laplace_lr == 1e-3
+
+    def test_default_tier_is_smaller(self):
+        assert DEFAULT_SCALE.laplace.nx < FULL_SCALE.laplace.nx
+        assert DEFAULT_SCALE.pinn.laplace_epochs < FULL_SCALE.pinn.laplace_epochs

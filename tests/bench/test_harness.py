@@ -1,0 +1,91 @@
+"""Smoke tests for the benchmark runners at miniature scale."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.configs import (
+    ExperimentScale,
+    LaplaceScale,
+    NavierStokesScale,
+    PinnScale,
+)
+from repro.bench.harness import (
+    make_laplace_problem,
+    make_ns_problem,
+    run_laplace_dal,
+    run_laplace_dp,
+    run_laplace_fd,
+    run_laplace_pinn,
+    run_ns_dal,
+    run_ns_dp,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    laplace=LaplaceScale(nx=12, iterations=25),
+    ns=NavierStokesScale(nx=15, ny=8, iterations=8, refinements_dal=3,
+                         refinements_dp=4, adjoint_refinements=10),
+    pinn=PinnScale(
+        laplace_epochs=60,
+        laplace_omegas=(1e-1,),
+        ns_epochs=40,
+        ns_omegas=(1.0,),
+        n_interior=40,
+        n_boundary=8,
+        laplace_hidden=(8,),
+        ns_hidden=(8,),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def lap_problem():
+    return make_laplace_problem(TINY)
+
+
+@pytest.fixture(scope="module")
+def ns_problem():
+    return make_ns_problem(TINY)
+
+
+class TestLaplaceRunners:
+    def test_dp(self, lap_problem):
+        r = run_laplace_dp(lap_problem, TINY)
+        assert r.method == "DP" and r.problem == "laplace"
+        assert r.final_cost < r.cost_history[0]
+        assert r.wall_time_s > 0 and r.peak_mem_bytes > 0
+        assert len(r.cost_history) == TINY.laplace.iterations
+
+    def test_dal(self, lap_problem):
+        r = run_laplace_dal(lap_problem, TINY)
+        assert r.final_cost < r.cost_history[0]
+
+    def test_fd(self, lap_problem):
+        r = run_laplace_fd(lap_problem, TINY, iterations=5)
+        assert r.iterations == 5
+        assert r.extra["n_evaluations"] > 5  # 2n+1 evals per iter
+
+    def test_pinn(self, lap_problem):
+        r = run_laplace_pinn(lap_problem, TINY)
+        assert r.method == "PINN"
+        assert r.extra["best_omega"] == 1e-1
+        assert len(r.extra["step2_costs"]) == 1
+        assert np.isfinite(r.final_cost)
+
+
+class TestNSRunners:
+    def test_dp(self, ns_problem):
+        r = run_ns_dp(ns_problem, TINY)
+        assert r.final_cost <= r.cost_history[0]
+        assert r.extra["refinements"] == TINY.ns.refinements_dp
+
+    def test_dal_records_final_not_best(self, ns_problem):
+        r = run_ns_dal(ns_problem, TINY)
+        assert r.final_cost == r.cost_history[-1]
+        assert "best_cost" in r.extra
+
+    def test_dp_reynolds_override(self, ns_problem):
+        r = run_ns_dp(ns_problem, TINY, reynolds=10.0)
+        assert r.extra["reynolds"] == 10.0

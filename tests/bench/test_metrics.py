@@ -1,0 +1,19 @@
+"""Tests for run measurement."""
+
+import numpy as np
+
+from repro.bench.metrics import measure_run
+
+
+class TestMeasureRun:
+    def test_returns_result_time_memory(self):
+        out, t, mem = measure_run(lambda: np.zeros(1_000_000).sum())
+        assert out == 0.0
+        assert t > 0.0
+        assert mem > 5 * 2**20  # the 8 MB buffer was traced
+
+    def test_propagates_exceptions(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            measure_run(lambda: (_ for _ in ()).throw(RuntimeError("boom")))

@@ -1,0 +1,51 @@
+"""Tests for table rendering."""
+
+import numpy as np
+
+from repro.bench.tables import (
+    render_hyperparameter_table,
+    render_performance_table,
+    render_table,
+)
+from repro.control.problem import ControlResult
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [["1"]], title="TABLE 1")
+        assert out.splitlines()[0] == "TABLE 1"
+
+
+class TestHyperparameterTable:
+    def test_na_hyphen(self):
+        out = render_hyperparameter_table(
+            "T", {"Epochs": {"PINN": "20k"}, "Iterations": {"DAL": "500", "DP": "500"}}
+        )
+        rows = out.splitlines()
+        assert any("20k" in r and "-" in r for r in rows)
+
+
+class TestPerformanceTable:
+    def test_table3_shape(self):
+        results = [
+            ControlResult("DAL", "laplace", np.zeros(1), 4.6e-3, 500, 1.0, 10 * 2**20),
+            ControlResult("DP", "laplace", np.zeros(1), 2.2e-9, 500, 0.5, 20 * 2**20),
+            ControlResult("PINN", "laplace", np.zeros(1), 1.6e-2, 20000, 7.0, 5 * 2**20),
+        ]
+        out = render_performance_table(results, title="TABLE 3")
+        assert "Final cost J" in out
+        assert "2.20e-09" in out
+        assert "Peak mem. (MiB)" in out
+
+    def test_missing_method_renders_dash(self):
+        results = [
+            ControlResult("DP", "navier-stokes", np.zeros(1), 2.6e-4, 350, 1.0, 0)
+        ]
+        out = render_performance_table(results)
+        assert "-" in out

@@ -1,0 +1,139 @@
+"""Tests for the Cloud container and its ordering invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.base import BoundaryKind, Cloud, KIND_ORDER
+
+
+def make_cloud(kinds=None):
+    """A tiny hand-built cloud: 2 interior, 2 dirichlet, 1 neumann."""
+    pts = np.array(
+        [[0.5, 0.5], [0.0, 0.0], [0.25, 0.5], [1.0, 0.0], [0.5, 1.0]]
+    )
+    groups = np.array(["internal", "bottom", "internal", "bottom", "top"], dtype=object)
+    normals = np.array(
+        [[np.nan, np.nan], [0, -1], [np.nan, np.nan], [0, -1], [0, 1]], dtype=float
+    )
+    kinds = kinds or {
+        "internal": BoundaryKind.INTERNAL,
+        "bottom": BoundaryKind.DIRICHLET,
+        "top": BoundaryKind.NEUMANN,
+    }
+    return Cloud(
+        points=pts,
+        group_of=groups,
+        kinds=kinds,
+        normals=normals,
+        coords=np.array([np.nan, 0.0, np.nan, 1.0, 0.5]),
+    )
+
+
+class TestOrdering:
+    def test_kind_blocks_canonical(self):
+        c = make_cloud()
+        ranks = [KIND_ORDER.index(c.kinds[g]) for g in c.group_of]
+        assert ranks == sorted(ranks)
+
+    def test_internal_block_first(self):
+        c = make_cloud()
+        np.testing.assert_array_equal(c.internal, [0, 1])
+
+    def test_counts(self):
+        c = make_cloud()
+        assert c.counts() == {
+            "internal": 2,
+            "dirichlet": 2,
+            "neumann": 1,
+            "robin": 0,
+        }
+
+    def test_boundary_complement_of_internal(self):
+        c = make_cloud()
+        assert set(c.boundary) | set(c.internal) == set(range(c.n))
+        assert not set(c.boundary) & set(c.internal)
+
+    def test_within_group_order_preserved(self):
+        # Bottom nodes were given in x-order 0.0 then 1.0; stable sort
+        # keeps that relative order.
+        c = make_cloud()
+        bx = c.points[c.groups["bottom"], 0]
+        assert bx.tolist() == [0.0, 1.0]
+
+
+class TestValidation:
+    def test_missing_kind_raises(self):
+        with pytest.raises(ValueError, match="BoundaryKind"):
+            make_cloud(kinds={"internal": BoundaryKind.INTERNAL})
+
+    def test_bad_points_shape(self):
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            Cloud(
+                points=np.zeros((3, 3)),
+                group_of=np.array(["a"] * 3, dtype=object),
+                kinds={"a": BoundaryKind.INTERNAL},
+                normals=np.zeros((3, 2)),
+            )
+
+    def test_zero_normal_raises(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="zero-length"):
+            Cloud(
+                points=pts,
+                group_of=np.array(["b", "b"], dtype=object),
+                kinds={"b": BoundaryKind.DIRICHLET},
+                normals=np.zeros((2, 2)),
+            )
+
+    def test_normals_are_normalised(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        c = Cloud(
+            points=pts,
+            group_of=np.array(["b", "b"], dtype=object),
+            kinds={"b": BoundaryKind.DIRICHLET},
+            normals=np.array([[0.0, -5.0], [0.0, -2.0]]),
+        )
+        np.testing.assert_allclose(
+            np.linalg.norm(c.normals, axis=1), [1.0, 1.0]
+        )
+
+    def test_validate_detects_duplicates(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5]])
+        c = Cloud(
+            points=pts,
+            group_of=np.array(["internal", "internal"], dtype=object),
+            kinds={"internal": BoundaryKind.INTERNAL},
+            normals=np.full((2, 2), np.nan),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            c.validate()
+
+
+class TestAccessors:
+    def test_group_points_and_normals(self):
+        c = make_cloud()
+        assert c.group_points("bottom").shape == (2, 2)
+        np.testing.assert_allclose(c.group_normals("top"), [[0.0, 1.0]])
+
+    def test_group_coords_sorted(self):
+        c = make_cloud()
+        coords = c.group_coords("bottom")
+        assert coords.tolist() == [0.0, 1.0]
+
+    def test_group_coords_missing_raises(self):
+        c = make_cloud()
+        with pytest.raises(ValueError, match="arclength"):
+            c.group_coords("internal")
+
+    def test_xy_properties(self):
+        c = make_cloud()
+        np.testing.assert_array_equal(c.x, c.points[:, 0])
+        np.testing.assert_array_equal(c.y, c.points[:, 1])
+
+    def test_with_kinds_retags_and_reorders(self):
+        c = make_cloud()
+        c2 = c.with_kinds({"top": BoundaryKind.DIRICHLET, "bottom": BoundaryKind.NEUMANN})
+        assert c2.counts()["neumann"] == 2
+        assert c2.counts()["dirichlet"] == 1
+        # Original unchanged.
+        assert c.counts()["neumann"] == 1

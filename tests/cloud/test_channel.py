@@ -1,0 +1,94 @@
+"""Tests for the channel cloud (the GMSH substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.channel import ChannelCloud, ChannelGeometry
+
+
+class TestGeometry:
+    def test_defaults_match_paper(self):
+        g = ChannelGeometry()
+        assert g.lx == 1.5 and g.ly == 1.0
+
+    def test_invalid_segment(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(seg_lo=0.9, seg_hi=0.5)
+        with pytest.raises(ValueError):
+            ChannelGeometry(seg_lo=0.5, seg_hi=2.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(lx=-1.0)
+
+
+class TestCloud:
+    def test_groups_present(self):
+        c = ChannelCloud(17, 9)
+        assert set(c.groups) == {
+            "internal", "inflow", "outflow", "wall_bottom", "wall_top",
+            "blowing", "suction",
+        }
+
+    def test_inflow_owns_corners(self):
+        c = ChannelCloud(17, 9)
+        iy = c.points[c.groups["inflow"], 1]
+        assert iy.min() == 0.0 and iy.max() == 1.0
+
+    def test_blowing_segment_location(self):
+        g = ChannelGeometry()
+        c = ChannelCloud(21, 9, geometry=g)
+        bx = c.points[c.groups["blowing"], 0]
+        assert np.all((bx >= g.seg_lo) & (bx <= g.seg_hi))
+        by = c.points[c.groups["blowing"], 1]
+        np.testing.assert_allclose(by, 0.0)
+
+    def test_suction_on_top(self):
+        c = ChannelCloud(21, 9)
+        sy = c.points[c.groups["suction"], 1]
+        np.testing.assert_allclose(sy, 1.0)
+
+    def test_inflow_outflow_sorted_by_y(self):
+        c = ChannelCloud(15, 9)
+        assert np.all(np.diff(c.points[c.groups["inflow"], 1]) > 0)
+        assert np.all(np.diff(c.points[c.groups["outflow"], 1]) > 0)
+
+    def test_grading_clusters_near_walls(self):
+        graded = ChannelCloud(9, 21, grading=0.9)
+        uniform = ChannelCloud(9, 21, grading=0.0)
+        ys_g = np.unique(graded.points[graded.groups["inflow"], 1])
+        ys_u = np.unique(uniform.points[uniform.groups["inflow"], 1])
+        # First spacing near the wall must be smaller with grading.
+        assert np.diff(ys_g)[0] < np.diff(ys_u)[0]
+
+    def test_jitter_keeps_interior_inside(self):
+        c = ChannelCloud(15, 9, jitter=1.0, seed=2)
+        geo = ChannelGeometry()
+        ip = c.points[c.internal]
+        assert ip[:, 0].min() > 0 and ip[:, 0].max() < geo.lx
+        assert ip[:, 1].min() > 0 and ip[:, 1].max() < geo.ly
+
+    def test_jitter_reproducible(self):
+        c1 = ChannelCloud(13, 7, jitter=0.5, seed=5)
+        c2 = ChannelCloud(13, 7, jitter=0.5, seed=5)
+        np.testing.assert_array_equal(c1.points, c2.points)
+
+    def test_no_duplicates(self):
+        ChannelCloud(17, 9, jitter=0.3).validate()
+
+    def test_normals(self):
+        c = ChannelCloud(15, 9)
+        np.testing.assert_allclose(c.group_normals("inflow"), [[-1, 0]] * 9)
+        np.testing.assert_allclose(c.group_normals("outflow"), [[1, 0]] * 9)
+        np.testing.assert_allclose(
+            c.group_normals("blowing"), [[0, -1]] * len(c.groups["blowing"])
+        )
+
+    def test_too_coarse_for_segment_raises(self):
+        geo = ChannelGeometry(seg_lo=0.70, seg_hi=0.72)
+        with pytest.raises(ValueError, match="segment"):
+            ChannelCloud(6, 6, geometry=geo)
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            ChannelCloud(3, 9)

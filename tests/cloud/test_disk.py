@@ -1,0 +1,91 @@
+"""Tests for the disk/annulus cloud (geometric-flexibility extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.disk import DiskCloud
+from repro.rbf.solver import BoundaryCondition, LinearPDEProblem, solve_pde
+from repro.rbf.assembly import LinearOperator2D
+
+
+class TestDisk:
+    def test_groups(self):
+        c = DiskCloud(6)
+        assert set(c.groups) == {"internal", "rim"}
+
+    def test_rim_on_circle(self):
+        c = DiskCloud(7, radius=2.0, center=(1.0, -1.0))
+        rim = c.group_points("rim")
+        r = np.linalg.norm(rim - np.array([1.0, -1.0]), axis=1)
+        np.testing.assert_allclose(r, 2.0, atol=1e-12)
+
+    def test_rim_normals_radial(self):
+        c = DiskCloud(6)
+        rim = c.group_points("rim")
+        nrm = c.group_normals("rim")
+        np.testing.assert_allclose(nrm, rim / np.linalg.norm(rim, axis=1)[:, None])
+
+    def test_interior_inside(self):
+        c = DiskCloud(8, radius=1.0)
+        r = np.linalg.norm(c.points[c.internal], axis=1)
+        assert r.max() < 1.0
+
+    def test_no_duplicates(self):
+        DiskCloud(8).validate()
+
+    def test_min_rings(self):
+        with pytest.raises(ValueError):
+            DiskCloud(1)
+
+
+class TestAnnulus:
+    def test_hub_group_present(self):
+        c = DiskCloud(6, inner_radius=0.3)
+        assert "hub" in c.groups
+
+    def test_hub_normals_point_inward(self):
+        c = DiskCloud(6, inner_radius=0.4)
+        hub = c.group_points("hub")
+        nrm = c.group_normals("hub")
+        # Outward normal of the domain on the inner circle points toward
+        # the centre.
+        np.testing.assert_allclose(
+            nrm, -hub / np.linalg.norm(hub, axis=1)[:, None], atol=1e-12
+        )
+
+    def test_invalid_inner_radius(self):
+        with pytest.raises(ValueError):
+            DiskCloud(6, radius=1.0, inner_radius=1.5)
+
+
+class TestSolveOnDisk:
+    def test_poisson_manufactured(self):
+        """Δ(1 − r²) = −4 with zero rim data — solved mesh-free on the disk."""
+        c = DiskCloud(8)
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            source=-4.0,
+            bcs={"rim": BoundaryCondition("dirichlet", value=0.0)},
+        )
+        u = solve_pde(c, prob)
+        exact = 1 - c.x**2 - c.y**2
+        assert np.max(np.abs(u - exact)) < 0.02
+
+    def test_annulus_harmonic(self):
+        """u = log(r)/log(2) on the annulus r ∈ [1/2, 1] is harmonic."""
+        c = DiskCloud(8, radius=1.0, inner_radius=0.5)
+
+        def exact(p):
+            r = np.linalg.norm(p, axis=1)
+            return np.log(r / 0.5) / np.log(2.0)
+
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                "rim": BoundaryCondition("dirichlet", value=exact),
+                "hub": BoundaryCondition("dirichlet", value=exact),
+            },
+        )
+        u = solve_pde(c, prob)
+        r = np.linalg.norm(c.points, axis=1)
+        assert np.max(np.abs(u - np.log(r / 0.5) / np.log(2.0))) < 0.02

@@ -1,0 +1,63 @@
+"""Tests for low-discrepancy sequences."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.halton import halton_sequence, van_der_corput
+
+
+class TestVanDerCorput:
+    def test_first_values_base2(self):
+        np.testing.assert_allclose(
+            van_der_corput(4, 2), [0.5, 0.25, 0.75, 0.125]
+        )
+
+    def test_first_values_base3(self):
+        np.testing.assert_allclose(
+            van_der_corput(3, 3), [1 / 3, 2 / 3, 1 / 9]
+        )
+
+    def test_in_unit_interval(self):
+        v = van_der_corput(200, 5)
+        assert v.min() > 0 and v.max() < 1
+
+    def test_start_offset(self):
+        full = van_der_corput(10, 2)
+        shifted = van_der_corput(8, 2, start=3)
+        np.testing.assert_allclose(shifted, full[2:])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            van_der_corput(-1, 2)
+        with pytest.raises(ValueError):
+            van_der_corput(5, 1)
+
+
+class TestHalton:
+    def test_shape(self):
+        assert halton_sequence(50, 2).shape == (50, 2)
+
+    def test_low_discrepancy_beats_uniform_tail(self):
+        # Star-discrepancy proxy: max deviation of empirical CDF on a grid.
+        n = 256
+        h = halton_sequence(n, 2)
+        rng = np.random.default_rng(0)
+        u = rng.uniform(size=(n, 2))
+
+        def disc(pts):
+            worst = 0.0
+            for a in np.linspace(0.1, 1.0, 10):
+                for b in np.linspace(0.1, 1.0, 10):
+                    frac = np.mean((pts[:, 0] < a) & (pts[:, 1] < b))
+                    worst = max(worst, abs(frac - a * b))
+            return worst
+
+        assert disc(h) < disc(u)
+
+    def test_dim_limit(self):
+        with pytest.raises(ValueError):
+            halton_sequence(5, 11)
+
+    def test_points_distinct(self):
+        h = halton_sequence(100, 2)
+        assert len(np.unique(h.round(12), axis=0)) == 100

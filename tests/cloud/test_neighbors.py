@@ -1,0 +1,49 @@
+"""Tests for kd-tree neighbour queries and cloud-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.neighbors import fill_distance, min_spacing, nearest_neighbors
+from repro.cloud.square import SquareCloud
+
+
+class TestNearestNeighbors:
+    def test_self_is_first_neighbor(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        idx, dists = nearest_neighbors(pts, k=2)
+        np.testing.assert_array_equal(idx[:, 0], [0, 1, 2])
+        np.testing.assert_allclose(dists[:, 0], 0.0)
+
+    def test_k1_shape(self):
+        pts = np.random.default_rng(0).uniform(size=(10, 2))
+        idx, dists = nearest_neighbors(pts, k=1)
+        assert idx.shape == (10, 1) and dists.shape == (10, 1)
+
+    def test_queries_argument(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        idx, dists = nearest_neighbors(pts, k=1, queries=np.array([[0.9, 0.0]]))
+        assert idx[0, 0] == 1
+
+    def test_invalid_k(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            nearest_neighbors(pts, k=0)
+        with pytest.raises(ValueError):
+            nearest_neighbors(pts, k=4)
+
+
+class TestMetrics:
+    def test_min_spacing_regular_grid(self):
+        c = SquareCloud(11)
+        assert abs(min_spacing(c.points) - 0.1) < 1e-12
+
+    def test_fill_distance_regular_grid(self):
+        c = SquareCloud(11)
+        # Largest hole on a regular grid ≈ half-diagonal of a cell.
+        fd = fill_distance(c.points, resolution=41)
+        assert fd <= 0.1 * np.sqrt(2) / 2 + 1e-9
+
+    def test_scattered_cloud_worse_fill(self):
+        reg = SquareCloud(12)
+        jit = SquareCloud(12, scatter="jitter", seed=0)
+        assert fill_distance(jit.points) >= fill_distance(reg.points) - 1e-12

@@ -1,0 +1,92 @@
+"""Tests for the unit-square cloud generator."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.base import BoundaryKind
+from repro.cloud.square import SquareCloud
+
+
+class TestRegularGrid:
+    def test_total_count(self):
+        c = SquareCloud(10)
+        assert c.n == 100
+
+    def test_rectangular(self):
+        c = SquareCloud(8, 5)
+        assert c.n == 40
+        assert c.counts()["internal"] == 6 * 3
+
+    def test_all_points_in_unit_square(self):
+        c = SquareCloud(9)
+        assert c.points.min() >= 0.0 and c.points.max() <= 1.0
+
+    def test_corners_belong_to_sides(self):
+        c = SquareCloud(7)
+        left = c.group_points("left")
+        assert {tuple(p) for p in left} >= {(0.0, 0.0), (0.0, 1.0)}
+        top = c.group_points("top")
+        assert all(0.0 < p[0] < 1.0 for p in top)
+
+    def test_top_sorted_by_x(self):
+        c = SquareCloud(12)
+        tx = c.points[c.groups["top"], 0]
+        assert np.all(np.diff(tx) > 0)
+
+    def test_normals_outward(self):
+        c = SquareCloud(6)
+        np.testing.assert_allclose(c.group_normals("top"), [[0, 1]] * 4)
+        np.testing.assert_allclose(c.group_normals("bottom"), [[0, -1]] * 4)
+        np.testing.assert_allclose(c.group_normals("left"), [[-1, 0]] * 6)
+
+    def test_no_duplicates(self):
+        SquareCloud(11).validate()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            SquareCloud(2)
+
+
+class TestScattered:
+    def test_halton_interior_count(self):
+        c = SquareCloud(10, scatter="halton")
+        assert c.counts()["internal"] == 64
+
+    def test_halton_interior_strictly_inside(self):
+        c = SquareCloud(10, scatter="halton")
+        ip = c.points[c.internal]
+        assert ip.min() > 0.0 and ip.max() < 1.0
+
+    def test_jitter_reproducible(self):
+        c1 = SquareCloud(8, scatter="jitter", seed=3)
+        c2 = SquareCloud(8, scatter="jitter", seed=3)
+        np.testing.assert_array_equal(c1.points, c2.points)
+
+    def test_jitter_seed_changes_interior(self):
+        c1 = SquareCloud(8, scatter="jitter", seed=0)
+        c2 = SquareCloud(8, scatter="jitter", seed=1)
+        assert not np.allclose(c1.points[c1.internal], c2.points[c2.internal])
+
+    def test_boundary_unchanged_by_scatter(self):
+        reg = SquareCloud(9)
+        hal = SquareCloud(9, scatter="halton")
+        np.testing.assert_allclose(
+            reg.group_points("top"), hal.group_points("top")
+        )
+
+    def test_unknown_scatter_raises(self):
+        with pytest.raises(ValueError, match="scatter"):
+            SquareCloud(8, scatter="random-walk")
+
+
+class TestKindOverride:
+    def test_neumann_top(self):
+        kinds = {
+            "internal": BoundaryKind.INTERNAL,
+            "bottom": BoundaryKind.DIRICHLET,
+            "top": BoundaryKind.NEUMANN,
+            "left": BoundaryKind.DIRICHLET,
+            "right": BoundaryKind.DIRICHLET,
+        }
+        c = SquareCloud(8, kinds=kinds)
+        assert c.counts()["neumann"] == 6

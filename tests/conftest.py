@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Problem fixtures are session-scoped: building nodal operator matrices is
+an O(N³) factorisation, and the control problems are immutable once
+constructed, so sharing them keeps the suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.channel import ChannelCloud
+from repro.cloud.square import SquareCloud
+from repro.pde.laplace import LaplaceControlProblem
+from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def square_cloud_12():
+    return SquareCloud(12)
+
+
+@pytest.fixture(scope="session")
+def square_cloud_16():
+    return SquareCloud(16)
+
+
+@pytest.fixture(scope="session")
+def channel_cloud_small():
+    return ChannelCloud(17, 9)
+
+
+@pytest.fixture(scope="session")
+def laplace_problem():
+    """Small Laplace control problem (16×16 grid)."""
+    return LaplaceControlProblem(SquareCloud(16))
+
+
+@pytest.fixture(scope="session")
+def channel_problem():
+    """Small channel-flow problem."""
+    return ChannelFlowProblem(cloud=ChannelCloud(17, 9), perturbation=0.3)
+
+
+@pytest.fixture(scope="session")
+def ns_config_fast():
+    """Cheap NS configuration for solver tests."""
+    return NSConfig(reynolds=100.0, refinements=6, pseudo_dt=0.5)

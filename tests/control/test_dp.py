@@ -1,0 +1,141 @@
+"""Tests for the differentiable-programming oracles."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.check import directional_numerical_derivative
+from repro.control.dp import LaplaceDP, NavierStokesDP
+from repro.control.loop import optimize
+from repro.pde.navier_stokes import NSConfig
+
+
+class TestLaplaceDP:
+    def test_value_matches_direct_solve(self, laplace_problem):
+        dp = LaplaceDP(laplace_problem)
+        c = laplace_problem.zero_control()
+        u = dp.solve_state(c)
+        assert dp.value(c) == pytest.approx(
+            laplace_problem.cost_from_state(u), rel=1e-12
+        )
+
+    def test_gradient_exact_vs_fd(self, laplace_problem):
+        dp = LaplaceDP(laplace_problem)
+        c0 = laplace_problem.zero_control() + 0.1
+        _, g = dp.value_and_grad(c0)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            d = rng.standard_normal(c0.shape)
+            d /= np.linalg.norm(d)
+            num = directional_numerical_derivative(dp.value, c0, d, eps=1e-6)
+            assert abs(float(g @ d) - num) < 1e-8 * max(1.0, abs(num))
+
+    def test_gradient_zero_at_discrete_optimum(self, laplace_problem):
+        """At the (convex) discrete optimum the DP gradient vanishes."""
+        dp = LaplaceDP(laplace_problem)
+        c_star, _ = optimize(dp, n_iterations=600, initial_lr=1e-2)
+        _, g = dp.value_and_grad(c_star)
+        assert np.linalg.norm(g) < 1e-3
+
+    def test_drives_cost_to_machine_precision_scale(self, laplace_problem):
+        """The paper's headline: DP reaches J ~ 1e-9 (2.2e-9 in Table 3)."""
+        dp = LaplaceDP(laplace_problem)
+        _, hist = optimize(dp, n_iterations=500, initial_lr=1e-2)
+        assert hist.best_cost < 1e-7
+
+    def test_optimal_control_close_to_analytic(self, laplace_problem):
+        dp = LaplaceDP(laplace_problem)
+        c_star, _ = optimize(dp, n_iterations=500, initial_lr=1e-2)
+        err = np.max(np.abs(c_star - laplace_problem.optimal_control()))
+        assert err < 0.15  # discretisation-level agreement
+
+    def test_initial_control_is_zero(self, laplace_problem):
+        np.testing.assert_array_equal(
+            LaplaceDP(laplace_problem).initial_control(),
+            np.zeros(laplace_problem.n_control),
+        )
+
+
+class TestNavierStokesDP:
+    @pytest.fixture(scope="class")
+    def dp(self, channel_problem):
+        return NavierStokesDP(
+            channel_problem, NSConfig(reynolds=100.0, refinements=5, pseudo_dt=0.5)
+        )
+
+    def test_value_consistent_with_ad_forward(self, dp, channel_problem):
+        c = channel_problem.default_control()
+        j_np = dp.value(c)
+        j_ad, _ = dp.value_and_grad(c)
+        assert j_np == pytest.approx(j_ad, rel=1e-12)
+
+    def test_gradient_vs_fd(self, dp, channel_problem):
+        c0 = channel_problem.default_control()
+        _, g = dp.value_and_grad(c0)
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal(c0.shape)
+        d /= np.linalg.norm(d)
+        num = directional_numerical_derivative(dp.value, c0, d, eps=1e-6)
+        assert abs(float(g @ d) - num) < 1e-6 * max(1.0, abs(num))
+
+    def test_short_optimisation_reduces_cost(self, dp):
+        c, hist = optimize(dp, n_iterations=15, initial_lr=1e-1)
+        assert hist.best_cost < hist.costs[0] * 0.7
+
+    def test_initial_control_parabolic(self, dp, channel_problem):
+        np.testing.assert_allclose(
+            dp.initial_control(), channel_problem.default_control()
+        )
+
+
+class TestSmoothnessPenalty:
+    """The §4 control-variation penalty (opt-in extension)."""
+
+    def test_penalised_laplace_value_adds_term(self, laplace_problem):
+        from repro.control.dp import LaplaceDP
+
+        c = laplace_problem.zero_control() + np.sin(
+            7 * laplace_problem.control_x
+        )
+        plain = LaplaceDP(laplace_problem)
+        pen = LaplaceDP(laplace_problem, smoothness_weight=1e-2)
+        assert pen.value(c) > plain.value(c)
+
+    def test_zero_weight_is_noop(self, laplace_problem):
+        from repro.control.dp import LaplaceDP
+
+        c = laplace_problem.zero_control() + 0.1
+        assert LaplaceDP(laplace_problem, smoothness_weight=0.0).value(
+            c
+        ) == pytest.approx(LaplaceDP(laplace_problem).value(c), rel=1e-14)
+
+    def test_penalty_gradient_correct(self, laplace_problem):
+        from repro.autodiff.check import directional_numerical_derivative
+        from repro.control.dp import LaplaceDP
+
+        dp = LaplaceDP(laplace_problem, smoothness_weight=1e-2)
+        c0 = laplace_problem.zero_control() + 0.05
+        _, g = dp.value_and_grad(c0)
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal(c0.shape)
+        d /= np.linalg.norm(d)
+        num = directional_numerical_derivative(dp.value, c0, d, eps=1e-6)
+        assert abs(float(g @ d) - num) < 1e-7 * max(1.0, abs(num))
+
+    def test_constant_control_unpenalised(self, laplace_problem):
+        from repro.control.dp import LaplaceDP
+
+        c = np.full(laplace_problem.n_control, 0.3)
+        plain = LaplaceDP(laplace_problem)
+        pen = LaplaceDP(laplace_problem, smoothness_weight=10.0)
+        assert pen.value(c) == pytest.approx(plain.value(c), rel=1e-12)
+
+    def test_ns_penalised_value_consistent_with_grad_path(self, channel_problem):
+        from repro.control.dp import NavierStokesDP
+        from repro.pde.navier_stokes import NSConfig
+
+        cfg = NSConfig(reynolds=100.0, refinements=4, pseudo_dt=0.5)
+        dp = NavierStokesDP(channel_problem, cfg, smoothness_weight=1e-3)
+        c = channel_problem.default_control() * 1.1
+        j_np = dp.value(c)
+        j_ad, _ = dp.value_and_grad(c)
+        assert j_np == pytest.approx(j_ad, rel=1e-12)

@@ -1,0 +1,46 @@
+"""Tests for the finite-difference gradient baseline."""
+
+import numpy as np
+import pytest
+
+from repro.control.dp import LaplaceDP
+from repro.control.fd import FiniteDifferenceOracle
+
+
+class TestOnQuadratic:
+    def test_gradient_accuracy(self):
+        target = np.array([1.0, -1.0, 2.0])
+        fd = FiniteDifferenceOracle(
+            lambda c: float(np.sum((c - target) ** 2)), np.zeros(3)
+        )
+        j, g = fd.value_and_grad(np.zeros(3))
+        assert j == pytest.approx(6.0)
+        np.testing.assert_allclose(g, -2 * target, atol=1e-8)
+
+    def test_evaluation_count(self):
+        fd = FiniteDifferenceOracle(lambda c: float(c @ c), np.zeros(4))
+        fd.value_and_grad(np.ones(4))
+        assert fd.n_evaluations == 1 + 2 * 4
+
+    def test_initial_control_copied(self):
+        init = np.ones(2)
+        fd = FiniteDifferenceOracle(lambda c: 0.0, init)
+        out = fd.initial_control()
+        out[0] = 99.0
+        np.testing.assert_array_equal(fd.initial_control(), [1.0, 1.0])
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            FiniteDifferenceOracle(lambda c: 0.0, np.zeros(1), eps=0.0)
+
+
+class TestAgainstDP:
+    def test_fd_matches_dp_on_laplace(self, laplace_problem):
+        """Footnote 11: classical FD provides accurate gradients — they
+        must agree with the exact DP gradient to FD truncation error."""
+        dp = LaplaceDP(laplace_problem)
+        fd = FiniteDifferenceOracle(dp.value, laplace_problem.zero_control())
+        c = laplace_problem.zero_control() + 0.05
+        _, g_dp = dp.value_and_grad(c)
+        _, g_fd = fd.value_and_grad(c)
+        np.testing.assert_allclose(g_fd, g_dp, atol=1e-6, rtol=1e-5)

@@ -1,0 +1,100 @@
+"""Tests for the shared optimisation loop."""
+
+import numpy as np
+import pytest
+
+from repro.control.loop import OptimizationHistory, optimize
+
+
+class QuadraticOracle:
+    """J(c) = ||c − t||² with exact gradient."""
+
+    def __init__(self, target):
+        self.target = np.asarray(target, dtype=np.float64)
+        self.calls = 0
+
+    def value(self, c):
+        return float(np.sum((c - self.target) ** 2))
+
+    def value_and_grad(self, c):
+        self.calls += 1
+        return self.value(c), 2.0 * (c - self.target)
+
+    def initial_control(self):
+        return np.zeros_like(self.target)
+
+
+class NaNOracle(QuadraticOracle):
+    """Returns NaN gradients after a few iterations (DAL-on-NS style)."""
+
+    def value_and_grad(self, c):
+        j, g = super().value_and_grad(c)
+        if self.calls > 3:
+            g = np.full_like(g, np.nan)
+        return j, g
+
+
+class TestOptimize:
+    def test_converges_on_quadratic(self):
+        oracle = QuadraticOracle([1.0, -2.0, 0.5])
+        c, hist = optimize(oracle, n_iterations=300, initial_lr=0.1)
+        np.testing.assert_allclose(c, oracle.target, atol=1e-3)
+        assert hist.costs[-1] < hist.costs[0]
+
+    def test_history_lengths(self):
+        oracle = QuadraticOracle([1.0])
+        _, hist = optimize(oracle, n_iterations=50, initial_lr=0.1)
+        assert len(hist.costs) == 50
+        assert len(hist.grad_norms) == 50
+        assert len(hist.learning_rates) == 50
+        assert hist.wall_time_s > 0
+
+    def test_schedule_applied(self):
+        oracle = QuadraticOracle([1.0])
+        _, hist = optimize(oracle, n_iterations=100, initial_lr=1e-2)
+        assert hist.learning_rates[0] == pytest.approx(1e-2)
+        assert hist.learning_rates[60] == pytest.approx(1e-3)
+        assert hist.learning_rates[90] == pytest.approx(1e-4)
+
+    def test_returns_best_not_last(self):
+        # Overshooting oracle: huge lr makes the last iterate worse.
+        oracle = QuadraticOracle([1.0])
+        c, hist = optimize(oracle, n_iterations=20, initial_lr=5.0)
+        assert hist.best_cost <= hist.costs[-1] + 1e-12
+        assert oracle.value(c) == pytest.approx(hist.best_cost)
+
+    def test_custom_initial_control(self):
+        oracle = QuadraticOracle([0.0, 0.0])
+        c, hist = optimize(
+            oracle, n_iterations=5, initial_lr=0.1, c0=np.array([3.0, 3.0])
+        )
+        assert hist.costs[0] == pytest.approx(18.0)
+
+    def test_callback_invoked(self):
+        oracle = QuadraticOracle([1.0])
+        seen = []
+        optimize(
+            oracle,
+            n_iterations=7,
+            initial_lr=0.1,
+            callback=lambda it, c, j: seen.append(it),
+        )
+        assert seen == list(range(7))
+
+    def test_gradient_clipping(self):
+        oracle = QuadraticOracle([100.0])
+        _, hist_unclipped = optimize(oracle, n_iterations=3, initial_lr=0.1)
+        _, hist = optimize(oracle, n_iterations=3, initial_lr=0.1, grad_clip=1.0)
+        assert all(n <= 1.0 + 1e-12 for n in hist.grad_norms[1:])
+
+    def test_nan_gradient_stops_loop(self):
+        oracle = NaNOracle([1.0])
+        _, hist = optimize(oracle, n_iterations=100, initial_lr=0.1)
+        assert len(hist.costs) < 100  # stopped early
+
+    def test_invalid_iteration_count(self):
+        with pytest.raises(ValueError):
+            optimize(QuadraticOracle([1.0]), n_iterations=0, initial_lr=0.1)
+
+    def test_empty_history_best_cost(self):
+        assert OptimizationHistory().best_cost == np.inf

@@ -1,0 +1,74 @@
+"""Tests for the reduced-Hessian Gauss–Newton extension."""
+
+import numpy as np
+import pytest
+
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.control.newton import LaplaceGaussNewton
+
+
+@pytest.fixture(scope="module")
+def gn(laplace_problem):
+    return LaplaceGaussNewton(laplace_problem)
+
+
+class TestQuadraticStructure:
+    def test_gradient_matches_dp(self, gn, laplace_problem):
+        """The assembled quadratic-model gradient IS the DP gradient."""
+        dp = LaplaceDP(laplace_problem)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            c = rng.standard_normal(laplace_problem.n_control)
+            _, g_dp = dp.value_and_grad(c)
+            np.testing.assert_allclose(gn.gradient(c), g_dp, rtol=1e-9, atol=1e-12)
+
+    def test_hessian_spd(self, gn):
+        eigs = np.linalg.eigvalsh(gn.hessian)
+        assert np.all(eigs > 0)
+
+    def test_hessian_symmetric(self, gn):
+        np.testing.assert_allclose(gn.hessian, gn.hessian.T, atol=1e-12)
+
+
+class TestOneShotSolve:
+    def test_single_step_reaches_machine_zero(self, gn):
+        c, j = gn.solve()
+        assert j < 1e-20
+
+    def test_independent_of_start(self, gn, laplace_problem):
+        rng = np.random.default_rng(1)
+        c1, _ = gn.solve(c0=np.zeros(laplace_problem.n_control))
+        c2, _ = gn.solve(c0=rng.standard_normal(laplace_problem.n_control))
+        np.testing.assert_allclose(c1, c2, atol=1e-8)
+
+    def test_beats_adam_by_orders(self, gn, laplace_problem):
+        """The extension's point: 1 Newton step vs hundreds of Adam steps."""
+        _, j_newton = gn.solve()
+        dp = LaplaceDP(laplace_problem)
+        _, hist = optimize(dp, n_iterations=100, initial_lr=1e-2)
+        assert j_newton < hist.best_cost * 1e-6
+
+    def test_matches_adam_limit_control(self, gn, laplace_problem):
+        c_newton, _ = gn.solve()
+        dp = LaplaceDP(laplace_problem)
+        c_adam, _ = optimize(dp, n_iterations=800, initial_lr=1e-2)
+        assert np.max(np.abs(c_newton - c_adam)) < 0.02
+
+    def test_gradient_zero_at_solution(self, gn):
+        c, _ = gn.solve()
+        assert np.linalg.norm(gn.gradient(c)) < 1e-10
+
+
+class TestTikhonov:
+    def test_regularisation_shrinks_control(self, laplace_problem):
+        gn0 = LaplaceGaussNewton(laplace_problem)
+        gn_reg = LaplaceGaussNewton(laplace_problem, tikhonov=10.0)
+        c0, _ = gn0.solve()
+        c_reg, _ = gn_reg.solve()
+        assert np.linalg.norm(c_reg) < np.linalg.norm(c0)
+
+    def test_regularised_cost_higher(self, laplace_problem):
+        gn_reg = LaplaceGaussNewton(laplace_problem, tikhonov=1.0)
+        _, j = gn_reg.solve()
+        assert j > 1e-20  # no longer exactly zero

@@ -1,0 +1,160 @@
+"""Tests for the PINN method and the two-step omega line search.
+
+Training budgets here are tiny (hundreds of epochs): the tests check
+*mechanisms* — losses decrease, residuals respond to omega, the line
+search selects by retrained cost — not paper-level accuracy, which the
+benchmark suite covers at larger budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.pinn import (
+    LaplacePINN,
+    LineSearchResult,
+    NavierStokesPINN,
+    PINNTrainConfig,
+    omega_line_search,
+)
+from repro.pde.navier_stokes import NSConfig
+
+FAST = PINNTrainConfig(epochs=150, lr=2e-3, n_interior=80, n_boundary=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lap_pinn(laplace_problem):
+    return LaplacePINN(
+        laplace_problem, state_hidden=(16, 16), control_hidden=(8,), config=FAST
+    )
+
+
+class TestLaplacePINNComponents:
+    def test_init_params_structure(self, lap_pinn):
+        p = lap_pinn.init_params()
+        assert set(p) == {"u", "c"}
+        assert p["u"][0]["W"].shape == (2, 16)
+        assert p["c"][0]["W"].shape == (1, 8)
+
+    def test_residual_loss_nonnegative(self, lap_pinn):
+        p = lap_pinn.init_params()
+        assert float(lap_pinn.residual_loss(p["u"]).data) >= 0.0
+
+    def test_loss_composition(self, lap_pinn):
+        p = lap_pinn.init_params()
+        l0 = float(lap_pinn.loss(p, omega=0.0).data)
+        l1 = float(lap_pinn.loss(p, omega=1.0).data)
+        j = float(lap_pinn.cost_objective(p["u"]).data)
+        assert l1 == pytest.approx(l0 + j, rel=1e-10)
+
+    def test_training_reduces_loss(self, lap_pinn):
+        run = lap_pinn.train_pair(omega=0.1)
+        assert run.loss_history[-1] < run.loss_history[0]
+
+    def test_histories_recorded(self, lap_pinn):
+        run = lap_pinn.train_pair(omega=0.1)
+        assert len(run.loss_history) == FAST.epochs
+        assert len(run.cost_history) == FAST.epochs
+        assert len(run.residual_history) == FAST.epochs
+
+    def test_joint_training_mode(self, laplace_problem):
+        cfg = PINNTrainConfig(
+            epochs=60, lr=2e-3, n_interior=50, n_boundary=10, alternating=False
+        )
+        pinn = LaplacePINN(
+            laplace_problem, state_hidden=(8,), control_hidden=(8,), config=cfg
+        )
+        run = pinn.train_pair(omega=0.1)
+        assert run.loss_history[-1] < run.loss_history[0]
+
+    def test_retrain_state_reduces_forward_loss(self, lap_pinn):
+        run = lap_pinn.train_pair(omega=0.1)
+        _, hist = lap_pinn.retrain_state(run.params_c)
+        assert hist[-1] < hist[0]
+
+    def test_control_values_shape(self, lap_pinn, laplace_problem):
+        run = lap_pinn.train_pair(omega=0.1)
+        c = lap_pinn.control_values(run.params_c)
+        assert c.shape == (laplace_problem.n_control,)
+
+    def test_evaluate_cost_positive(self, lap_pinn):
+        p = lap_pinn.init_params()
+        assert lap_pinn.evaluate_cost(p["u"]) > 0.0
+
+    def test_state_values(self, lap_pinn):
+        p = lap_pinn.init_params()
+        pts = np.random.default_rng(0).uniform(0, 1, (5, 2))
+        assert lap_pinn.state_values(p["u"], pts).shape == (5,)
+
+    def test_large_omega_prioritises_cost(self, laplace_problem):
+        """Mechanism behind Fig. 3c–e: larger ω trades PDE fit for cost."""
+        cfg = PINNTrainConfig(epochs=400, lr=2e-3, n_interior=80, n_boundary=12)
+        pinn = LaplacePINN(
+            laplace_problem, state_hidden=(16, 16), control_hidden=(8,), config=cfg
+        )
+        run_small = pinn.train_pair(omega=1e-3)
+        run_big = pinn.train_pair(omega=1e2)
+        assert run_big.cost_history[-1] < run_small.cost_history[-1]
+
+
+class TestLineSearch:
+    def test_structure_and_selection(self, lap_pinn):
+        omegas = [1e-2, 1.0]
+        ls = omega_line_search(lap_pinn, omegas)
+        assert isinstance(ls, LineSearchResult)
+        assert ls.best_omega in omegas
+        assert len(ls.step1) == 2
+        assert len(ls.step2_costs) == 2
+        assert ls.best_cost == pytest.approx(min(ls.step2_costs))
+
+    def test_empty_omegas_raises(self, lap_pinn):
+        with pytest.raises(ValueError):
+            omega_line_search(lap_pinn, [])
+
+
+class TestNavierStokesPINN:
+    @pytest.fixture(scope="class")
+    def ns_pinn(self, channel_problem):
+        cfg = PINNTrainConfig(
+            epochs=120, lr=2e-3, n_interior=80, n_boundary=12, seed=0
+        )
+        return NavierStokesPINN(
+            channel_problem,
+            ns_config=NSConfig(reynolds=100.0, refinements=5, pseudo_dt=0.5),
+            state_hidden=(16, 16),
+            control_hidden=(8,),
+            config=cfg,
+        )
+
+    def test_residual_includes_all_equations(self, ns_pinn):
+        p = ns_pinn.init_params()
+        assert float(ns_pinn.residual_loss(p["u"]).data) > 0.0
+
+    def test_training_reduces_loss(self, ns_pinn):
+        run = ns_pinn.train_pair(omega=1.0)
+        assert run.loss_history[-1] < run.loss_history[0]
+
+    def test_control_values_shape(self, ns_pinn, channel_problem):
+        run = ns_pinn.train_pair(omega=1.0)
+        assert ns_pinn.control_values(run.params_c).shape == (
+            channel_problem.n_control,
+        )
+
+    def test_evaluate_cost_physical_runs_reference_solver(
+        self, ns_pinn, channel_problem
+    ):
+        run = ns_pinn.train_pair(omega=1.0)
+        j_phys = ns_pinn.evaluate_cost_physical(run.params_c)
+        assert np.isfinite(j_phys) and j_phys >= 0.0
+
+    def test_retrain_state(self, ns_pinn):
+        run = ns_pinn.train_pair(omega=1.0)
+        pu, hist = ns_pinn.retrain_state(run.params_c)
+        assert hist[-1] < hist[0]
+        assert np.isfinite(ns_pinn.evaluate_cost(pu))
+
+    def test_blowing_data_nonzero_on_segment(self, ns_pinn, channel_problem):
+        geo = channel_problem.geometry
+        xb = ns_pinn.x_bot[:, 0]
+        on = (xb > geo.seg_lo) & (xb < geo.seg_hi)
+        assert np.all(ns_pinn.v_bot_data[on] > 0)
+        assert np.all(ns_pinn.v_bot_data[~on] == 0)

@@ -1,0 +1,45 @@
+"""Tests for the oracle protocol and result container."""
+
+import numpy as np
+
+from repro.control.dal import LaplaceDAL
+from repro.control.dp import LaplaceDP
+from repro.control.fd import FiniteDifferenceOracle
+from repro.control.problem import ControlResult, CostOracle
+
+
+class TestProtocolConformance:
+    def test_all_oracles_satisfy_protocol(self, laplace_problem):
+        oracles = [
+            LaplaceDAL(laplace_problem),
+            LaplaceDP(laplace_problem),
+            FiniteDifferenceOracle(lambda c: 0.0, np.zeros(3)),
+        ]
+        for o in oracles:
+            assert isinstance(o, CostOracle)
+
+
+class TestControlResult:
+    def test_summary_format(self):
+        r = ControlResult(
+            method="DP",
+            problem="laplace",
+            control=np.zeros(3),
+            final_cost=2.2e-9,
+            iterations=500,
+            wall_time_s=1.5,
+            peak_mem_bytes=1024**2,
+        )
+        s = r.summary()
+        assert "DP" in s and "2.2" in s and "500" in s
+
+    def test_defaults(self):
+        r = ControlResult(
+            method="DAL",
+            problem="ns",
+            control=np.zeros(1),
+            final_cost=0.1,
+            iterations=10,
+        )
+        assert r.cost_history == []
+        assert r.extra == {}

@@ -1,0 +1,79 @@
+"""End-to-end Laplace control: the Fig. 3 comparisons at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.square import SquareCloud
+from repro.control.dal import LaplaceDAL
+from repro.control.dp import LaplaceDP
+from repro.control.fd import FiniteDifferenceOracle
+from repro.control.loop import optimize
+from repro.pde.laplace import LaplaceControlProblem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return LaplaceControlProblem(SquareCloud(20))
+
+
+@pytest.fixture(scope="module")
+def dp_run(problem):
+    dp = LaplaceDP(problem)
+    return optimize(dp, n_iterations=400, initial_lr=1e-2)
+
+
+@pytest.fixture(scope="module")
+def dal_run(problem):
+    dal = LaplaceDAL(problem)
+    return optimize(dal, n_iterations=400, initial_lr=1e-2)
+
+
+class TestConvergence:
+    def test_dp_reaches_tiny_cost(self, dp_run):
+        """Fig. 3b / Table 3: DP drives the discrete J many orders down."""
+        _, hist = dp_run
+        assert hist.best_cost < 1e-6
+        assert hist.best_cost < hist.costs[0] * 1e-5
+
+    def test_dal_converges_on_laplace(self, dal_run):
+        """§4: 'the DAL approach was shown to perform well on the Laplace
+        optimal control problem'."""
+        _, hist = dal_run
+        assert hist.best_cost < 1e-4
+
+    def test_costs_monotone_after_burnin(self, dp_run):
+        _, hist = dp_run
+        tail = hist.costs[50:]
+        # Allow small Adam oscillations but require overall decrease.
+        assert tail[-1] < tail[0]
+
+
+class TestControlsAgreeAcrossMethods:
+    def test_dp_and_dal_find_same_minimiser(self, dp_run, dal_run, problem):
+        c_dp, _ = dp_run
+        c_dal, _ = dal_run
+        assert np.max(np.abs(c_dp - c_dal)) < 0.05
+
+    def test_dp_matches_analytic_control(self, dp_run, problem):
+        c_dp, _ = dp_run
+        err = np.max(np.abs(c_dp - problem.optimal_control()))
+        assert err < 0.12  # discretisation-limited agreement
+
+    def test_dp_state_matches_analytic_state(self, dp_run, problem):
+        """Fig. 3f–g: low absolute state error after optimisation."""
+        c_dp, _ = dp_run
+        dp = LaplaceDP(problem)
+        u = dp.solve_state(c_dp)
+        err = np.max(np.abs(u - problem.optimal_state()))
+        assert err < 0.12
+
+
+class TestFDBaseline:
+    def test_fd_short_run_matches_dp_trajectory(self, problem):
+        """Footnote 11: FD gradients are accurate — same first iterations."""
+        dp = LaplaceDP(problem)
+        fd = FiniteDifferenceOracle(dp.value, problem.zero_control())
+        c_fd, h_fd = optimize(fd, n_iterations=10, initial_lr=1e-2)
+        c_dp, h_dp = optimize(dp, n_iterations=10, initial_lr=1e-2)
+        np.testing.assert_allclose(c_fd, c_dp, atol=1e-4)
+        np.testing.assert_allclose(h_fd.costs, h_dp.costs, rtol=1e-6)

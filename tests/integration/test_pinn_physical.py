@@ -1,0 +1,55 @@
+"""Integration: the PINN's surrogate-vs-physics gap (Fig. 1 caption).
+
+"PINN achieves good control at the expense of first principles" — the
+surrogate's claimed cost and the cost of its control re-simulated with
+the reference RBF solver differ, while DP's claimed and physical costs
+coincide by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.dp import NavierStokesDP
+from repro.control.loop import optimize
+from repro.control.pinn import NavierStokesPINN, PINNTrainConfig
+from repro.pde.navier_stokes import NSConfig
+
+
+@pytest.fixture(scope="module")
+def trained(channel_problem):
+    cfg = PINNTrainConfig(epochs=400, lr=2e-3, n_interior=150, n_boundary=15)
+    pinn = NavierStokesPINN(
+        channel_problem,
+        ns_config=NSConfig(reynolds=100.0, refinements=6, pseudo_dt=0.5),
+        state_hidden=(24, 24),
+        control_hidden=(8,),
+        config=cfg,
+    )
+    run = pinn.train_pair(omega=1.0)
+    return pinn, run
+
+
+class TestSurrogateVsPhysics:
+    def test_surrogate_and_physical_costs_differ(self, trained):
+        pinn, run = trained
+        j_surrogate = float(pinn.cost_objective(run.params_u).data)
+        j_physical = pinn.evaluate_cost_physical(run.params_c)
+        # Both finite, but not the same number — the surrogate is not a
+        # physics-exact simulator.
+        assert np.isfinite(j_surrogate) and np.isfinite(j_physical)
+        assert abs(j_surrogate - j_physical) > 1e-6
+
+    def test_dp_claimed_cost_is_physical(self, channel_problem):
+        cfg = NSConfig(reynolds=100.0, refinements=6, pseudo_dt=0.5)
+        dp = NavierStokesDP(channel_problem, cfg)
+        c, hist = optimize(dp, n_iterations=10, initial_lr=1e-1)
+        st = channel_problem.solve(c, cfg)
+        assert channel_problem.cost(st.u, st.v) == pytest.approx(
+            dp.value(c), rel=1e-12
+        )
+
+    def test_pinn_residual_nonzero_after_training(self, trained):
+        """The soft-constraint residual never reaches zero — the
+        'variational crime' the paper's §1 discusses."""
+        pinn, run = trained
+        assert run.residual_history[-1] > 0.0

@@ -1,0 +1,39 @@
+"""Tests for activation triples (f, f', f'')."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ACTIVATIONS, get_activation
+
+Z = np.linspace(-2.0, 2.0, 41)
+EPS = 1e-6
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+class TestDerivativeConsistency:
+    def test_first_derivative(self, name):
+        act = get_activation(name)
+        fd = (act.f(Z + EPS).data - act.f(Z - EPS).data) / (2 * EPS)
+        np.testing.assert_allclose(act.df(Z).data, fd, atol=1e-8)
+
+    def test_second_derivative(self, name):
+        act = get_activation(name)
+        fd = (act.df(Z + EPS).data - act.df(Z - EPS).data) / (2 * EPS)
+        np.testing.assert_allclose(act.d2f(Z).data, fd, atol=1e-7)
+
+
+class TestSpecificValues:
+    def test_tanh_at_zero(self):
+        act = get_activation("tanh")
+        assert act.f(np.array([0.0])).data[0] == 0.0
+        assert act.df(np.array([0.0])).data[0] == 1.0
+        assert act.d2f(np.array([0.0])).data[0] == 0.0
+
+    def test_sigmoid_at_zero(self):
+        act = get_activation("sigmoid")
+        assert act.f(np.array([0.0])).data[0] == 0.5
+        assert act.df(np.array([0.0])).data[0] == 0.25
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="tanh"):
+            get_activation("gelu")

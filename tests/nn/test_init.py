@@ -1,0 +1,37 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+
+from repro.nn.init import glorot_normal, glorot_uniform, he_normal, zeros_init
+
+
+class TestGlorot:
+    def test_normal_variance(self):
+        rng = np.random.default_rng(0)
+        W = glorot_normal(rng, 400, 400)
+        assert abs(W.var() - 2.0 / 800) < 0.0005
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        W = glorot_uniform(rng, 50, 50)
+        a = np.sqrt(6.0 / 100)
+        assert W.min() >= -a and W.max() <= a
+
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        assert glorot_normal(rng, 3, 7).shape == (3, 7)
+
+
+class TestHe:
+    def test_variance(self):
+        rng = np.random.default_rng(0)
+        W = he_normal(rng, 500, 100)
+        assert abs(W.var() - 2.0 / 500) < 0.0005
+
+
+class TestZeros:
+    def test_zeros(self):
+        rng = np.random.default_rng(0)
+        b = zeros_init(rng, 4, 9)
+        assert b.shape == (9,)
+        assert np.all(b == 0)

@@ -1,0 +1,86 @@
+"""Tests for the MLP module."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP
+
+
+class TestConstruction:
+    def test_paper_laplace_architecture(self):
+        m = MLP(2, (30, 30, 30), 1)
+        assert m.widths == (2, 30, 30, 30, 1)
+        assert m.n_layers == 4
+
+    def test_paper_ns_architecture_param_count(self):
+        m = MLP(2, (50,) * 5, 3)
+        expected = (2 * 50 + 50) + 4 * (50 * 50 + 50) + (50 * 3 + 3)
+        assert m.n_params() == expected
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            MLP(0, (4,), 1)
+        with pytest.raises(ValueError):
+            MLP(2, (0,), 1)
+        with pytest.raises(ValueError):
+            MLP(2, (4,), 0)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            MLP(2, (4,), 1, activation="relu6")
+
+
+class TestInitParams:
+    def test_shapes(self):
+        m = MLP(2, (8, 4), 1)
+        p = m.init_params(0)
+        assert p[0]["W"].shape == (2, 8)
+        assert p[1]["W"].shape == (8, 4)
+        assert p[2]["W"].shape == (4, 1)
+        assert all(np.all(layer["b"] == 0) for layer in p)
+
+    def test_deterministic_per_seed(self):
+        m = MLP(2, (8,), 1)
+        p1, p2 = m.init_params(3), m.init_params(3)
+        np.testing.assert_array_equal(p1[0]["W"], p2[0]["W"])
+
+    def test_different_seeds_differ(self):
+        m = MLP(2, (8,), 1)
+        assert not np.allclose(m.init_params(0)[0]["W"], m.init_params(1)[0]["W"])
+
+    def test_glorot_scale(self):
+        m = MLP(100, (100,), 100)
+        W = m.init_params(0)[0]["W"]
+        # Glorot normal: std ≈ sqrt(2/200) = 0.1
+        assert 0.08 < W.std() < 0.12
+
+
+class TestApply:
+    def test_output_shape(self):
+        m = MLP(2, (8, 8), 3)
+        p = m.init_params(0)
+        out = m.apply(p, np.zeros((5, 2)))
+        assert out.shape == (5, 3)
+
+    def test_zero_bias_network_at_zero_input(self):
+        m = MLP(2, (8,), 1)
+        p = m.init_params(0)
+        out = m.apply(p, np.zeros((1, 2)))
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-15)
+
+    def test_linear_network_is_affine(self):
+        # With no hidden layers the MLP is a pure affine map.
+        m = MLP(2, (), 1)
+        p = m.init_params(0)
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = m.apply(p, x).data
+        expected = x @ p[0]["W"] + p[0]["b"]
+        np.testing.assert_allclose(out, expected)
+
+    def test_tanh_bounded_hidden(self):
+        m = MLP(1, (4,), 1)
+        p = m.init_params(0)
+        # Hidden activations bounded → output bounded by sum |w_out| + b.
+        big = m.apply(p, np.array([[1e6]])).data
+        bound = np.abs(p[1]["W"]).sum() + np.abs(p[1]["b"]).sum()
+        assert np.abs(big) <= bound + 1e-12

@@ -1,0 +1,111 @@
+"""Tests for SGD/Adam and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, clip_grad_norm, global_grad_norm
+
+
+def quad_grad(x, target):
+    return 2.0 * (x - target)
+
+
+class TestSGD:
+    def test_single_step(self):
+        opt = SGD(lr=0.1)
+        p = {"w": np.array([1.0])}
+        g = {"w": np.array([2.0])}
+        p2, _ = opt.step(p, g, opt.init(p))
+        np.testing.assert_allclose(p2["w"], [0.8])
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+        for mom, label in [(0.0, "plain"), (0.9, "momentum")]:
+            opt = SGD(lr=0.01, momentum=mom)
+            x = {"w": np.array([5.0])}
+            st = opt.init(x)
+            for _ in range(50):
+                x, st = opt.step(x, {"w": quad_grad(x["w"], target)}, st)
+            if mom == 0.0:
+                plain_err = abs(x["w"][0] - 1.0)
+            else:
+                assert abs(x["w"][0] - 1.0) < plain_err
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+
+    def test_lr_override(self):
+        opt = SGD(lr=1.0)
+        p2, _ = opt.step({"w": np.array([1.0])}, {"w": np.array([1.0])}, None, lr=0.5)
+        np.testing.assert_allclose(p2["w"], [0.5])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        opt = Adam(lr=0.1)
+        x = np.array([4.0, -3.0])
+        st = opt.init(x)
+        for _ in range(400):
+            x, st = opt.step(x, quad_grad(x, np.array([1.0, 2.0])), st)
+        np.testing.assert_allclose(x, [1.0, 2.0], atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step has magnitude ≈ lr.
+        opt = Adam(lr=0.05)
+        x = np.array([0.0])
+        st = opt.init(x)
+        x2, _ = opt.step(x, np.array([123.0]), st)
+        assert abs(abs(x2[0]) - 0.05) < 1e-6
+
+    def test_scale_invariance(self):
+        # Adam's step is (nearly) invariant to gradient scaling.
+        opt = Adam(lr=0.1)
+        for scale in (1.0, 1e6):
+            x = np.array([0.0])
+            st = opt.init(x)
+            x, st = opt.step(x, np.array([scale]), st)
+            assert abs(abs(x[0]) - 0.1) < 1e-3
+
+    def test_state_counts_steps(self):
+        opt = Adam(lr=0.1)
+        x = np.array([0.0])
+        st = opt.init(x)
+        for i in range(3):
+            x, st = opt.step(x, np.array([1.0]), st)
+        assert st[0] == 3
+
+    def test_pytree_params(self):
+        opt = Adam(lr=0.1)
+        params = [{"W": np.ones((2, 2)), "b": np.zeros(2)}]
+        grads = [{"W": np.ones((2, 2)), "b": np.ones(2)}]
+        st = opt.init(params)
+        p2, _ = opt.step(params, grads, st)
+        assert p2[0]["W"].shape == (2, 2)
+        assert np.all(p2[0]["W"] < 1.0)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestClipping:
+    def test_global_norm(self):
+        g = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert abs(global_grad_norm(g) - 5.0) < 1e-12
+
+    def test_clip_rescales(self):
+        g = {"a": np.array([3.0]), "b": np.array([4.0])}
+        clipped = clip_grad_norm(g, 1.0)
+        assert abs(global_grad_norm(clipped) - 1.0) < 1e-12
+
+    def test_clip_noop_below_threshold(self):
+        g = {"a": np.array([0.1])}
+        assert clip_grad_norm(g, 1.0) is g
+
+    def test_clip_zero_gradient(self):
+        g = {"a": np.zeros(3)}
+        out = clip_grad_norm(g, 1.0)
+        np.testing.assert_array_equal(out["a"], np.zeros(3))

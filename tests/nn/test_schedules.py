@@ -1,0 +1,50 @@
+"""Tests for learning-rate schedules (the paper's ÷10 at 50 %, 75 %)."""
+
+import pytest
+
+from repro.nn.schedules import (
+    ConstantSchedule,
+    PiecewiseConstantSchedule,
+    paper_schedule,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        s = ConstantSchedule(0.01)
+        assert s(0, 100) == 0.01
+        assert s(99, 100) == 0.01
+
+
+class TestPiecewise:
+    def test_paper_schedule_values(self):
+        s = paper_schedule(1e-2)
+        assert s(0, 100) == pytest.approx(1e-2)
+        assert s(49, 100) == pytest.approx(1e-2)
+        assert s(50, 100) == pytest.approx(1e-3)
+        assert s(74, 100) == pytest.approx(1e-3)
+        assert s(75, 100) == pytest.approx(1e-4)
+        assert s(99, 100) == pytest.approx(1e-4)
+
+    def test_milestones_sorted_internally(self):
+        s = PiecewiseConstantSchedule(1.0, {0.75: 0.01, 0.5: 0.1})
+        assert s(60, 100) == pytest.approx(0.1)
+        assert s(80, 100) == pytest.approx(0.01)
+
+    def test_monotone_nonincreasing(self):
+        s = paper_schedule(1.0)
+        rates = [s(i, 200) for i in range(200)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_invalid_base_lr(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSchedule(0.0, {0.5: 0.1})
+
+    def test_invalid_milestone_fraction(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSchedule(1.0, {1.5: 0.1})
+
+    def test_invalid_total(self):
+        s = paper_schedule(1.0)
+        with pytest.raises(ValueError):
+            s(0, 0)

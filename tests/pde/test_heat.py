@@ -1,0 +1,129 @@
+"""Tests for the unsteady heat equation (time extension)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.check import directional_numerical_derivative
+from repro.cloud.square import SquareCloud
+from repro.pde.heat import HeatConfig, HeatEquationProblem, heat_series_solution
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return SquareCloud(14)
+
+
+@pytest.fixture(scope="module")
+def problem(cloud):
+    return HeatEquationProblem(
+        cloud, HeatConfig(kappa=1.0, dt=2e-4, n_steps=25, theta=0.5)
+    )
+
+
+class TestConfig:
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            HeatConfig(theta=1.5)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            HeatConfig(dt=0.0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            HeatConfig(n_steps=0)
+
+
+class TestForwardAccuracy:
+    def test_matches_series_solution(self, cloud, problem):
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        uT = problem.evolve(u0)
+        T = problem.config.dt * problem.config.n_steps
+        exact = heat_series_solution(cloud.x, cloud.y, T)
+        assert np.max(np.abs(uT.data - exact)) < 0.02
+
+    def test_decay_rate(self, cloud, problem):
+        """Energy of the fundamental mode decays like e^{−2κπ²t}."""
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        uT = problem.evolve(u0)
+        T = problem.config.dt * problem.config.n_steps
+        ratio = np.abs(uT.data).max() / np.abs(u0).max()
+        assert abs(ratio - np.exp(-2 * np.pi**2 * T)) < 0.05
+
+    def test_boundary_stays_fixed(self, cloud, problem):
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        uT = problem.evolve(u0)
+        np.testing.assert_allclose(uT.data[cloud.boundary], 0.0, atol=1e-10)
+
+    def test_implicit_euler_unconditionally_stable(self, cloud):
+        # Large dt: implicit Euler must not blow up.
+        prob = HeatEquationProblem(
+            cloud, HeatConfig(kappa=1.0, dt=0.5, n_steps=5, theta=1.0)
+        )
+        rng = np.random.default_rng(0)
+        uT = prob.evolve(rng.standard_normal(cloud.n))
+        assert np.max(np.abs(uT.data)) < 1.0  # strongly damped
+
+    def test_maximum_principle_flavour(self, cloud, problem):
+        """Implicit heat flow with zero boundary contracts the sup-norm."""
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        uT = problem.evolve(u0)
+        assert np.abs(uT.data).max() <= np.abs(u0).max() + 1e-8
+
+    def test_record_trajectory(self, cloud, problem):
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        uT, states = problem.evolve(u0, n_steps=5, record=True)
+        assert len(states) == 6
+        np.testing.assert_array_equal(states[-1].data, uT.data)
+
+    def test_nonzero_boundary_value(self, cloud):
+        prob = HeatEquationProblem(
+            cloud,
+            HeatConfig(dt=0.05, n_steps=40, theta=1.0),
+            boundary_value=1.0,
+        )
+        uT = prob.evolve(np.zeros(cloud.n))
+        # Steady state of Δu = 0 with u=1 on the boundary is u ≡ 1.
+        np.testing.assert_allclose(uT.data, 1.0, atol=0.02)
+
+
+class TestDPThroughTime:
+    def test_gradient_matches_fd(self, cloud, problem):
+        rng = np.random.default_rng(1)
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        target = problem.evolve(u0).data
+        c0 = u0 + 0.1 * rng.standard_normal(cloud.n)
+        j, g = problem.misfit_value_and_grad(c0, target)
+        d = rng.standard_normal(cloud.n)
+        d /= np.linalg.norm(d)
+        num = directional_numerical_derivative(
+            lambda c: float(problem.terminal_misfit(c, target).data),
+            c0,
+            eps=1e-6,
+            direction=d,
+        )
+        assert abs(float(g @ d) - num) < 1e-6 * max(1.0, abs(num))
+
+    def test_zero_misfit_at_true_initial_condition(self, cloud, problem):
+        u0 = heat_series_solution(cloud.x, cloud.y, 0.0)
+        target = problem.evolve(u0).data
+        j, g = problem.misfit_value_and_grad(u0, target)
+        assert j < 1e-20
+        assert np.linalg.norm(g) < 1e-9
+
+    def test_inverse_problem_descends(self, cloud, problem):
+        """A few Adam steps of DP-through-time reduce the terminal misfit."""
+        from repro.nn.optimizers import Adam
+
+        rng = np.random.default_rng(2)
+        u_true = heat_series_solution(cloud.x, cloud.y, 0.0)
+        target = problem.evolve(u_true).data
+        c = np.zeros(cloud.n)
+        opt = Adam(lr=0.05)
+        st = opt.init(c)
+        j0, _ = problem.misfit_value_and_grad(c, target)
+        for _ in range(40):
+            _, g = problem.misfit_value_and_grad(c, target)
+            c, st = opt.step(c, g, st)
+        j1, _ = problem.misfit_value_and_grad(c, target)
+        assert j1 < 0.2 * j0

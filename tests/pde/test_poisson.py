@@ -1,0 +1,44 @@
+"""Verification via manufactured Poisson solutions."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.square import SquareCloud
+from repro.pde.poisson import CASES, manufactured_poisson
+from repro.rbf.solver import solve_pde
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestManufactured:
+    def test_solution_accuracy(self, case):
+        cloud = SquareCloud(14)
+        prob = manufactured_poisson(cloud, case)
+        u = solve_pde(cloud, prob)
+        exact = CASES[case].exact(cloud.points)
+        scale = max(np.abs(exact).max(), 1.0)
+        assert np.max(np.abs(u - exact)) / scale < 0.05
+
+    def test_source_consistent_with_exact(self, case):
+        # FD Laplacian of the exact solution must match the source.
+        pc = CASES[case]
+        eps = 1e-4
+        pts = np.random.default_rng(0).uniform(0.2, 0.8, (10, 2))
+
+        def f(p):
+            return pc.exact(p)
+
+        lap = (
+            f(pts + [eps, 0]) + f(pts - [eps, 0])
+            + f(pts + [0, eps]) + f(pts - [0, eps]) - 4 * f(pts)
+        ) / eps**2
+        np.testing.assert_allclose(lap, pc.source(pts), atol=1e-3, rtol=1e-3)
+
+
+class TestConvergence:
+    def test_error_decreases_with_refinement(self):
+        errs = []
+        for nx in (8, 16):
+            cloud = SquareCloud(nx)
+            u = solve_pde(cloud, manufactured_poisson(cloud, "trig"))
+            errs.append(np.max(np.abs(u - CASES["trig"].exact(cloud.points))))
+        assert errs[1] < errs[0] / 1.5

@@ -1,0 +1,100 @@
+"""Property-based tests of autodiff invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import ops
+from repro.autodiff.functional import grad, value_and_grad
+
+SAFE = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False, width=64)
+POSITIVE = st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def vec(elements=SAFE, min_side=1, max_side=8):
+    return arrays(
+        np.float64,
+        array_shapes(min_dims=1, max_dims=1, min_side=min_side, max_side=max_side),
+        elements=elements,
+    )
+
+
+class TestLinearity:
+    @given(vec(), st.floats(-5, 5, allow_nan=False, width=64))
+    @settings(max_examples=50, deadline=None)
+    def test_grad_is_linear_in_scaling(self, x, a):
+        """∇(a·f) = a·∇f for any scalar a."""
+        g1 = grad(lambda t: ops.sum_(ops.square(t)))(x)
+        g2 = grad(lambda t: a * ops.sum_(ops.square(t)))(x)
+        np.testing.assert_allclose(g2, a * g1, rtol=1e-10, atol=1e-10)
+
+    @given(vec())
+    @settings(max_examples=50, deadline=None)
+    def test_grad_of_sum_is_sum_of_grads(self, x):
+        f1 = lambda t: ops.sum_(ops.square(t))
+        f2 = lambda t: ops.sum_(ops.sin(t))
+        g_sum = grad(lambda t: f1(t) + f2(t))(x)
+        g1, g2 = grad(f1)(x), grad(f2)(x)
+        np.testing.assert_allclose(g_sum, g1 + g2, rtol=1e-10, atol=1e-12)
+
+    @given(vec())
+    @settings(max_examples=30, deadline=None)
+    def test_grad_of_linear_functional_is_constant(self, x):
+        w = np.arange(1.0, x.size + 1.0)
+        g = grad(lambda t: ops.sum_(w * t))(x)
+        np.testing.assert_allclose(g, w, atol=1e-14)
+
+
+class TestChainRuleInvariants:
+    @given(vec(POSITIVE))
+    @settings(max_examples=50, deadline=None)
+    def test_log_exp_roundtrip_gradient(self, x):
+        """d/dx sum(log(exp(x))) = 1."""
+        g = grad(lambda t: ops.sum_(ops.log(ops.exp(t))))(x)
+        np.testing.assert_allclose(g, np.ones_like(x), rtol=1e-9)
+
+    @given(vec())
+    @settings(max_examples=50, deadline=None)
+    def test_sin_cos_pythagoras_gradient(self, x):
+        """sin² + cos² = 1 ⇒ zero gradient."""
+        g = grad(
+            lambda t: ops.sum_(ops.square(ops.sin(t)) + ops.square(ops.cos(t)))
+        )(x)
+        np.testing.assert_allclose(g, 0.0, atol=1e-12)
+
+    @given(vec(SAFE, min_side=2, max_side=6))
+    @settings(max_examples=50, deadline=None)
+    def test_value_consistent_with_forward(self, x):
+        v, _ = value_and_grad(lambda t: ops.mean(ops.tanh(t)))(x)
+        assert abs(v - np.tanh(x).mean()) < 1e-12
+
+
+class TestStructuralOps:
+    @given(vec(SAFE, min_side=2, max_side=8))
+    @settings(max_examples=50, deadline=None)
+    def test_concat_split_gradient_identity(self, x):
+        """Splitting then concatenating is the identity; so is its VJP."""
+        k = x.size // 2
+
+        def f(t):
+            return ops.sum_(ops.square(ops.concatenate([t[:k], t[k:]])))
+
+        g = grad(f)(x)
+        np.testing.assert_allclose(g, 2 * x, rtol=1e-12)
+
+    @given(vec())
+    @settings(max_examples=50, deadline=None)
+    def test_reshape_preserves_gradient(self, x):
+        g1 = grad(lambda t: ops.sum_(ops.square(t)))(x)
+        g2 = grad(lambda t: ops.sum_(ops.square(ops.reshape(t, (-1, 1)))))(x)
+        np.testing.assert_allclose(g1, g2, rtol=1e-12)
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_solve_identity_matrix_grad(self, n, data):
+        from repro.autodiff.linalg import solve
+
+        b = data.draw(arrays(np.float64, n, elements=SAFE))
+        g = grad(lambda t: ops.sum_(ops.square(solve(np.eye(n), t))))(b)
+        np.testing.assert_allclose(g, 2 * b, rtol=1e-10, atol=1e-12)

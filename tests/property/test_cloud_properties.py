@@ -1,0 +1,82 @@
+"""Property-based tests of cloud-generation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.base import KIND_ORDER
+from repro.cloud.channel import ChannelCloud, ChannelGeometry
+from repro.cloud.halton import halton_sequence
+from repro.cloud.square import SquareCloud
+
+
+class TestSquareCloudInvariants:
+    @given(st.integers(3, 16), st.integers(3, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_add_up(self, nx, ny):
+        c = SquareCloud(nx, ny)
+        counts = c.counts()
+        assert sum(counts.values()) == c.n == nx * ny
+        # 2 full vertical sides + 2 horizontal sides without corners.
+        assert counts["dirichlet"] == 2 * ny + 2 * (nx - 2)
+
+    @given(st.integers(3, 12), st.sampled_from([None, "halton", "jitter"]))
+    @settings(max_examples=25, deadline=None)
+    def test_ordering_invariant(self, nx, scatter):
+        c = SquareCloud(nx, scatter=scatter)
+        ranks = [KIND_ORDER.index(c.kinds[g]) for g in c.group_of]
+        assert ranks == sorted(ranks)
+
+    @given(st.integers(3, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_boundary_nodes_on_boundary(self, nx):
+        c = SquareCloud(nx)
+        b = c.points[c.boundary]
+        on_edge = (
+            (np.abs(b[:, 0]) < 1e-14)
+            | (np.abs(b[:, 0] - 1) < 1e-14)
+            | (np.abs(b[:, 1]) < 1e-14)
+            | (np.abs(b[:, 1] - 1) < 1e-14)
+        )
+        assert np.all(on_edge)
+
+
+class TestChannelCloudInvariants:
+    @given(
+        st.integers(8, 24),
+        st.integers(5, 14),
+        st.floats(0.0, 0.95, width=64),
+        st.floats(0.0, 1.0, width=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_nodes_in_domain(self, nx, ny, grading, jitter):
+        geo = ChannelGeometry()
+        c = ChannelCloud(nx, ny, geometry=geo, grading=grading, jitter=jitter)
+        assert c.points[:, 0].min() >= -1e-12
+        assert c.points[:, 0].max() <= geo.lx + 1e-12
+        assert c.points[:, 1].min() >= -1e-12
+        assert c.points[:, 1].max() <= geo.ly + 1e-12
+
+    @given(st.integers(8, 20), st.integers(5, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_normals_unit_length(self, nx, ny):
+        c = ChannelCloud(nx, ny)
+        lens = np.linalg.norm(c.normals[c.boundary], axis=1)
+        np.testing.assert_allclose(lens, 1.0, atol=1e-12)
+
+
+class TestHaltonInvariants:
+    @given(st.integers(1, 300), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_in_open_unit_square(self, n, start):
+        h = halton_sequence(n, 2, start=start)
+        assert np.all((h > 0) & (h < 1))
+
+    @given(st.integers(2, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_property(self, n):
+        """The first n−1 points of an n-point sequence equal the (n−1)-point
+        sequence — Halton is extensible."""
+        a = halton_sequence(n, 2)
+        b = halton_sequence(n - 1, 2)
+        np.testing.assert_array_equal(a[: n - 1], b)

@@ -1,0 +1,79 @@
+"""Property-based tests of NN-library invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import Adam, clip_grad_norm, global_grad_norm
+from repro.nn.pytree import tree_flatten, tree_unflatten
+from repro.nn.schedules import paper_schedule
+
+SAFE = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestPytreeRoundtrip:
+    @given(
+        st.recursive(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            lambda children: st.one_of(
+                st.lists(children, max_size=3),
+                st.dictionaries(st.sampled_from("abcd"), children, max_size=3),
+            ),
+            max_leaves=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flatten_unflatten_identity(self, tree):
+        leaves, td = tree_flatten(tree)
+        assert tree_unflatten(td, leaves) == tree
+
+
+class TestMLPInvariants:
+    @given(arrays(np.float64, (4, 2), elements=SAFE), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_forward(self, x, seed):
+        m = MLP(2, (6,), 1)
+        p = m.init_params(seed)
+        y1 = m.apply(p, x).data
+        y2 = m.apply(p, x).data
+        np.testing.assert_array_equal(y1, y2)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_param_count_matches_shapes(self, seed):
+        m = MLP(2, (7, 5), 3)
+        p = m.init_params(seed)
+        total = sum(layer["W"].size + layer["b"].size for layer in p)
+        assert total == m.n_params()
+
+
+class TestOptimizerInvariants:
+    @given(arrays(np.float64, 5, elements=SAFE))
+    @settings(max_examples=40, deadline=None)
+    def test_adam_step_bounded_by_lr(self, g):
+        """|Δp| ≤ lr / (1 − tiny) for the first Adam step, any gradient."""
+        opt = Adam(lr=0.01)
+        p = np.zeros(5)
+        st_ = opt.init(p)
+        p2, _ = opt.step(p, g, st_)
+        assert np.all(np.abs(p2) <= 0.0100001 + 1e-12)
+
+    @given(
+        arrays(np.float64, 4, elements=SAFE),
+        st.floats(0.01, 10.0, width=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clip_never_exceeds_max(self, g, max_norm):
+        clipped = clip_grad_norm({"g": g}, max_norm)
+        assert global_grad_norm(clipped) <= max_norm + 1e-9
+
+
+class TestScheduleInvariants:
+    @given(st.floats(1e-6, 1.0, width=64), st.integers(4, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_paper_schedule_endpoints(self, lr, total):
+        s = paper_schedule(lr)
+        assert s(0, total) == lr
+        assert abs(s(total - 1, total) - lr * 0.01) < 1e-15 * max(1.0, lr)

@@ -1,0 +1,59 @@
+"""Property-based tests of RBF invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.square import SquareCloud
+from repro.rbf.interpolate import fit_interpolant
+from repro.rbf.kernels import polyharmonic
+from repro.rbf.operators import build_nodal_operators
+
+CLOUD = SquareCloud(9)
+OPS = build_nodal_operators(CLOUD, polyharmonic(3), 1)
+
+coeff = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestLinearReproduction:
+    """Degree-1 augmentation ⇒ exact handling of ALL affine fields."""
+
+    @given(coeff, coeff, coeff)
+    @settings(max_examples=40, deadline=None)
+    def test_interpolant_reproduces_affine(self, a, b, c):
+        vals = a + b * CLOUD.x + c * CLOUD.y
+        itp = fit_interpolant(CLOUD.points, vals)
+        q = np.array([[0.21, 0.47], [0.73, 0.11], [0.5, 0.99]])
+        np.testing.assert_allclose(
+            itp(q), a + b * q[:, 0] + c * q[:, 1], atol=1e-7 * (1 + abs(a) + abs(b) + abs(c))
+        )
+
+    @given(coeff, coeff, coeff)
+    @settings(max_examples=40, deadline=None)
+    def test_derivative_matrices_exact_on_affine(self, a, b, c):
+        vals = a + b * CLOUD.x + c * CLOUD.y
+        scale = 1 + abs(a) + abs(b) + abs(c)
+        np.testing.assert_allclose(OPS.dx @ vals, b, atol=1e-6 * scale)
+        np.testing.assert_allclose(OPS.dy @ vals, c, atol=1e-6 * scale)
+        np.testing.assert_allclose(OPS.lap @ vals, 0.0, atol=1e-5 * scale)
+
+
+class TestLinearityOfOperators:
+    @given(coeff, coeff)
+    @settings(max_examples=40, deadline=None)
+    def test_nodal_operator_linearity(self, a, b):
+        f = np.sin(3 * CLOUD.x)
+        g = np.cos(2 * CLOUD.y)
+        lhs = OPS.lap @ (a * f + b * g)
+        rhs = a * (OPS.lap @ f) + b * (OPS.lap @ g)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8 * (1 + abs(a) + abs(b)))
+
+
+class TestInterpolationIdentity:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolation_is_exact_at_nodes(self, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal(CLOUD.n)
+        itp = fit_interpolant(CLOUD.points, vals)
+        np.testing.assert_allclose(itp(CLOUD.points), vals, atol=1e-6)

@@ -1,0 +1,128 @@
+"""Tests for coefficient-space assembly, cross-validated against the
+nodal-space path."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.cloud.base import BoundaryKind
+from repro.cloud.square import SquareCloud
+from repro.rbf.assembly import (
+    LinearOperator2D,
+    assemble_collocation_system,
+    interpolation_matrix,
+    operator_eval_matrix,
+)
+from repro.rbf.kernels import polyharmonic
+from repro.rbf.polynomials import n_poly_terms
+from repro.rbf.solver import BoundaryCondition, LinearPDEProblem, solve_pde
+
+
+class TestInterpolationMatrix:
+    def test_symmetric(self):
+        cloud = SquareCloud(8)
+        A = interpolation_matrix(polyharmonic(3), cloud.points, 1)
+        np.testing.assert_allclose(A, A.T, atol=1e-12)
+
+    def test_block_structure(self):
+        cloud = SquareCloud(6)
+        n, m = cloud.n, n_poly_terms(1)
+        A = interpolation_matrix(polyharmonic(3), cloud.points, 1)
+        assert A.shape == (n + m, n + m)
+        np.testing.assert_array_equal(A[n:, n:], 0.0)
+
+    def test_nonsingular(self):
+        cloud = SquareCloud(8)
+        A = interpolation_matrix(polyharmonic(3), cloud.points, 1)
+        assert np.abs(np.linalg.det(A)) > 0 or np.linalg.matrix_rank(A) == A.shape[0]
+
+
+class TestLinearOperator2D:
+    def test_row_matrix_identity(self):
+        cloud = SquareCloud(6)
+        k = polyharmonic(3)
+        rows = LinearOperator2D(identity=1.0).row_matrix(
+            k, cloud.points[:3], cloud.points, 1
+        )
+        phi = k.phi_matrix(cloud.points[:3], cloud.points)
+        np.testing.assert_allclose(rows[:, : cloud.n], phi)
+
+    def test_variable_coefficient_shape_check(self):
+        cloud = SquareCloud(6)
+        with pytest.raises(ValueError, match="coefficient"):
+            LinearOperator2D(dx=np.ones(5)).row_matrix(
+                polyharmonic(3), cloud.points[:3], cloud.points, 1
+            )
+
+    def test_operator_eval_matrix_wrapper(self):
+        cloud = SquareCloud(6)
+        k = polyharmonic(3)
+        op = LinearOperator2D(lap=1.0)
+        a = operator_eval_matrix(k, op, cloud.points[:2], cloud.points, 1)
+        b = op.row_matrix(k, cloud.points[:2], cloud.points, 1)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCoefficientSpaceSolve:
+    """Solve Laplace in coefficient space; compare with the nodal path."""
+
+    def exact(self, p):
+        return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(np.pi)
+
+    def test_blocks_cover_all_rows(self):
+        cloud = SquareCloud(8)
+        M, blocks = assemble_collocation_system(
+            cloud, polyharmonic(3), 1, LinearOperator2D(lap=1.0)
+        )
+        total = sum(b.stop - b.start for b in blocks.values())
+        assert total == M.shape[0]
+
+    def test_coefficient_solution_matches_nodal(self):
+        cloud = SquareCloud(10)
+        kernel = polyharmonic(3)
+        M, blocks = assemble_collocation_system(
+            cloud, kernel, 1, LinearOperator2D(lap=1.0)
+        )
+        n, m = cloud.n, n_poly_terms(1)
+        rhs = np.zeros(n + m)
+        # Fill Dirichlet rows with the exact trace, internal rows with 0.
+        d_idx = cloud.indices_of_kind(BoundaryKind.DIRICHLET)
+        rhs[blocks["dirichlet"]] = self.exact(cloud.points[d_idx])
+        coeffs = sla.solve(M, rhs)
+        u_coeff = (
+            kernel.phi_matrix(cloud.points, cloud.points) @ coeffs[:n]
+            + LinearOperator2D(identity=1.0).row_matrix(
+                kernel, cloud.points, cloud.points, 1
+            )[:, n:]
+            @ coeffs[n:]
+        )
+
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                g: BoundaryCondition("dirichlet", value=self.exact)
+                for g in ("top", "bottom", "left", "right")
+            },
+        )
+        u_nodal = solve_pde(cloud, prob)
+        np.testing.assert_allclose(u_coeff, u_nodal, atol=1e-6)
+
+    def test_robin_block_assembly(self):
+        kinds = {
+            "internal": BoundaryKind.INTERNAL,
+            "bottom": BoundaryKind.DIRICHLET,
+            "left": BoundaryKind.DIRICHLET,
+            "right": BoundaryKind.DIRICHLET,
+            "top": BoundaryKind.ROBIN,
+        }
+        cloud = SquareCloud(8, kinds=kinds)
+        M, blocks = assemble_collocation_system(
+            cloud,
+            polyharmonic(3),
+            1,
+            LinearOperator2D(lap=1.0),
+            robin_beta={"top": 2.0},
+        )
+        r = blocks["robin"]
+        assert r.stop - r.start == len(cloud.groups["top"])
+        assert np.any(M[r] != 0.0)

@@ -1,0 +1,68 @@
+"""Tests for RBF interpolation fit/evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.square import SquareCloud
+from repro.rbf.interpolate import fit_interpolant
+from repro.rbf.kernels import gaussian, polyharmonic
+
+RNG = np.random.default_rng(4)
+QUERIES = RNG.uniform(0.1, 0.9, (20, 2))
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return SquareCloud(12)
+
+
+class TestExactness:
+    def test_interpolates_nodal_values(self, cloud):
+        vals = np.sin(3 * cloud.x) + cloud.y
+        itp = fit_interpolant(cloud.points, vals)
+        np.testing.assert_allclose(itp(cloud.points), vals, atol=1e-7)
+
+    def test_linear_reproduction(self, cloud):
+        vals = 1 + 2 * cloud.x - 3 * cloud.y
+        itp = fit_interpolant(cloud.points, vals, degree=1)
+        exact = 1 + 2 * QUERIES[:, 0] - 3 * QUERIES[:, 1]
+        np.testing.assert_allclose(itp(QUERIES), exact, atol=1e-9)
+
+    def test_quadratic_reproduction_with_degree2(self, cloud):
+        vals = cloud.x**2 + cloud.x * cloud.y
+        itp = fit_interpolant(cloud.points, vals, degree=2)
+        exact = QUERIES[:, 0] ** 2 + QUERIES[:, 0] * QUERIES[:, 1]
+        np.testing.assert_allclose(itp(QUERIES), exact, atol=1e-8)
+
+
+class TestDerivatives:
+    def test_gradient_of_linear(self, cloud):
+        vals = 2 * cloud.x - 3 * cloud.y
+        itp = fit_interpolant(cloud.points, vals)
+        g = itp.gradient(QUERIES)
+        np.testing.assert_allclose(g[:, 0], 2.0, atol=1e-8)
+        np.testing.assert_allclose(g[:, 1], -3.0, atol=1e-8)
+
+    def test_laplacian_of_smooth(self, cloud):
+        vals = np.sin(2 * cloud.x) * np.cos(cloud.y)
+        itp = fit_interpolant(cloud.points, vals)
+        exact = -5 * np.sin(2 * QUERIES[:, 0]) * np.cos(QUERIES[:, 1])
+        np.testing.assert_allclose(itp.laplacian(QUERIES), exact, atol=0.5)
+
+    def test_single_point_query(self, cloud):
+        vals = cloud.x
+        itp = fit_interpolant(cloud.points, vals)
+        out = itp(np.array([0.5, 0.5]))
+        assert out.shape == (1,)
+        assert abs(out[0] - 0.5) < 1e-8
+
+
+class TestValidation:
+    def test_wrong_value_shape(self, cloud):
+        with pytest.raises(ValueError):
+            fit_interpolant(cloud.points, np.zeros(3))
+
+    def test_gaussian_kernel_fit(self, cloud):
+        vals = np.exp(-cloud.x)
+        itp = fit_interpolant(cloud.points, vals, kernel=gaussian(3.0))
+        np.testing.assert_allclose(itp(cloud.points), vals, atol=1e-5)

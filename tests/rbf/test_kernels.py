@@ -1,0 +1,119 @@
+"""Tests for radial kernels: derivative identities and matrix builders."""
+
+import numpy as np
+import pytest
+
+from repro.rbf.kernels import Kernel, gaussian, get_kernel, multiquadric, polyharmonic
+
+RNG = np.random.default_rng(2)
+CENTERS = RNG.uniform(0, 1, (6, 2))
+POINTS = RNG.uniform(0, 1, (5, 2))
+
+ALL_KERNELS = [polyharmonic(3), polyharmonic(5), gaussian(2.0), multiquadric(2.0)]
+
+
+def fd_grad(kernel, x, c, eps=1e-6):
+    def phi_at(p):
+        return kernel.phi_matrix(p[None, :], c[None, :])[0, 0]
+
+    gx = (phi_at(x + [eps, 0]) - phi_at(x - [eps, 0])) / (2 * eps)
+    gy = (phi_at(x + [0, eps]) - phi_at(x - [0, eps])) / (2 * eps)
+    return gx, gy
+
+
+def fd_lap(kernel, x, c, eps=1e-4):
+    def phi_at(p):
+        return kernel.phi_matrix(np.array(p)[None, :], c[None, :])[0, 0]
+
+    f0 = phi_at(x)
+    return (
+        phi_at(x + [eps, 0]) + phi_at(x - [eps, 0])
+        + phi_at(x + [0, eps]) + phi_at(x - [0, eps]) - 4 * f0
+    ) / eps**2
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+class TestDerivativeIdentities:
+    def test_gradient_matches_fd(self, kernel):
+        x = np.array([0.3, 0.7])
+        c = np.array([0.9, 0.2])
+        gx_m, gy_m = kernel.grad_matrices(x[None, :], c[None, :])
+        gx, gy = fd_grad(kernel, x, c)
+        assert abs(gx_m[0, 0] - gx) < 1e-7
+        assert abs(gy_m[0, 0] - gy) < 1e-7
+
+    def test_laplacian_matches_fd(self, kernel):
+        x = np.array([0.3, 0.7])
+        c = np.array([0.9, 0.2])
+        lap_m = kernel.lap_matrix(x[None, :], c[None, :])[0, 0]
+        assert abs(lap_m - fd_lap(kernel, x, c)) < 1e-5
+
+    def test_phi_symmetric_in_distance(self, kernel):
+        a, b = POINTS[0], CENTERS[0]
+        v1 = kernel.phi_matrix(a[None], b[None])[0, 0]
+        v2 = kernel.phi_matrix(b[None], a[None])[0, 0]
+        assert abs(v1 - v2) < 1e-14
+
+    def test_matrix_shapes(self, kernel):
+        assert kernel.phi_matrix(POINTS, CENTERS).shape == (5, 6)
+        gx, gy = kernel.grad_matrices(POINTS, CENTERS)
+        assert gx.shape == (5, 6) and gy.shape == (5, 6)
+
+    def test_finite_at_coincident_points(self, kernel):
+        same = CENTERS[:3]
+        assert np.all(np.isfinite(kernel.phi_matrix(same, same)))
+        gx, gy = kernel.grad_matrices(same, same)
+        assert np.all(np.isfinite(gx)) and np.all(np.isfinite(gy))
+        assert np.all(np.isfinite(kernel.lap_matrix(same, same)))
+
+
+class TestNormalMatrix:
+    def test_normal_combines_gradients(self):
+        k = polyharmonic(3)
+        normals = np.tile([0.0, 1.0], (5, 1))
+        dn = k.normal_matrix(POINTS, CENTERS, normals)
+        _, gy = k.grad_matrices(POINTS, CENTERS)
+        np.testing.assert_allclose(dn, gy)
+
+    def test_mixed_normals(self):
+        k = polyharmonic(3)
+        normals = np.tile([0.6, 0.8], (5, 1))
+        dn = k.normal_matrix(POINTS, CENTERS, normals)
+        gx, gy = k.grad_matrices(POINTS, CENTERS)
+        np.testing.assert_allclose(dn, 0.6 * gx + 0.8 * gy)
+
+
+class TestSpecificKernels:
+    def test_phs3_values(self):
+        k = polyharmonic(3)
+        r = np.array([[2.0]])
+        assert k.phi(r)[0, 0] == 8.0
+        assert k.lap(r)[0, 0] == 9 * 2.0  # k² r^{k-2} = 9r
+
+    def test_phs_rejects_even_order(self):
+        with pytest.raises(ValueError):
+            polyharmonic(2)
+
+    def test_phs1_guard_at_origin(self):
+        k = polyharmonic(1)
+        assert np.isfinite(k.dphi_over_r(np.array([0.0]))[0])
+
+    def test_gaussian_at_zero(self):
+        k = gaussian(3.0)
+        r0 = np.array([[0.0]])
+        assert k.phi(r0)[0, 0] == 1.0
+        assert k.lap(r0)[0, 0] == -4 * 9.0  # −4ε²
+
+    def test_positive_shape_required(self):
+        with pytest.raises(ValueError):
+            gaussian(0.0)
+        with pytest.raises(ValueError):
+            multiquadric(-1.0)
+
+    def test_factory(self):
+        assert get_kernel("phs3").name == "polyharmonic3"
+        assert get_kernel("phs5").name == "polyharmonic5"
+        assert "gaussian" in get_kernel("gaussian").name
+        assert "multiquadric" in get_kernel("mq").name
+        with pytest.raises(ValueError):
+            get_kernel("wendland")

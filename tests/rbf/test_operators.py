@@ -1,0 +1,111 @@
+"""Tests for nodal differentiation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.square import SquareCloud
+from repro.rbf.assembly import LinearOperator2D
+from repro.rbf.kernels import polyharmonic
+from repro.rbf.operators import build_nodal_operators
+
+
+@pytest.fixture(scope="module")
+def ops12():
+    return build_nodal_operators(SquareCloud(12), polyharmonic(3), degree=1)
+
+
+class TestIdentity:
+    def test_identity_reproduces_values(self, ops12):
+        f = np.sin(ops12.cloud.x) * ops12.cloud.y
+        np.testing.assert_allclose(ops12.identity @ f, f, atol=1e-8)
+
+
+class TestPolynomialExactness:
+    """Degree-1 augmentation ⇒ derivatives of linear fields are exact."""
+
+    def test_dx_of_linear(self, ops12):
+        c = ops12.cloud
+        f = 2.0 + 3.0 * c.x - 1.5 * c.y
+        np.testing.assert_allclose(ops12.dx @ f, 3.0 * np.ones(c.n), atol=1e-8)
+
+    def test_dy_of_linear(self, ops12):
+        c = ops12.cloud
+        f = 2.0 + 3.0 * c.x - 1.5 * c.y
+        np.testing.assert_allclose(ops12.dy @ f, -1.5 * np.ones(c.n), atol=1e-8)
+
+    def test_lap_of_linear_is_zero(self, ops12):
+        c = ops12.cloud
+        f = 1.0 + c.x + c.y
+        np.testing.assert_allclose(ops12.lap @ f, 0.0, atol=1e-7)
+
+
+class TestSmoothFieldAccuracy:
+    def test_dx_interior_accuracy(self, ops12):
+        c = ops12.cloud
+        f = np.sin(2 * c.x) * np.cos(c.y)
+        exact = 2 * np.cos(2 * c.x) * np.cos(c.y)
+        err = np.abs((ops12.dx @ f - exact)[c.internal])
+        assert err.max() < 0.05
+
+    def test_lap_interior_accuracy(self, ops12):
+        c = ops12.cloud
+        f = np.sin(2 * c.x) * np.cos(c.y)
+        exact = -5 * f
+        err = np.abs((ops12.lap @ f - exact)[c.internal])
+        assert err.max() < 1.5  # second derivatives are the hard case
+
+    def test_convergence_with_resolution(self):
+        errs = []
+        for nx in (8, 16):
+            ops = build_nodal_operators(SquareCloud(nx), polyharmonic(3), 1)
+            c = ops.cloud
+            f = np.sin(2 * c.x) * np.cos(c.y)
+            exact = 2 * np.cos(2 * c.x) * np.cos(c.y)
+            errs.append(np.abs((ops.dx @ f - exact)[c.internal]).max())
+        assert errs[1] < errs[0] / 1.5  # refinement reduces error
+
+    def test_boundary_derivatives_noisier_than_interior(self):
+        """The Runge-phenomenon mechanism the paper blames for DAL's NS
+        failure: RBF derivative errors concentrate near the boundary."""
+        ops = build_nodal_operators(SquareCloud(16), polyharmonic(3), 1)
+        c = ops.cloud
+        f = np.sin(3 * c.x) * np.exp(c.y)
+        exact = 3 * np.cos(3 * c.x) * np.exp(c.y)
+        err = np.abs(ops.dx @ f - exact)
+        assert err[c.boundary].max() > err[c.internal].max()
+
+
+class TestNormalMatrix:
+    def test_normal_rows_match_dy_on_top(self, ops12):
+        c = ops12.cloud
+        top = c.groups["top"]
+        np.testing.assert_allclose(
+            ops12.normal[top], ops12.dy[top], atol=1e-12
+        )
+
+    def test_normal_rows_match_minus_dx_on_left(self, ops12):
+        c = ops12.cloud
+        left = c.groups["left"]
+        np.testing.assert_allclose(
+            ops12.normal[left], -ops12.dx[left], atol=1e-12
+        )
+
+    def test_internal_rows_zero(self, ops12):
+        np.testing.assert_array_equal(
+            ops12.normal[ops12.cloud.internal], 0.0
+        )
+
+
+class TestOperatorMatrix:
+    def test_combined_operator(self, ops12):
+        op = LinearOperator2D(lap=2.0, dx=1.0, identity=0.5)
+        M = ops12.operator_matrix(op)
+        expected = 2.0 * ops12.lap + 1.0 * ops12.dx + 0.5 * ops12.identity
+        np.testing.assert_allclose(M, expected, atol=1e-9)
+
+    def test_variable_coefficients(self, ops12):
+        c = ops12.cloud
+        b = c.x.copy()
+        M = ops12.operator_matrix(LinearOperator2D(dx=b))
+        f = c.y + 2 * c.x
+        np.testing.assert_allclose(M @ f, b * 2.0, atol=1e-7)

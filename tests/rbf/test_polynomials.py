@@ -1,0 +1,75 @@
+"""Tests for the monomial augmentation basis."""
+
+import numpy as np
+import pytest
+
+from repro.rbf.polynomials import (
+    monomial_exponents,
+    n_poly_terms,
+    poly_dx_matrix,
+    poly_dy_matrix,
+    poly_lap_matrix,
+    poly_matrix,
+)
+
+PTS = np.array([[0.5, 2.0], [1.0, -1.0], [0.0, 0.0]])
+
+
+class TestCombinatorics:
+    def test_paper_count_degree1(self):
+        # Paper footnote: n=1 in 2-D appends M = C(3,1) = 3 polynomials.
+        assert n_poly_terms(1) == 3
+
+    def test_counts(self):
+        assert n_poly_terms(0) == 1
+        assert n_poly_terms(2) == 6
+        assert n_poly_terms(3) == 10
+        assert n_poly_terms(-1) == 0
+
+    def test_exponent_order(self):
+        assert monomial_exponents(2) == [
+            (0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)
+        ]
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ValueError):
+            monomial_exponents(-1)
+
+
+class TestEvaluation:
+    def test_degree1_values(self):
+        P = poly_matrix(PTS, 1)
+        np.testing.assert_allclose(P[:, 0], 1.0)
+        np.testing.assert_allclose(P[:, 1], PTS[:, 0])
+        np.testing.assert_allclose(P[:, 2], PTS[:, 1])
+
+    def test_degree2_cross_term(self):
+        P = poly_matrix(PTS, 2)
+        np.testing.assert_allclose(P[:, 4], PTS[:, 0] * PTS[:, 1])
+
+    def test_dx(self):
+        D = poly_dx_matrix(PTS, 2)
+        np.testing.assert_allclose(D[:, 0], 0.0)  # d/dx 1
+        np.testing.assert_allclose(D[:, 1], 1.0)  # d/dx x
+        np.testing.assert_allclose(D[:, 3], 2 * PTS[:, 0])  # d/dx x²
+        np.testing.assert_allclose(D[:, 4], PTS[:, 1])  # d/dx xy
+
+    def test_dy(self):
+        D = poly_dy_matrix(PTS, 2)
+        np.testing.assert_allclose(D[:, 2], 1.0)
+        np.testing.assert_allclose(D[:, 5], 2 * PTS[:, 1])
+
+    def test_laplacian(self):
+        L = poly_lap_matrix(PTS, 2)
+        np.testing.assert_allclose(L[:, :3], 0.0)  # linear terms harmonic
+        np.testing.assert_allclose(L[:, 3], 2.0)  # Δx² = 2
+        np.testing.assert_allclose(L[:, 4], 0.0)  # Δxy = 0
+        np.testing.assert_allclose(L[:, 5], 2.0)
+
+    def test_derivatives_consistent_with_fd(self):
+        eps = 1e-6
+        for mat, axis in ((poly_dx_matrix, 0), (poly_dy_matrix, 1)):
+            shift = np.zeros(2)
+            shift[axis] = eps
+            fd = (poly_matrix(PTS + shift, 3) - poly_matrix(PTS - shift, 3)) / (2 * eps)
+            np.testing.assert_allclose(mat(PTS, 3), fd, atol=1e-6)

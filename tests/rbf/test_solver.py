@@ -1,0 +1,212 @@
+"""Tests for the linear PDE solver (nodal path) and its LU caching."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.base import BoundaryKind
+from repro.cloud.square import SquareCloud
+from repro.rbf.assembly import LinearOperator2D
+from repro.rbf.solver import (
+    BoundaryCondition,
+    LinearPDEProblem,
+    RBFSolver,
+    solve_pde,
+)
+
+
+def dirichlet_everywhere(value_fn):
+    return {
+        g: BoundaryCondition("dirichlet", value=value_fn)
+        for g in ("top", "bottom", "left", "right")
+    }
+
+
+class TestLaplaceSolve:
+    def exact(self, p):
+        return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(np.pi)
+
+    def test_matches_analytic(self, square_cloud_16):
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs=dirichlet_everywhere(self.exact),
+        )
+        u = solve_pde(square_cloud_16, prob)
+        err = np.max(np.abs(u - self.exact(square_cloud_16.points)))
+        assert err < 0.02
+
+    def test_convergence(self):
+        errs = []
+        for nx in (8, 16):
+            cloud = SquareCloud(nx)
+            prob = LinearPDEProblem(
+                operator=LinearOperator2D(lap=1.0),
+                bcs=dirichlet_everywhere(self.exact),
+            )
+            u = solve_pde(cloud, prob)
+            errs.append(np.max(np.abs(u - self.exact(cloud.points))))
+        assert errs[1] < errs[0]
+
+    def test_boundary_values_exact(self, square_cloud_16):
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs=dirichlet_everywhere(self.exact),
+        )
+        u = solve_pde(square_cloud_16, prob)
+        b = square_cloud_16.boundary
+        np.testing.assert_allclose(
+            u[b], self.exact(square_cloud_16.points[b]), atol=1e-10
+        )
+
+
+class TestBoundaryCondition:
+    def test_constant_value(self):
+        bc = BoundaryCondition("dirichlet", value=2.5)
+        np.testing.assert_allclose(bc.evaluate(np.zeros((4, 2))), 2.5)
+
+    def test_callable_value(self):
+        bc = BoundaryCondition("dirichlet", value=lambda p: p[:, 0] ** 2)
+        pts = np.array([[2.0, 0.0], [3.0, 0.0]])
+        np.testing.assert_allclose(bc.evaluate(pts), [4.0, 9.0])
+
+    def test_array_value(self):
+        bc = BoundaryCondition("neumann", value=np.array([1.0, 2.0]))
+        np.testing.assert_allclose(bc.evaluate(np.zeros((2, 2))), [1.0, 2.0])
+
+    def test_wrong_length_raises(self):
+        bc = BoundaryCondition("dirichlet", value=lambda p: np.zeros(3))
+        with pytest.raises(ValueError):
+            bc.evaluate(np.zeros((4, 2)))
+
+
+class TestNeumannAndRobin:
+    def test_neumann_problem(self):
+        # u = x(1-x)/2 + y: Δu = -1; top (y=1): ∂u/∂n = ∂u/∂y = 1.
+        kinds = {
+            "internal": BoundaryKind.INTERNAL,
+            "bottom": BoundaryKind.DIRICHLET,
+            "left": BoundaryKind.DIRICHLET,
+            "right": BoundaryKind.DIRICHLET,
+            "top": BoundaryKind.NEUMANN,
+        }
+        cloud = SquareCloud(14, kinds=kinds)
+
+        def exact(p):
+            return p[:, 0] * (1 - p[:, 0]) / 2 + p[:, 1]
+
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            source=-1.0,
+            bcs={
+                "bottom": BoundaryCondition("dirichlet", value=exact),
+                "left": BoundaryCondition("dirichlet", value=exact),
+                "right": BoundaryCondition("dirichlet", value=exact),
+                "top": BoundaryCondition("neumann", value=1.0),
+            },
+        )
+        u = solve_pde(cloud, prob)
+        assert np.max(np.abs(u - exact(cloud.points))) < 0.02
+
+    def test_robin_problem(self):
+        # u = y: top Robin with β=2: ∂u/∂n + 2u = 1 + 2 = 3.
+        kinds = {
+            "internal": BoundaryKind.INTERNAL,
+            "bottom": BoundaryKind.DIRICHLET,
+            "left": BoundaryKind.DIRICHLET,
+            "right": BoundaryKind.DIRICHLET,
+            "top": BoundaryKind.ROBIN,
+        }
+        cloud = SquareCloud(12, kinds=kinds)
+
+        def exact(p):
+            return p[:, 1]
+
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                "bottom": BoundaryCondition("dirichlet", value=exact),
+                "left": BoundaryCondition("dirichlet", value=exact),
+                "right": BoundaryCondition("dirichlet", value=exact),
+                "top": BoundaryCondition("robin", value=3.0, beta=2.0),
+            },
+        )
+        u = solve_pde(cloud, prob)
+        assert np.max(np.abs(u - exact(cloud.points))) < 1e-6
+
+    def test_kind_mismatch_raises(self, square_cloud_12):
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                "top": BoundaryCondition("neumann", value=0.0),
+                "bottom": BoundaryCondition("dirichlet", value=0.0),
+                "left": BoundaryCondition("dirichlet", value=0.0),
+                "right": BoundaryCondition("dirichlet", value=0.0),
+            },
+        )
+        with pytest.raises(ValueError, match="ordered as"):
+            RBFSolver(square_cloud_12).solve(prob)
+
+    def test_missing_bc_raises(self, square_cloud_12):
+        prob = LinearPDEProblem(operator=LinearOperator2D(lap=1.0), bcs={})
+        with pytest.raises(ValueError, match="missing boundary"):
+            RBFSolver(square_cloud_12).solve(prob)
+
+
+class TestCaching:
+    def test_cached_solve_matches_fresh(self, square_cloud_12):
+        solver = RBFSolver(square_cloud_12)
+
+        def make(v):
+            return LinearPDEProblem(
+                operator=LinearOperator2D(lap=1.0),
+                bcs={
+                    g: BoundaryCondition("dirichlet", value=float(v))
+                    for g in ("top", "bottom", "left", "right")
+                },
+            )
+
+        u1 = solver.solve(make(1.0), cache_key="k")
+        u2 = solver.solve(make(2.0), cache_key="k")  # reuses the LU
+        u2_fresh = solver.solve(make(2.0))
+        np.testing.assert_allclose(u2, u2_fresh, rtol=1e-12)
+        np.testing.assert_allclose(u2, 2 * u1, rtol=1e-9)
+
+    def test_clear_cache(self, square_cloud_12):
+        solver = RBFSolver(square_cloud_12)
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                g: BoundaryCondition("dirichlet", value=0.0)
+                for g in ("top", "bottom", "left", "right")
+            },
+        )
+        solver.solve(prob, cache_key="a")
+        assert "a" in solver._lu_cache
+        solver.clear_cache()
+        assert not solver._lu_cache
+
+
+class TestSourceEvaluation:
+    def test_callable_source(self, square_cloud_12):
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            source=lambda p: p[:, 0],
+            bcs={
+                g: BoundaryCondition("dirichlet", value=0.0)
+                for g in ("top", "bottom", "left", "right")
+            },
+        )
+        rhs = RBFSolver(square_cloud_12).assemble_rhs(prob)
+        interior = square_cloud_12.internal
+        np.testing.assert_allclose(rhs[interior], square_cloud_12.x[interior])
+
+    def test_scalar_source_broadcast(self, square_cloud_12):
+        prob = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            source=3.0,
+            bcs={
+                g: BoundaryCondition("dirichlet", value=0.0)
+                for g in ("top", "bottom", "left", "right")
+            },
+        )
+        rhs = RBFSolver(square_cloud_12).assemble_rhs(prob)
+        np.testing.assert_allclose(rhs[square_cloud_12.internal], 3.0)

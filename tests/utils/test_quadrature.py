@@ -1,0 +1,52 @@
+"""Tests for trapezoid quadrature on boundary node sets."""
+
+import numpy as np
+import pytest
+
+from repro.utils.quadrature import boundary_integral, trapezoid_weights
+
+
+class TestWeights:
+    def test_uniform_weights(self):
+        w = trapezoid_weights(np.linspace(0, 1, 5))
+        np.testing.assert_allclose(w, [0.125, 0.25, 0.25, 0.25, 0.125])
+
+    def test_weights_sum_to_length(self):
+        coords = np.sort(np.random.default_rng(0).uniform(0, 3, 20))
+        assert abs(trapezoid_weights(coords).sum() - (coords[-1] - coords[0])) < 1e-12
+
+    def test_linear_exact(self):
+        x = np.linspace(0, 2, 17)
+        w = trapezoid_weights(x)
+        assert abs(w @ (3 * x + 1) - (3 * 2 + 2)) < 1e-12  # ∫(3x+1) over [0,2] = 8
+
+    def test_nonuniform_linear_exact(self):
+        x = np.sort(np.random.default_rng(1).uniform(0, 1, 30))
+        w = trapezoid_weights(x)
+        exact = (x[-1] ** 2 - x[0] ** 2) / 2
+        assert abs(w @ x - exact) < 1e-12
+
+    def test_second_order_convergence(self):
+        errs = []
+        for n in (10, 20, 40):
+            x = np.linspace(0, np.pi, n)
+            w = trapezoid_weights(x)
+            errs.append(abs(w @ np.sin(x) - 2.0))
+        assert errs[1] / errs[2] > 3.0  # halving h → error /4
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            trapezoid_weights(np.array([1.0]))
+
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError):
+            trapezoid_weights(np.array([0.0, 0.5, 0.5, 1.0]))
+
+
+class TestBoundaryIntegral:
+    def test_handles_unsorted(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 1, 21)
+        perm = rng.permutation(21)
+        val = boundary_integral((x**2)[perm], x[perm])
+        assert abs(val - 1 / 3) < 1e-3

@@ -1,0 +1,42 @@
+"""Tests for wall-time and peak-memory measurement."""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.utils.timers import PeakMemory, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert 0.015 < t.elapsed < 1.0
+
+    def test_zero_before_exit(self):
+        t = Timer()
+        assert t.elapsed == 0.0
+
+
+class TestPeakMemory:
+    def test_detects_allocation(self):
+        with PeakMemory() as m:
+            _ = np.zeros(2_000_000)  # ~16 MB
+        assert m.peak_bytes > 10 * 2**20
+        assert m.peak_mib > 10
+
+    def test_stops_tracing_when_started_here(self):
+        assert not tracemalloc.is_tracing()
+        with PeakMemory():
+            pass
+        assert not tracemalloc.is_tracing()
+
+    def test_nested_usage(self):
+        with PeakMemory() as outer:
+            _ = np.zeros(500_000)
+            with PeakMemory() as inner:
+                _ = np.zeros(250_000)
+            assert inner.peak_bytes > 0
+        assert outer.peak_bytes > 0
+        assert not tracemalloc.is_tracing()

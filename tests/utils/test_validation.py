@@ -1,0 +1,42 @@
+"""Tests for validation/error-metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    max_abs_error,
+    relative_l2_error,
+    rms,
+)
+
+
+class TestCheckFinite:
+    def test_passes_clean_array(self):
+        x = np.ones(5)
+        assert check_finite(x) is not None
+
+    def test_raises_on_nan(self):
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_raises_on_inf_with_name(self):
+        with pytest.raises(FloatingPointError, match="velocity"):
+            check_finite(np.array([np.inf]), name="velocity")
+
+
+class TestErrors:
+    def test_relative_l2(self):
+        exact = np.array([3.0, 4.0])
+        approx = exact * 1.01
+        assert abs(relative_l2_error(approx, exact) - 0.01) < 1e-12
+
+    def test_relative_l2_near_zero_reference(self):
+        err = relative_l2_error(np.array([1e-3]), np.zeros(1))
+        assert err == pytest.approx(1e-3)
+
+    def test_max_abs(self):
+        assert max_abs_error([1.0, 2.0], [1.5, 2.0]) == 0.5
+
+    def test_rms(self):
+        assert rms(np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
