@@ -16,6 +16,9 @@ import pytest
 from repro.bench.metrics import measure_run
 from repro.bench.tables import render_table
 from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.pde.laplace import LaplaceControlProblem
 from repro.rbf.local import build_local_operators, solve_pde_local
 from repro.rbf.operators import build_nodal_operators
 from repro.rbf.kernels import polyharmonic
@@ -23,6 +26,11 @@ from repro.rbf.solver import BoundaryCondition, LinearPDEProblem, RBFSolver
 from repro.rbf.assembly import LinearOperator2D
 
 SIZES = (12, 20, 28)
+
+# End-to-end DP control sweep: dense global collocation vs the sparse
+# local backend on the same optimisation problem.
+DP_SIZES = (12, 18, 26)
+DP_ITERS = 40
 
 
 def exact(p):
@@ -107,3 +115,85 @@ def test_local_build_scales_better(benchmark):
     """Operator-build timing at the largest size (the scalability story)."""
     cloud = SquareCloud(SIZES[-1])
     benchmark(build_local_operators, cloud, stencil_size=15)
+
+
+# ----------------------------------------------------------------------
+# End-to-end DP control: dense vs local backend (wall time, peak memory,
+# final cost J across N)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dp_backend_sweep():
+    out = []
+    for nx in DP_SIZES:
+        row = {"n": SquareCloud(nx).n}
+        for backend in ("dense", "local"):
+            problem = LaplaceControlProblem(SquareCloud(nx), backend=backend)
+            oracle = LaplaceDP(problem)
+            (c, hist), t, mem = measure_run(
+                lambda: optimize(oracle, DP_ITERS, 1e-2)
+            )
+            row[backend] = {
+                "t": t,
+                "mem": mem,
+                "J": hist.best_cost,
+                "nnz_or_n2": (
+                    oracle.solver.nnz
+                    if hasattr(oracle.solver, "nnz")
+                    else problem.system.size
+                ),
+            }
+        out.append(row)
+    return out
+
+
+def test_backend_dp_table(dp_backend_sweep, save_artifact, benchmark):
+    """Table 3-style dense-vs-sparse comparison of the DP control loop."""
+    rows = []
+    for r in dp_backend_sweep:
+        d, l = r["dense"], r["local"]
+        rows.append([
+            str(r["n"]),
+            f"{d['t']:.2f}", f"{d['mem'] / 2**20:.1f}", f"{d['J']:.2e}",
+            f"{l['t']:.2f}", f"{l['mem'] / 2**20:.1f}", f"{l['J']:.2e}",
+            f"{d['t'] / max(l['t'], 1e-12):.1f}x",
+        ])
+    text = render_table(
+        ["N", "dense s", "dense MiB", "dense J",
+         "local s", "local MiB", "local J", "speedup"],
+        rows,
+        title=f"ABLATION: LaplaceDP control loop, dense vs local backend "
+        f"({DP_ITERS} iterations)",
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_backend_dp.txt", text)
+
+
+def test_local_backend_cost_within_10x_of_dense(dp_backend_sweep, benchmark):
+    """The sparse path must reach a comparable optimum, not just run fast."""
+    benchmark(lambda: None)
+    for r in dp_backend_sweep:
+        assert r["local"]["J"] <= 10.0 * r["dense"]["J"] + 1e-12, f"N={r['n']}"
+
+
+def test_sparse_wall_time_subcubic(dp_backend_sweep, benchmark):
+    """Fitted log-log slope of the local-backend wall time stays below the
+    dense LU's cubic scaling.  Lenient bound — small-N timings are noisy,
+    but cubic growth across a 4x range of N is unambiguous."""
+    benchmark(lambda: None)
+    ns = np.array([r["n"] for r in dp_backend_sweep], dtype=float)
+    ts = np.array(
+        [max(r["local"]["t"], 1e-6) for r in dp_backend_sweep], dtype=float
+    )
+    slope = np.polyfit(np.log(ns), np.log(ts), 1)[0]
+    assert slope < 2.9, f"local backend wall time slope {slope:.2f} >= 2.9"
+
+
+def test_local_operator_storage_linear_in_n(dp_backend_sweep, benchmark):
+    """Sparse system nnz grows ~linearly with N; dense storage is N^2."""
+    benchmark(lambda: None)
+    first, last = dp_backend_sweep[0], dp_backend_sweep[-1]
+    growth_n = last["n"] / first["n"]
+    growth_nnz = last["local"]["nnz_or_n2"] / first["local"]["nnz_or_n2"]
+    growth_dense = last["dense"]["nnz_or_n2"] / first["dense"]["nnz_or_n2"]
+    assert growth_nnz < 2.0 * growth_n
+    assert growth_dense > 2.0 * growth_n

@@ -60,6 +60,13 @@ from repro.autodiff.ops import (
     where,
 )
 from repro.autodiff.linalg import solve, lstsq, norm, LUSolver
+from repro.autodiff.sparse import (
+    SparseLUSolver,
+    make_linear_solver,
+    sparse_matvec,
+    sparse_pattern_solve,
+    sparse_solve,
+)
 from repro.autodiff.functional import (
     grad,
     value_and_grad,
@@ -111,6 +118,11 @@ __all__ = [
     "where",
     "solve",
     "LUSolver",
+    "SparseLUSolver",
+    "make_linear_solver",
+    "sparse_solve",
+    "sparse_matvec",
+    "sparse_pattern_solve",
     "lstsq",
     "norm",
     "grad",

@@ -42,6 +42,7 @@ class LaplaceScale:
     iterations: int = 150        # paper: 500
     lr_dal: float = 1e-2         # paper: 1e-2
     lr_dp: float = 1e-2          # paper: 1e-2
+    backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,7 @@ class NavierStokesScale:
     reynolds: float = 100.0
     pseudo_dt: float = 0.5
     perturbation: float = 0.3
+    backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
 
 
 @dataclass(frozen=True)

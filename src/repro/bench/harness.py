@@ -35,18 +35,31 @@ from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 # ----------------------------------------------------------------------
 # Problem factories
 # ----------------------------------------------------------------------
-def make_laplace_problem(scale: Optional[ExperimentScale] = None) -> LaplaceControlProblem:
-    """Laplace problem at the active scale."""
+def make_laplace_problem(
+    scale: Optional[ExperimentScale] = None,
+    backend: Optional[str] = None,
+) -> LaplaceControlProblem:
+    """Laplace problem at the active scale.
+
+    ``backend`` overrides the scale's operator backend ("dense" for the
+    paper's global collocation, "local" for sparse RBF-FD).
+    """
     s = scale or get_scale()
-    return LaplaceControlProblem(SquareCloud(s.laplace.nx))
+    return LaplaceControlProblem(
+        SquareCloud(s.laplace.nx), backend=backend or s.laplace.backend
+    )
 
 
-def make_ns_problem(scale: Optional[ExperimentScale] = None) -> ChannelFlowProblem:
+def make_ns_problem(
+    scale: Optional[ExperimentScale] = None,
+    backend: Optional[str] = None,
+) -> ChannelFlowProblem:
     """Channel-flow problem at the active scale."""
     s = scale or get_scale()
     return ChannelFlowProblem(
         cloud=ChannelCloud(s.ns.nx, s.ns.ny),
         perturbation=s.ns.perturbation,
+        backend=backend or s.ns.backend,
     )
 
 

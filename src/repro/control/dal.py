@@ -54,21 +54,29 @@ from typing import Optional, Tuple
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
-from repro.autodiff.linalg import LUSolver
+from repro.autodiff.sparse import make_linear_solver
+from repro.pde.discrete import row_selector
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 from repro.utils.validation import check_finite
 
 
 class LaplaceDAL:
-    """DAL oracle for the Laplace control problem."""
+    """DAL oracle for the Laplace control problem.
+
+    Runs on either operator backend: the direct and adjoint systems share
+    one factorisation — dense LU for the global collocation matrix,
+    sparse ``splu`` for the RBF-FD system (``backend="local"``).
+    """
 
     def __init__(self, problem: LaplaceControlProblem) -> None:
         self.problem = problem
         # Direct and adjoint share the system matrix (Laplace operator,
         # all-Dirichlet rows): one factorisation for both.
-        self.solver = LUSolver(problem.system)
+        self.solver = make_linear_solver(problem.system)
 
     def value(self, c: np.ndarray) -> float:
         """Direct solve + cost quadrature."""
@@ -89,10 +97,11 @@ class LaplaceDAL:
         lam = self.solver.solve_numpy(b_adj)
 
         # Continuous gradient ∇J(x) = ∂λ/∂y(x, 1), discretised with the
-        # nodal derivative rows.  (OTD: no knowledge of the discrete
-        # quadrature — its small inconsistency with the discrete J is the
-        # hallmark of optimise-then-discretise.)
-        grad = p.nodal.dy[p.top] @ lam
+        # nodal derivative rows (``flux_rows`` *is* ``dy[top]`` on both
+        # backends).  (OTD: no knowledge of the discrete quadrature — its
+        # small inconsistency with the discrete J is the hallmark of
+        # optimise-then-discretise.)
+        grad = p.flux_rows @ lam
         return cost, grad
 
     def initial_control(self) -> np.ndarray:
@@ -157,17 +166,38 @@ class NavierStokesDAL:
 
         # Adjoint momentum matrix: reversed advection; Dirichlet rows on
         # the velocity-prescribed boundaries; Robin rows at the outflow.
-        op = (-u)[:, None] * nd.dx + (-v)[:, None] * nd.dy - (1.0 / Re) * nd.lap
-        A = mask[:, None] * op
-        for g in ("inflow", "wall_bottom", "wall_top", "blowing", "suction"):
-            idx = pr.cloud.groups[g]
-            A[idx] = 0.0
-            A[idx, idx] = 1.0
+        dirichlet_groups = ("inflow", "wall_bottom", "wall_top", "blowing", "suction")
         out = pr.outflow
         beta = Re * u[out]  # Re (u·n) with n = (1, 0)
-        A[out] = nd.normal[out]
-        A[out, out] += beta
-        lu = sla.lu_factor(A, check_finite=False)
+        if pr.backend == "local":
+            op = (
+                sp.diags(-u) @ nd.dx
+                + sp.diags(-v) @ nd.dy
+                - (1.0 / Re) * nd.lap
+            )
+            A = sp.diags(mask) @ op  # interior mask zeroes boundary rows
+            for g in dirichlet_groups:
+                A = A + row_selector(n, pr.cloud.groups[g])
+            A = (
+                A
+                + row_selector(n, out) @ sp.csr_matrix(nd.normal)
+                + sp.csr_matrix((beta, (out, out)), shape=(n, n))
+            )
+            lu = spla.splu(sp.csc_matrix(A))
+            solve_sys = lu.solve
+        else:
+            op = (-u)[:, None] * nd.dx + (-v)[:, None] * nd.dy - (1.0 / Re) * nd.lap
+            A = mask[:, None] * op
+            for g in dirichlet_groups:
+                idx = pr.cloud.groups[g]
+                A[idx] = 0.0
+                A[idx, idx] = 1.0
+            A[out] = nd.normal[out]
+            A[out, out] += beta
+            lu = sla.lu_factor(A, check_finite=False)
+
+            def solve_sys(b: np.ndarray) -> np.ndarray:
+                return sla.lu_solve(lu, b, check_finite=False)
 
         lx = np.zeros(n)
         ly = np.zeros(n)
@@ -185,8 +215,8 @@ class NavierStokesDAL:
             by_full = by.copy()
             bx_full[out] = -Re * (sigma[out] + mismatch_u)
             by_full[out] = -Re * mismatch_v
-            lx_star = sla.lu_solve(lu, bx_full, check_finite=False)
-            ly_star = sla.lu_solve(lu, by_full, check_finite=False)
+            lx_star = solve_sys(bx_full)
+            ly_star = solve_sys(by_full)
 
             div = nd.dx @ lx_star + nd.dy @ ly_star
             phi = pr.pressure_solver.solve_numpy(mask * div / dt)

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.functional import value_and_grad
-from repro.autodiff.linalg import LUSolver
+from repro.autodiff.sparse import make_linear_solver
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 
@@ -41,10 +41,15 @@ def _smoothness_penalty(c, coords: np.ndarray):
 class LaplaceDP:
     """DP oracle for the Laplace control problem.
 
-    The collocation matrix is constant, so it is LU-factorised once; each
+    The collocation matrix is constant, so it is factorised once; each
     ``value_and_grad`` costs two triangular solves (forward + adjoint) —
     the same leading cost as one DAL iteration, but with gradients exact
     to machine precision w.r.t. the *discrete* cost.
+
+    The factorisation matches the problem's backend: dense LU for the
+    global collocation system, sparse ``splu`` for the RBF-FD system
+    (``backend="local"``) — the discrete adjoint identity is storage
+    agnostic, so the same reverse pass runs on either.
 
     ``smoothness_weight`` adds the §4 control-variation penalty to the
     objective (off by default, as in the paper).
@@ -54,7 +59,7 @@ class LaplaceDP:
         self, problem: LaplaceControlProblem, smoothness_weight: float = 0.0
     ) -> None:
         self.problem = problem
-        self.solver = LUSolver(problem.system)
+        self.solver = make_linear_solver(problem.system)
         self.smoothness_weight = float(smoothness_weight)
 
     def _cost_tensor(self, c):

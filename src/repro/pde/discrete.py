@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.cloud.base import BoundaryKind, Cloud
 from repro.rbf.operators import NodalOperators
@@ -98,18 +99,70 @@ def boundary_rows(cloud: Cloud, nodal: NodalOperators, bcs: FieldBCs) -> np.ndar
     return rows
 
 
+def row_selector(n: int, idx: np.ndarray) -> sp.csr_matrix:
+    """Sparse ``(n, n)`` diagonal selector: 1 at ``(i, i)`` for ``i ∈ idx``.
+
+    ``row_selector(n, idx) @ M`` keeps only the ``idx`` rows of ``M`` —
+    the sparse replacement for the dense ``rows[idx] = M[idx]`` pattern.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    return sp.csr_matrix(
+        (np.ones(idx.size), (idx, idx)), shape=(n, n)
+    )
+
+
+def boundary_rows_sparse(cloud: Cloud, operators, bcs: FieldBCs) -> sp.csr_matrix:
+    """Sparse ``(N, N)`` matrix holding only the boundary-condition rows.
+
+    The RBF-FD counterpart of :func:`boundary_rows`: ``operators`` is any
+    bundle exposing a ``normal`` matrix (``LocalOperators`` or
+    ``NodalOperators``); the result has unit rows on Dirichlet nodes,
+    stencil-sparse normal rows on Neumann nodes and ``normal + β·I`` rows
+    on Robin nodes.
+    """
+    bcs.validate(cloud)
+    n = cloud.n
+    normal = sp.csr_matrix(operators.normal)
+    rows = sp.csr_matrix((n, n))
+    for g, idx in cloud.groups.items():
+        if cloud.kinds[g] is BoundaryKind.INTERNAL:
+            continue
+        kind = bcs.kinds[g]
+        if kind == "dirichlet":
+            rows = rows + row_selector(n, idx)
+        elif kind == "neumann":
+            rows = rows + row_selector(n, idx) @ normal
+        else:  # robin
+            beta = np.broadcast_to(
+                np.asarray(bcs.robin_beta.get(g, 0.0), dtype=np.float64),
+                idx.shape,
+            )
+            rows = (
+                rows
+                + row_selector(n, idx) @ normal
+                + sp.csr_matrix((beta, (idx, idx)), shape=(n, n))
+            )
+    return rows.tocsr()
+
+
 def assemble_field_system(
     cloud: Cloud,
-    nodal: NodalOperators,
-    interior_operator,  # (N, N) array or Tensor
+    nodal,
+    interior_operator,  # (N, N) array, sparse matrix, or Tensor
     bcs: FieldBCs,
 ):
     """Full system matrix: interior operator rows + boundary rows.
 
     ``interior_operator`` may be a tape tensor (NS momentum operator,
     which depends on the frozen advection velocity); the mask/boundary
-    parts are constants.
+    parts are constants.  A ``scipy.sparse`` interior operator (the
+    RBF-FD backend) yields a sparse system assembled without densifying.
     """
+    if sp.issparse(interior_operator):
+        return (
+            sp.diags(interior_mask(cloud)) @ interior_operator
+            + boundary_rows_sparse(cloud, nodal, bcs)
+        ).tocsr()
     mask = interior_mask(cloud)[:, None]
     return mask * interior_operator + boundary_rows(cloud, nodal, bcs)
 

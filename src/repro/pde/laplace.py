@@ -42,10 +42,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.cloud.base import Cloud
 from repro.cloud.square import SquareCloud
 from repro.rbf.kernels import Kernel, polyharmonic
+from repro.rbf.local import build_local_operators
 from repro.rbf.operators import NodalOperators, build_nodal_operators
 from repro.pde.discrete import (
     FieldBCs,
@@ -122,7 +124,14 @@ class LaplaceControlProblem:
     cloud:
         The unit-square cloud (all-Dirichlet boundary).
     nodal:
-        Nodal differentiation matrices on that cloud.
+        The operator bundle: dense :class:`NodalOperators` for
+        ``backend="dense"`` (the paper's global collocation), sparse
+        :class:`~repro.rbf.local.LocalOperators` for ``backend="local"``
+        (RBF-FD stencils).  Both expose ``dx``/``dy``/``lap``/``normal``.
+    system:
+        The collocation matrix in the backend's storage format — dense
+        ``ndarray`` or ``scipy.sparse`` CSR.  The DP/DAL oracles pick the
+        matching (dense or sparse) cached-LU solver from it.
     control_x:
         Top-wall node abscissae (control parameterisation: one value per
         top node, i.e. the control is discretised on the boundary nodes,
@@ -132,12 +141,23 @@ class LaplaceControlProblem:
     cloud: Cloud
     kernel: Optional[Kernel] = None
     degree: int = 1
+    backend: str = "dense"
+    stencil_size: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.backend not in ("dense", "local"):
+            raise ValueError(
+                f"backend must be 'dense' or 'local', got {self.backend!r}"
+            )
         self.kernel = self.kernel or polyharmonic(3)
-        self.nodal: NodalOperators = build_nodal_operators(
-            self.cloud, self.kernel, self.degree
-        )
+        if self.backend == "dense":
+            self.nodal = build_nodal_operators(
+                self.cloud, self.kernel, self.degree
+            )
+        else:
+            self.nodal = build_local_operators(
+                self.cloud, self.kernel, self.degree, self.stencil_size
+            )
         cloud = self.cloud
         self.top = cloud.groups["top"]
         self.bottom = cloud.groups["bottom"]
@@ -175,8 +195,11 @@ class LaplaceControlProblem:
         b_fixed[self.right] = laplace_side_data(cloud.points[self.right, 1])
         self.b_fixed = b_fixed
 
-        # Flux rows: ∂u/∂y at the top nodes.
-        self.flux_rows = self.nodal.dy[self.top]
+        # Flux rows: ∂u/∂y at the top nodes.  Kept dense on both backends:
+        # there are only O(√N) of them and the DP cost quadrature consumes
+        # them through the dense-matmul tape primitive.
+        flux = self.nodal.dy[self.top]
+        self.flux_rows = flux.toarray() if sp.issparse(flux) else flux
         self.target = laplace_target_flux(self.control_x)
 
     # ------------------------------------------------------------------

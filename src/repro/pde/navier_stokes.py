@@ -46,19 +46,28 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.autodiff import ops
-from repro.autodiff.linalg import LUSolver, solve as ad_solve
+from repro.autodiff.linalg import solve as ad_solve
+from repro.autodiff.sparse import (
+    make_linear_solver,
+    sparse_matvec,
+    sparse_pattern_solve,
+)
 from repro.autodiff.tensor import Tensor, asdata, tensor
 from repro.cloud.base import Cloud
 from repro.cloud.channel import ChannelCloud, ChannelGeometry
 from repro.pde.discrete import (
     FieldBCs,
     boundary_rows,
+    boundary_rows_sparse,
     interior_mask,
     selection_matrix,
 )
 from repro.rbf.kernels import Kernel, polyharmonic
+from repro.rbf.local import build_local_operators
 from repro.rbf.operators import NodalOperators, build_nodal_operators
 from repro.utils.quadrature import trapezoid_weights
 from repro.utils.validation import check_finite
@@ -119,15 +128,25 @@ class ChannelFlowProblem:
         degree: int = 1,
         geometry: Optional[ChannelGeometry] = None,
         perturbation: float = 0.3,
+        backend: str = "dense",
+        stencil_size: Optional[int] = None,
     ) -> None:
+        if backend not in ("dense", "local"):
+            raise ValueError(
+                f"backend must be 'dense' or 'local', got {backend!r}"
+            )
         self.geometry = geometry or ChannelGeometry()
         self.perturbation = float(perturbation)
         self.cloud = cloud if cloud is not None else ChannelCloud(geometry=self.geometry)
         self.kernel = kernel or polyharmonic(3)
         self.degree = degree
-        self.nodal: NodalOperators = build_nodal_operators(
-            self.cloud, self.kernel, degree
-        )
+        self.backend = backend
+        if backend == "dense":
+            self.nodal = build_nodal_operators(self.cloud, self.kernel, degree)
+        else:
+            self.nodal = build_local_operators(
+                self.cloud, self.kernel, degree, stencil_size
+            )
         cloud_ = self.cloud
         geo = self.geometry
 
@@ -159,8 +178,12 @@ class ChannelFlowProblem:
 
         nd = self.nodal
         self.mask_int = interior_mask(cloud_)
-        self.rows_u = boundary_rows(cloud_, nd, self.bcs_u)
-        self.rows_p = boundary_rows(cloud_, nd, self.bcs_p)
+        if backend == "local":
+            self.rows_u = boundary_rows_sparse(cloud_, nd, self.bcs_u)
+            self.rows_p = boundary_rows_sparse(cloud_, nd, self.bcs_p)
+        else:
+            self.rows_u = boundary_rows(cloud_, nd, self.bcs_u)
+            self.rows_p = boundary_rows(cloud_, nd, self.bcs_p)
 
         # "Free" masks: nodes where the projection correction applies
         # (everywhere except the field's Dirichlet nodes).
@@ -170,9 +193,46 @@ class ChannelFlowProblem:
                 free[cloud_.groups[g]] = 0.0
         self.free_uv = free
 
-        # Constant pressure system, factorised once.
-        A_p = self.mask_int[:, None] * nd.lap + self.rows_p
-        self.pressure_solver = LUSolver(A_p)
+        # Constant pressure system, factorised once (dense LU or sparse
+        # splu, matching the backend).
+        if backend == "local":
+            A_p = sp.diags(self.mask_int) @ nd.lap + self.rows_p
+        else:
+            A_p = self.mask_int[:, None] * nd.lap + self.rows_p
+        self.pressure_solver = make_linear_solver(A_p)
+
+        # Fixed sparsity pattern of the momentum system (local backend):
+        # the union of the masked advection/diffusion stencils and the
+        # u-field boundary rows.  Momentum matrices for *any* frozen
+        # velocity live on this pattern, so both the NumPy and the tape
+        # path assemble a value vector and never touch the structure —
+        # which is what makes the VJP w.r.t. the values a cheap gather.
+        if backend == "local":
+            def _absval(M) -> sp.csr_matrix:
+                M = sp.csr_matrix(M).copy()
+                M.data = np.abs(M.data)
+                return M
+
+            Mint = sp.diags(self.mask_int)
+            pattern = (
+                _absval(Mint @ nd.dx)
+                + _absval(Mint @ nd.dy)
+                + _absval(Mint @ nd.lap)
+                + _absval(self.rows_u)
+            ).tocsr()
+            pattern.eliminate_zeros()
+            rows, cols = pattern.nonzero()
+            self._mom_rows = rows.astype(np.int64)
+            self._mom_cols = cols.astype(np.int64)
+
+            def _on_pattern(M) -> np.ndarray:
+                return np.asarray(sp.csr_matrix(M)[rows, cols]).ravel()
+
+            mask_row = self.mask_int[rows]
+            self._mom_dx = mask_row * _on_pattern(nd.dx)
+            self._mom_dy = mask_row * _on_pattern(nd.dy)
+            self._mom_lap = mask_row * _on_pattern(nd.lap)
+            self._mom_bc = _on_pattern(self.rows_u)
 
         # Boundary data: blowing/suction bumps, fixed v-BC vector.
         bx = cloud_.points[self.blowing, 0]
@@ -209,18 +269,51 @@ class ChannelFlowProblem:
         geo = self.geometry
         return 8.0 * (geo.lx - self.cloud.x) / (reynolds * geo.ly**2)
 
-    def momentum_matrix_numpy(
+    def momentum_data_numpy(
         self, u: np.ndarray, v: np.ndarray, reynolds: float
     ) -> np.ndarray:
-        """Frozen-advection momentum system (NumPy path)."""
+        """Momentum-system values on the fixed sparsity pattern (local)."""
+        r = self._mom_rows
+        return (
+            u[r] * self._mom_dx
+            + v[r] * self._mom_dy
+            - self._mom_lap / reynolds
+            + self._mom_bc
+        )
+
+    def momentum_data_ad(self, u, v, reynolds: float):
+        """Momentum-system values on the pattern, on the tape (local).
+
+        The gather ``u[rows]`` records a scatter-add VJP, so gradients
+        flow from the matrix values back into the frozen velocity — the
+        sparse equivalent of differentiating through dense assembly.
+        """
+        ur = ops.getitem(u, self._mom_rows)
+        vr = ops.getitem(v, self._mom_rows)
+        return (
+            ur * self._mom_dx
+            + vr * self._mom_dy
+            + (self._mom_bc - self._mom_lap / reynolds)
+        )
+
+    def momentum_matrix_numpy(self, u: np.ndarray, v: np.ndarray, reynolds: float):
+        """Frozen-advection momentum system (NumPy path, either backend)."""
         nd = self.nodal
+        if self.backend == "local":
+            return sp.csr_matrix(
+                (
+                    self.momentum_data_numpy(u, v, reynolds),
+                    (self._mom_rows, self._mom_cols),
+                ),
+                shape=(self.cloud.n, self.cloud.n),
+            )
         op = (
             u[:, None] * nd.dx + v[:, None] * nd.dy - (1.0 / reynolds) * nd.lap
         )
         return self.mask_int[:, None] * op + self.rows_u
 
     def momentum_matrix_ad(self, u, v, reynolds: float):
-        """Frozen-advection momentum system (autodiff path)."""
+        """Frozen-advection momentum system (dense autodiff path)."""
         nd = self.nodal
         op = (
             ops.mul(ops.reshape(u, (-1, 1)), nd.dx)
@@ -247,11 +340,16 @@ class ChannelFlowProblem:
 
         for _ in range(config.refinements):
             A = self.momentum_matrix_numpy(u, v, config.reynolds)
-            lu = sla.lu_factor(A, check_finite=False)
             bu = mask * (-(nd.dx @ p)) + b_u_bc
             bv = mask * (-(nd.dy @ p)) + self.b_v_fixed
-            u_star = sla.lu_solve(lu, bu, check_finite=False)
-            v_star = sla.lu_solve(lu, bv, check_finite=False)
+            if self.backend == "local":
+                lu = spla.splu(sp.csc_matrix(A))
+                u_star = lu.solve(bu)
+                v_star = lu.solve(bv)
+            else:
+                lu = sla.lu_factor(A, check_finite=False)
+                u_star = sla.lu_solve(lu, bu, check_finite=False)
+                v_star = sla.lu_solve(lu, bv, check_finite=False)
 
             div = nd.dx @ u_star + nd.dy @ v_star
             phi = self.pressure_solver.solve_numpy(mask * div / dt)
@@ -297,18 +395,45 @@ class ChannelFlowProblem:
         p = tensor(self.initial_pressure(config.reynolds))
         b_u_bc = ops.matmul(self.S_in, c)
 
-        for _ in range(config.refinements):
-            A = self.momentum_matrix_ad(u, v, config.reynolds)
-            bu = mask * (-ops.matmul(nd.dx, p)) + b_u_bc
-            bv = mask * (-ops.matmul(nd.dy, p)) + self.b_v_fixed
-            u_star = ad_solve(A, bu)
-            v_star = ad_solve(A, bv)
+        n = self.cloud.n
+        local = self.backend == "local"
+        if local:
+            # Constant sparse operators enter the tape through the
+            # dedicated sparse mat-vec primitive (VJP: transposed product).
+            def dxm(t):
+                return sparse_matvec(nd.dx, t)
 
-            div = ops.matmul(nd.dx, u_star) + ops.matmul(nd.dy, v_star)
+            def dym(t):
+                return sparse_matvec(nd.dy, t)
+
+        else:
+            def dxm(t):
+                return ops.matmul(nd.dx, t)
+
+            def dym(t):
+                return ops.matmul(nd.dy, t)
+
+        for _ in range(config.refinements):
+            bu = mask * (-dxm(p)) + b_u_bc
+            bv = mask * (-dym(p)) + self.b_v_fixed
+            if local:
+                data = self.momentum_data_ad(u, v, config.reynolds)
+                u_star = sparse_pattern_solve(
+                    self._mom_rows, self._mom_cols, (n, n), data, bu
+                )
+                v_star = sparse_pattern_solve(
+                    self._mom_rows, self._mom_cols, (n, n), data, bv
+                )
+            else:
+                A = self.momentum_matrix_ad(u, v, config.reynolds)
+                u_star = ad_solve(A, bu)
+                v_star = ad_solve(A, bv)
+
+            div = dxm(u_star) + dym(v_star)
             phi = self.pressure_solver(mask * div * (1.0 / dt))
 
-            u_new = u_star - dt * (self.free_uv * ops.matmul(nd.dx, phi))
-            v_new = v_star - dt * (self.free_uv * ops.matmul(nd.dy, phi))
+            u_new = u_star - dt * (self.free_uv * dxm(phi))
+            v_new = v_star - dt * (self.free_uv * dym(phi))
             if config.relax != 1.0:
                 a = config.relax
                 u_new = (1 - a) * u + a * u_new

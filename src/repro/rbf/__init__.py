@@ -45,7 +45,13 @@ from repro.rbf.assembly import (
     LinearOperator2D,
 )
 from repro.rbf.operators import NodalOperators, build_nodal_operators
-from repro.rbf.solver import BoundaryCondition, LinearPDEProblem, solve_pde, RBFSolver
+from repro.rbf.solver import (
+    BoundaryCondition,
+    LinearPDEProblem,
+    LocalRBFSolver,
+    RBFSolver,
+    solve_pde,
+)
 from repro.rbf.interpolate import RBFInterpolant, fit_interpolant
 from repro.rbf.conditioning import collocation_condition_number
 from repro.rbf.local import (
@@ -76,6 +82,7 @@ __all__ = [
     "LinearPDEProblem",
     "solve_pde",
     "RBFSolver",
+    "LocalRBFSolver",
     "RBFInterpolant",
     "fit_interpolant",
     "collocation_condition_number",

@@ -21,10 +21,13 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.cloud.base import BoundaryKind, Cloud
 from repro.rbf.assembly import LinearOperator2D
 from repro.rbf.kernels import Kernel, polyharmonic
+from repro.rbf.local import LocalOperators, build_local_operators
 from repro.rbf.operators import NodalOperators, build_nodal_operators
 
 BCValue = Union[float, np.ndarray, Callable[[np.ndarray], np.ndarray]]
@@ -83,6 +86,26 @@ class LinearPDEProblem:
         ).copy()
 
 
+def assemble_problem_rhs(cloud: Cloud, problem: LinearPDEProblem) -> np.ndarray:
+    """Right-hand side shared by the dense and sparse solvers.
+
+    Source values on interior rows, boundary data on boundary rows — the
+    RHS depends only on the cloud and problem data, never on how the
+    operator matrix is stored.
+    """
+    b = np.zeros(cloud.n)
+    interior = cloud.indices_of_kind(BoundaryKind.INTERNAL)
+    b[interior] = problem.source_values(cloud.points[interior])
+    for group, idx in cloud.groups.items():
+        if cloud.kinds[group] is BoundaryKind.INTERNAL:
+            continue
+        bc = problem.bcs.get(group)
+        if bc is None:
+            raise ValueError(f"missing boundary condition for group {group!r}")
+        b[idx] = bc.evaluate(cloud.points[idx])
+    return b
+
+
 class RBFSolver:
     """Reusable solver bound to one cloud/kernel/degree discretisation.
 
@@ -90,6 +113,9 @@ class RBFSolver:
     LU factorisations by key, so control loops that re-solve the same PDE
     with different boundary data pay only a triangular-solve per iteration
     (the optimisation the paper's timing table depends on).
+
+    ``n_factorizations`` counts numeric factorisations so regression tests
+    can assert factorise-once/solve-many behaviour across loop iterations.
     """
 
     def __init__(
@@ -104,7 +130,17 @@ class RBFSolver:
         self.nodal: NodalOperators = build_nodal_operators(
             cloud, self.kernel, degree
         )
-        self._lu_cache: Dict[str, object] = {}
+        self._lu_cache: Dict[object, object] = {}
+        self.n_factorizations = 0
+
+    def _cache_token(self) -> tuple:
+        """Discretisation fingerprint mixed into every cache key.
+
+        Keys self-invalidate when the cloud or kernel bound to the solver
+        changes (a fresh cloud object, a swapped kernel): the stale
+        factorisation can never be returned for the new discretisation.
+        """
+        return (id(self.cloud), self.kernel.name, self.degree)
 
     # ------------------------------------------------------------------
     def assemble_system(self, problem: LinearPDEProblem) -> np.ndarray:
@@ -139,15 +175,7 @@ class RBFSolver:
 
     def assemble_rhs(self, problem: LinearPDEProblem) -> np.ndarray:
         """Build the right-hand side for ``problem``."""
-        cloud = self.cloud
-        b = np.zeros(cloud.n)
-        interior = cloud.indices_of_kind(BoundaryKind.INTERNAL)
-        b[interior] = problem.source_values(cloud.points[interior])
-        for group, idx in cloud.groups.items():
-            if cloud.kinds[group] is BoundaryKind.INTERNAL:
-                continue
-            b[idx] = problem.bcs[group].evaluate(cloud.points[idx])
-        return b
+        return assemble_problem_rhs(self.cloud, problem)
 
     def solve(
         self, problem: LinearPDEProblem, cache_key: Optional[str] = None
@@ -159,15 +187,129 @@ class RBFSolver:
         the caller asserts the matrix is unchanged (true for linear
         problems whose control enters only through boundary *values*).
         """
-        if cache_key is not None and cache_key in self._lu_cache:
-            lu = self._lu_cache[cache_key]
+        key = None if cache_key is None else (cache_key, self._cache_token())
+        if key is not None and key in self._lu_cache:
+            lu = self._lu_cache[key]
         else:
             A = self.assemble_system(problem)
             lu = sla.lu_factor(A, check_finite=False)
-            if cache_key is not None:
-                self._lu_cache[cache_key] = lu
+            self.n_factorizations += 1
+            if key is not None:
+                self._lu_cache[key] = lu
         b = self.assemble_rhs(problem)
         return sla.lu_solve(lu, b, check_finite=False)
+
+    def clear_cache(self) -> None:
+        """Drop all cached factorisations."""
+        self._lu_cache.clear()
+
+
+class LocalRBFSolver:
+    """Sparse RBF-FD counterpart of :class:`RBFSolver`.
+
+    Assembles its system rows from :class:`~repro.rbf.local.LocalOperators`
+    (``k`` nonzeros per row) and caches ``scipy.sparse.linalg.splu``
+    factorisations by key.  Interface-compatible with :class:`RBFSolver`
+    (``assemble_system``/``assemble_rhs``/``solve``/``clear_cache``), so
+    callers switch backend without touching problem definitions.
+
+    Supports the same boundary-condition kinds: Dirichlet (unit rows),
+    Neumann (stencil-sparse normal rows) and Robin (``normal + β·I``).
+    """
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        kernel: Optional[Kernel] = None,
+        degree: int = 1,
+        stencil_size: Optional[int] = None,
+    ) -> None:
+        self.cloud = cloud
+        self.kernel = kernel or polyharmonic(3)
+        self.degree = degree
+        self.local: LocalOperators = build_local_operators(
+            cloud, self.kernel, degree, stencil_size
+        )
+        self.stencil_size = self.local.stencil_size
+        self._lu_cache: Dict[object, object] = {}
+        self.n_factorizations = 0
+
+    def _cache_token(self) -> tuple:
+        """Discretisation fingerprint mixed into every cache key."""
+        return (id(self.cloud), self.kernel.name, self.degree, self.stencil_size)
+
+    # ------------------------------------------------------------------
+    def operator_matrix(self, op: LinearOperator2D) -> sp.csr_matrix:
+        """Sparse nodal matrix of ``a·Δ + b·∂x + c·∂y + d·I``."""
+        n = self.cloud.n
+
+        def diag(c) -> sp.dia_matrix:
+            return sp.diags(
+                np.broadcast_to(np.asarray(c, dtype=np.float64), (n,))
+            )
+
+        out = sp.csr_matrix((n, n))
+        if np.any(np.asarray(op.lap) != 0):
+            out = out + diag(op.lap) @ self.local.lap
+        if np.any(np.asarray(op.dx) != 0):
+            out = out + diag(op.dx) @ self.local.dx
+        if np.any(np.asarray(op.dy) != 0):
+            out = out + diag(op.dy) @ self.local.dy
+        if np.any(np.asarray(op.identity) != 0):
+            out = out + diag(op.identity)
+        return out.tocsr()
+
+    def assemble_system(self, problem: LinearPDEProblem) -> sp.csr_matrix:
+        """Build the sparse ``N×N`` nodal system matrix for ``problem``."""
+        cloud = self.cloud
+        n = cloud.n
+        interior = np.zeros(n)
+        interior[cloud.indices_of_kind(BoundaryKind.INTERNAL)] = 1.0
+        A = sp.diags(interior) @ self.operator_matrix(problem.operator)
+
+        normal = self.local.normal
+        for group, idx in cloud.groups.items():
+            kind = cloud.kinds[group]
+            if kind is BoundaryKind.INTERNAL:
+                continue
+            bc = problem.bcs.get(group)
+            if bc is None:
+                raise ValueError(f"missing boundary condition for group {group!r}")
+            if _KIND_NAME[bc.kind] is not kind:
+                raise ValueError(
+                    f"group {group!r} is ordered as {kind.name} but got a "
+                    f"{bc.kind!r} condition; rebuild the cloud with matching kinds"
+                )
+            sel = sp.csr_matrix(
+                (np.ones(idx.size), (idx, idx)), shape=(n, n)
+            )
+            if kind is BoundaryKind.DIRICHLET:
+                A = A + sel
+            elif kind is BoundaryKind.NEUMANN:
+                A = A + sel @ normal
+            else:  # Robin
+                A = A + sel @ normal + bc.beta * sel
+        return A.tocsr()
+
+    def assemble_rhs(self, problem: LinearPDEProblem) -> np.ndarray:
+        """Build the right-hand side for ``problem``."""
+        return assemble_problem_rhs(self.cloud, problem)
+
+    def solve(
+        self, problem: LinearPDEProblem, cache_key: Optional[str] = None
+    ) -> np.ndarray:
+        """Sparse solve with ``splu`` factorisation caching by key."""
+        key = None if cache_key is None else (cache_key, self._cache_token())
+        if key is not None and key in self._lu_cache:
+            lu = self._lu_cache[key]
+        else:
+            A = self.assemble_system(problem)
+            lu = spla.splu(sp.csc_matrix(A))
+            self.n_factorizations += 1
+            if key is not None:
+                self._lu_cache[key] = lu
+        b = self.assemble_rhs(problem)
+        return lu.solve(b)
 
     def clear_cache(self) -> None:
         """Drop all cached factorisations."""

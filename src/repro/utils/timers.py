@@ -4,6 +4,12 @@ The paper reports wall-clock hours and peak memory (GB) per method.  We
 measure wall time with ``perf_counter`` and peak *Python-allocation* memory
 with ``tracemalloc``, which captures the dominant term here (NumPy array
 buffers, including retained autodiff tapes).
+
+:class:`PeakMemory` is re-entrant and exception-safe: nested managers
+each report their own peak without clobbering the enclosing one (a bare
+``tracemalloc.reset_peak`` would), and tracing started by a manager is
+always stopped on exit — including when the measured body raises — so a
+failing benchmark run cannot poison later measurements.
 """
 
 from __future__ import annotations
@@ -11,11 +17,15 @@ from __future__ import annotations
 import time
 import tracemalloc
 from types import TracebackType
-from typing import Optional, Type
+from typing import List, Optional, Type
 
 
 class Timer:
-    """Context manager measuring elapsed wall time in seconds."""
+    """Context manager measuring elapsed wall time in seconds.
+
+    ``elapsed`` is set on exit even when the body raises, so a failed run
+    still reports how long it took before failing.
+    """
 
     def __init__(self) -> None:
         self.elapsed: float = 0.0
@@ -34,22 +44,40 @@ class Timer:
         self.elapsed = time.perf_counter() - self._t0
 
 
+# Stack of PeakMemory managers currently active in this process.  Needed
+# because tracemalloc exposes a single global peak: before an inner
+# manager resets it, the value observed so far is folded into every
+# enclosing manager's running maximum.
+_ACTIVE: List["PeakMemory"] = []
+
+
 class PeakMemory:
     """Context manager measuring peak traced memory in bytes.
 
-    Nesting is supported: if ``tracemalloc`` is already tracing, the manager
-    snapshots rather than stopping the trace on exit.
+    Nesting is fully supported: an inner manager resets the global
+    ``tracemalloc`` peak for its own measurement, but first credits the
+    peak observed so far to every enclosing manager, so the outer result
+    is the true maximum over its whole body (including the inner block).
     """
 
     def __init__(self) -> None:
         self.peak_bytes: int = 0
+        self._max_seen: int = 0
         self._started_here = False
 
     def __enter__(self) -> "PeakMemory":
         if not tracemalloc.is_tracing():
             tracemalloc.start()
             self._started_here = True
+        else:
+            # Fold the peak accumulated so far into the enclosing
+            # managers before resetting the global counter.
+            _, peak = tracemalloc.get_traced_memory()
+            for outer in _ACTIVE:
+                outer._max_seen = max(outer._max_seen, peak)
         tracemalloc.reset_peak()
+        self._max_seen = 0
+        _ACTIVE.append(self)
         return self
 
     def __exit__(
@@ -58,9 +86,19 @@ class PeakMemory:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
-        _, self.peak_bytes = tracemalloc.get_traced_memory()
-        if self._started_here:
-            tracemalloc.stop()
+        try:
+            if tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+            else:
+                # The measured body stopped tracing itself; report what
+                # was folded in rather than crashing.
+                peak = 0
+            self.peak_bytes = max(self._max_seen, peak)
+        finally:
+            if self in _ACTIVE:
+                _ACTIVE.remove(self)
+            if self._started_here and tracemalloc.is_tracing():
+                tracemalloc.stop()
 
     @property
     def peak_mib(self) -> float:

@@ -2,11 +2,19 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.autodiff import ops
 from repro.autodiff.check import numerical_gradient
 from repro.autodiff.functional import grad, value_and_grad
 from repro.autodiff.linalg import LUSolver, lstsq, norm, solve
+from repro.autodiff.sparse import (
+    SparseLUSolver,
+    make_linear_solver,
+    sparse_matvec,
+    sparse_pattern_solve,
+    sparse_solve,
+)
 
 RNG = np.random.default_rng(3)
 N = 6
@@ -14,6 +22,7 @@ A = RNG.standard_normal((N, N)) + N * np.eye(N)
 SPD = A @ A.T + np.eye(N)
 B = RNG.standard_normal(N)
 B2 = RNG.standard_normal((N, 2))
+AS = sp.csr_matrix(A)
 
 
 class TestSolve:
@@ -122,6 +131,214 @@ class TestLUSolver:
             np.testing.assert_allclose(
                 lus.solve_numpy(b), np.linalg.solve(A, b), rtol=1e-10
             )
+
+
+class TestSparseSolve:
+    def test_forward_matches_dense(self):
+        x = sparse_solve(AS, B)
+        np.testing.assert_allclose(x.data, np.linalg.solve(A, B), rtol=1e-10)
+
+    def test_forward_block_rhs(self):
+        x = sparse_solve(AS, B2)
+        np.testing.assert_allclose(x.data, np.linalg.solve(A, B2), rtol=1e-10)
+
+    def test_grad_wrt_rhs(self):
+        def f(b):
+            return ops.sum_(ops.square(sparse_solve(AS, b)))
+
+        g = grad(f)(B)
+        num = numerical_gradient(lambda b: float(f(b).data), B)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+    def test_grad_matches_dense_solve(self):
+        # The sparse VJP is the transposed solve with the same
+        # factorisation; it must agree with the dense adjoint exactly.
+        def f_sparse(b):
+            return ops.sum_(ops.square(sparse_solve(AS, b)))
+
+        def f_dense(b):
+            return ops.sum_(ops.square(solve(A, b)))
+
+        np.testing.assert_allclose(
+            grad(f_sparse)(B), grad(f_dense)(B), rtol=1e-9
+        )
+
+    def test_transposed_path_through_chain(self):
+        # Non-symmetric A so a wrong trans flag is caught: the VJP solves
+        # Aᵀw = g, which differs from A⁻¹g unless A = Aᵀ.
+        assert not np.allclose(A, A.T)
+        w = RNG.standard_normal(N)
+
+        def f(b):
+            return ops.sum_(sparse_solve(AS, b) * w)
+
+        g = grad(f)(B)
+        # Analytic gradient: A⁻ᵀ w.
+        np.testing.assert_allclose(g, np.linalg.solve(A.T, w), rtol=1e-9)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError, match="sparse"):
+            sparse_solve(A, B)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            sparse_solve(sp.csr_matrix(np.ones((2, 3))), np.ones(2))
+
+
+class TestSparseMatvec:
+    def test_forward(self):
+        out = sparse_matvec(AS, B)
+        np.testing.assert_allclose(out.data, A @ B, rtol=1e-12)
+
+    def test_grad_is_transpose_product(self):
+        w = RNG.standard_normal(N)
+
+        def f(x):
+            return ops.sum_(sparse_matvec(AS, x) * w)
+
+        np.testing.assert_allclose(grad(f)(B), A.T @ w, rtol=1e-12)
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError, match="sparse"):
+            sparse_matvec(A, B)
+
+
+class TestSparseLUSolver:
+    def test_matches_dense_lusolver(self):
+        s = SparseLUSolver(AS)
+        d = LUSolver(A)
+        np.testing.assert_allclose(s(B).data, d(B).data, rtol=1e-10)
+
+    def test_factorizes_once(self):
+        s = SparseLUSolver(AS)
+        for _ in range(4):
+            s(RNG.standard_normal(N))
+            s.solve_numpy(RNG.standard_normal(N))
+            s.solve_transposed(RNG.standard_normal(N))
+        assert s.n_factorizations == 1
+
+    def test_grad_wrt_rhs(self):
+        s = SparseLUSolver(AS)
+
+        def f(b):
+            return ops.sum_(ops.square(s(b)))
+
+        g = grad(f)(B)
+        num = numerical_gradient(lambda b: float(f(b).data), B)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+    def test_solve_transposed(self):
+        s = SparseLUSolver(AS)
+        np.testing.assert_allclose(
+            s.solve_transposed(B), np.linalg.solve(A.T, B), rtol=1e-10
+        )
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError, match="sparse"):
+            SparseLUSolver(A)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            SparseLUSolver(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_make_linear_solver_dispatch(self):
+        assert isinstance(make_linear_solver(AS), SparseLUSolver)
+        assert isinstance(make_linear_solver(A), LUSolver)
+
+
+class TestSparsePatternSolve:
+    """Solve with Tensor-valued matrix entries on a fixed pattern."""
+
+    def setup_method(self):
+        self.rows, self.cols = AS.nonzero()
+        self.rows = self.rows.astype(np.int64)
+        self.cols = self.cols.astype(np.int64)
+        self.data0 = np.asarray(
+            AS[self.rows, self.cols], dtype=np.float64
+        ).ravel()
+
+    def test_forward_matches_dense(self):
+        x = sparse_pattern_solve(self.rows, self.cols, (N, N), self.data0, B)
+        np.testing.assert_allclose(x.data, np.linalg.solve(A, B), rtol=1e-10)
+
+    def test_grad_wrt_rhs(self):
+        def f(b):
+            return ops.sum_(
+                ops.square(
+                    sparse_pattern_solve(
+                        self.rows, self.cols, (N, N), self.data0, b
+                    )
+                )
+            )
+
+        g = grad(f)(B)
+        num = numerical_gradient(lambda b: float(f(b).data), B)
+        np.testing.assert_allclose(g, num, rtol=1e-5, atol=1e-8)
+
+    def test_grad_wrt_matrix_values(self):
+        # The sparse restriction of the dense Ā = -w xᵀ formula.
+        def f(d):
+            return ops.sum_(
+                ops.square(
+                    sparse_pattern_solve(self.rows, self.cols, (N, N), d, B)
+                )
+            )
+
+        g = grad(f)(self.data0)
+        num = numerical_gradient(lambda d: float(f(d).data), self.data0.copy())
+        np.testing.assert_allclose(g, num, rtol=1e-4, atol=1e-7)
+
+    def test_grad_wrt_values_and_rhs_jointly(self):
+        w = RNG.standard_normal(N)
+
+        def f(d, b):
+            return ops.sum_(
+                sparse_pattern_solve(self.rows, self.cols, (N, N), d, b) * w
+            )
+
+        _, (gd, gb) = value_and_grad(f, argnums=(0, 1))(self.data0, B)
+        numd = numerical_gradient(
+            lambda d: float(f(d, B).data), self.data0.copy()
+        )
+        numb = numerical_gradient(lambda b: float(f(self.data0, b).data), B)
+        np.testing.assert_allclose(gd, numd, rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(gb, numb, rtol=1e-5, atol=1e-8)
+
+    def test_block_rhs_grad_wrt_values(self):
+        def f(d):
+            return ops.sum_(
+                ops.square(
+                    sparse_pattern_solve(self.rows, self.cols, (N, N), d, B2)
+                )
+            )
+
+        g = grad(f)(self.data0)
+        num = numerical_gradient(lambda d: float(f(d).data), self.data0.copy())
+        np.testing.assert_allclose(g, num, rtol=1e-4, atol=1e-7)
+
+    def test_rejects_pattern_mismatch(self):
+        with pytest.raises(ValueError, match="pattern"):
+            sparse_pattern_solve(
+                self.rows, self.cols, (N, N), self.data0[:-1], B
+            )
+
+
+class TestLocalBackendGradient:
+    """DP gradient on the sparse Laplace backend vs finite differences."""
+
+    def test_dp_gradient_matches_fd(self):
+        from repro.cloud.square import SquareCloud
+        from repro.control.dp import LaplaceDP
+        from repro.pde.laplace import LaplaceControlProblem
+
+        problem = LaplaceControlProblem(SquareCloud(10), backend="local")
+        oracle = LaplaceDP(problem)
+        c = 0.1 * np.sin(np.linspace(0, np.pi, problem.n_control))
+        _, g = oracle.value_and_grad(c)
+        num = numerical_gradient(oracle.value, c, eps=1e-6)
+        denom = max(np.linalg.norm(num), 1e-12)
+        rel = np.linalg.norm(g - num) / denom
+        assert rel <= 1e-6, f"relative gradient error {rel:.2e}"
 
 
 class TestLstsq:

@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.autodiff.check import directional_numerical_derivative
+from repro.autodiff.linalg import LUSolver
+from repro.autodiff.sparse import SparseLUSolver
+from repro.cloud.square import SquareCloud
 from repro.control.dp import LaplaceDP, NavierStokesDP
 from repro.control.loop import optimize
+from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import NSConfig
 
 
@@ -53,6 +57,50 @@ class TestLaplaceDP:
             LaplaceDP(laplace_problem).initial_control(),
             np.zeros(laplace_problem.n_control),
         )
+
+
+class TestLaplaceDPLocalBackend:
+    """The sparse RBF-FD fast path through the same DP oracle."""
+
+    @pytest.fixture(scope="class")
+    def local_problem(self):
+        return LaplaceControlProblem(SquareCloud(12), backend="local")
+
+    def test_uses_sparse_solver(self, local_problem, laplace_problem):
+        assert isinstance(LaplaceDP(local_problem).solver, SparseLUSolver)
+        assert isinstance(LaplaceDP(laplace_problem).solver, LUSolver)
+
+    def test_gradient_exact_vs_fd(self, local_problem):
+        dp = LaplaceDP(local_problem)
+        c0 = local_problem.zero_control() + 0.1
+        _, g = dp.value_and_grad(c0)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            d = rng.standard_normal(c0.shape)
+            d /= np.linalg.norm(d)
+            num = directional_numerical_derivative(dp.value, c0, d, eps=1e-6)
+            assert abs(float(g @ d) - num) < 1e-8 * max(1.0, abs(num))
+
+    def test_factorizes_once_across_control_loop(self, local_problem):
+        # Factorise-once/solve-many: the system matrix is constant, so
+        # repeated oracle calls inside the optimisation loop must never
+        # re-factorise.
+        dp = LaplaceDP(local_problem)
+        assert dp.solver.n_factorizations == 1
+        c = local_problem.zero_control() + 0.05
+        for _ in range(3):
+            _, g = dp.value_and_grad(c)
+            c = c - 1e-2 * g
+        assert dp.solver.n_factorizations == 1
+
+    def test_reaches_comparable_optimum(self, local_problem):
+        # Acceptance bar: the sparse path lands within 10x of the dense
+        # final cost on the same cloud.
+        dense = LaplaceDP(LaplaceControlProblem(SquareCloud(12)))
+        local = LaplaceDP(local_problem)
+        _, hist_d = optimize(dense, n_iterations=120, initial_lr=1e-2)
+        _, hist_l = optimize(local, n_iterations=120, initial_lr=1e-2)
+        assert hist_l.best_cost <= 10.0 * hist_d.best_cost + 1e-12
 
 
 class TestNavierStokesDP:

@@ -9,6 +9,8 @@ from repro.control.dp import LaplaceDP, NavierStokesDP
 from repro.control.fd import FiniteDifferenceOracle
 from repro.pde.navier_stokes import NSConfig
 
+pytestmark = pytest.mark.slow
+
 
 class TestGradientHierarchyLaplace:
     def test_dp_closest_to_fd_truth(self, laplace_problem):

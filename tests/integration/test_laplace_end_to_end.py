@@ -10,6 +10,8 @@ from repro.control.fd import FiniteDifferenceOracle
 from repro.control.loop import optimize
 from repro.pde.laplace import LaplaceControlProblem
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def problem():

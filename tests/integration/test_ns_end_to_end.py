@@ -10,6 +10,8 @@ from repro.control.dp import NavierStokesDP
 from repro.control.loop import optimize
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def problem():

@@ -14,6 +14,8 @@ from repro.control.loop import optimize
 from repro.control.pinn import NavierStokesPINN, PINNTrainConfig
 from repro.pde.navier_stokes import NSConfig
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def trained(channel_problem):

@@ -1,0 +1,168 @@
+"""Local (sparse RBF-FD) vs global (dense collocation) operator agreement.
+
+Two property families:
+
+1. **Polynomial exactness** — both regimes reproduce derivatives of any
+   polynomial up to the stencil's augmentation degree *exactly*, so on
+   random affine (degree 1) and quadratic (degree 2) fields the sparse
+   ``∂x``, ``∂y`` and ``Δ`` operators must agree with the dense ones to
+   rounding.
+2. **Convergence in stencil size** — as the RBF-FD stencil grows towards
+   the whole cloud, the :class:`~repro.rbf.solver.LocalRBFSolver` solution
+   approaches the dense :class:`~repro.rbf.solver.RBFSolver` solution on
+   the same :class:`~repro.rbf.solver.LinearPDEProblem`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.square import SquareCloud
+from repro.rbf.assembly import LinearOperator2D
+from repro.rbf.kernels import polyharmonic
+from repro.rbf.local import build_local_operators
+from repro.rbf.operators import build_nodal_operators
+from repro.rbf.solver import (
+    BoundaryCondition,
+    LinearPDEProblem,
+    LocalRBFSolver,
+    RBFSolver,
+)
+
+CLOUD = SquareCloud(9)
+DENSE_1 = build_nodal_operators(CLOUD, polyharmonic(3), 1)
+LOCAL_1 = build_local_operators(CLOUD, polyharmonic(3), 1)
+DENSE_2 = build_nodal_operators(CLOUD, polyharmonic(5), 2)
+LOCAL_2 = build_local_operators(CLOUD, polyharmonic(5), 2)
+
+coeff = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestPolynomialExactness:
+    """Both backends differentiate stencil-degree polynomials exactly —
+    hence agree with each other on them."""
+
+    @given(coeff, coeff, coeff)
+    @settings(max_examples=30, deadline=None)
+    def test_affine_fields_degree1(self, a, b, c):
+        u = a + b * CLOUD.x + c * CLOUD.y
+        scale = 1 + abs(a) + abs(b) + abs(c)
+        for dense_op, local_op, exact in (
+            (DENSE_1.dx, LOCAL_1.dx, np.full(CLOUD.n, b)),
+            (DENSE_1.dy, LOCAL_1.dy, np.full(CLOUD.n, c)),
+            (DENSE_1.lap, LOCAL_1.lap, np.zeros(CLOUD.n)),
+        ):
+            np.testing.assert_allclose(local_op @ u, exact, atol=1e-5 * scale)
+            np.testing.assert_allclose(
+                local_op @ u, dense_op @ u, atol=2e-5 * scale
+            )
+
+    @given(coeff, coeff, coeff)
+    @settings(max_examples=30, deadline=None)
+    def test_quadratic_fields_degree2(self, a, b, c):
+        x, y = CLOUD.x, CLOUD.y
+        u = a * x**2 + b * x * y + c * y**2
+        du_dx = 2 * a * x + b * y
+        du_dy = b * x + 2 * c * y
+        lap_u = np.full(CLOUD.n, 2 * a + 2 * c)
+        scale = 1 + abs(a) + abs(b) + abs(c)
+        for dense_op, local_op, exact in (
+            (DENSE_2.dx, LOCAL_2.dx, du_dx),
+            (DENSE_2.dy, LOCAL_2.dy, du_dy),
+            (DENSE_2.lap, LOCAL_2.lap, lap_u),
+        ):
+            np.testing.assert_allclose(local_op @ u, exact, atol=1e-4 * scale)
+            np.testing.assert_allclose(
+                local_op @ u, dense_op @ u, atol=2e-4 * scale
+            )
+
+    def test_normal_rows_agree_on_affine(self):
+        # Boundary-normal rows are n·∇, so they are exact on affine
+        # fields in both regimes.
+        u = 0.4 + 1.3 * CLOUD.x - 0.7 * CLOUD.y
+        bnd = CLOUD.boundary
+        expected = CLOUD.normals[bnd] @ np.array([1.3, -0.7])
+        np.testing.assert_allclose(
+            (LOCAL_1.normal @ u)[bnd], expected, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            (LOCAL_1.normal @ u)[bnd], (DENSE_1.normal @ u)[bnd], atol=2e-5
+        )
+
+    def test_local_operators_are_sparse(self):
+        # k nonzeros per row — the entire point of the local backend.
+        k = LOCAL_1.stencil_size
+        assert LOCAL_1.dx.nnz == CLOUD.n * k
+        assert LOCAL_1.dx.nnz < CLOUD.n**2
+
+
+def _dirichlet_problem():
+    def exact(p):
+        return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(
+            np.pi
+        )
+
+    return (
+        LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                g: BoundaryCondition("dirichlet", value=exact)
+                for g in ("top", "bottom", "left", "right")
+            },
+        ),
+        exact,
+    )
+
+
+class TestSolverConvergence:
+    """LocalRBFSolver → RBFSolver as the stencil grows to the cloud."""
+
+    def test_converges_to_dense_with_stencil_size(self):
+        cloud = SquareCloud(12)
+        problem, _ = _dirichlet_problem()
+        u_dense = RBFSolver(cloud).solve(problem)
+        errs = []
+        for k in (12, 25, 50):
+            u_local = LocalRBFSolver(cloud, stencil_size=k).solve(problem)
+            errs.append(float(np.max(np.abs(u_local - u_dense))))
+        # Monotone-ish decrease: the largest stencil is far closer to the
+        # dense solution than the smallest.
+        assert errs[-1] < errs[0]
+        assert errs[-1] < 1e-2
+
+    def test_both_solvers_accurate_on_harmonic_solution(self):
+        cloud = SquareCloud(14)
+        problem, exact = _dirichlet_problem()
+        truth = exact(cloud.points)
+        err_dense = np.max(np.abs(RBFSolver(cloud).solve(problem) - truth))
+        err_local = np.max(
+            np.abs(
+                LocalRBFSolver(cloud, stencil_size=15).solve(problem) - truth
+            )
+        )
+        assert err_dense < 5e-2
+        assert err_local < 1e-1
+
+    def test_local_solver_matches_dense_on_affine_exactly(self):
+        # An affine field is in both trial spaces: Δu = 0 with affine
+        # Dirichlet data is reproduced exactly by both backends.
+        cloud = SquareCloud(10)
+
+        def affine(p):
+            return 0.3 + 1.1 * p[:, 0] - 0.6 * p[:, 1]
+
+        problem = LinearPDEProblem(
+            operator=LinearOperator2D(lap=1.0),
+            bcs={
+                g: BoundaryCondition("dirichlet", value=affine)
+                for g in ("top", "bottom", "left", "right")
+            },
+        )
+        truth = affine(cloud.points)
+        np.testing.assert_allclose(
+            RBFSolver(cloud).solve(problem), truth, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            LocalRBFSolver(cloud).solve(problem), truth, atol=1e-5
+        )

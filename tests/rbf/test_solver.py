@@ -6,9 +6,11 @@ import pytest
 from repro.cloud.base import BoundaryKind
 from repro.cloud.square import SquareCloud
 from repro.rbf.assembly import LinearOperator2D
+from repro.rbf.kernels import polyharmonic
 from repro.rbf.solver import (
     BoundaryCondition,
     LinearPDEProblem,
+    LocalRBFSolver,
     RBFSolver,
     solve_pde,
 )
@@ -180,9 +182,87 @@ class TestCaching:
             },
         )
         solver.solve(prob, cache_key="a")
-        assert "a" in solver._lu_cache
+        assert ("a", solver._cache_token()) in solver._lu_cache
         solver.clear_cache()
         assert not solver._lu_cache
+
+
+def _dirichlet_problem(value=0.0):
+    return LinearPDEProblem(
+        operator=LinearOperator2D(lap=1.0),
+        bcs={
+            g: BoundaryCondition("dirichlet", value=value)
+            for g in ("top", "bottom", "left", "right")
+        },
+    )
+
+
+class TestFactorizationCounting:
+    """Factorise-once/solve-many regression: the ``n_factorizations``
+    counter proves the cache is actually hit across repeated solves."""
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_cache_hit_across_solves(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        assert solver.n_factorizations == 0
+        for v in (1.0, 2.0, 3.0):
+            solver.solve(_dirichlet_problem(v), cache_key="loop")
+        assert solver.n_factorizations == 1
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_no_key_no_cache(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        solver.solve(_dirichlet_problem(1.0))
+        solver.solve(_dirichlet_problem(2.0))
+        assert solver.n_factorizations == 2
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_distinct_keys_factorize_separately(
+        self, square_cloud_12, solver_cls
+    ):
+        solver = solver_cls(square_cloud_12)
+        solver.solve(_dirichlet_problem(1.0), cache_key="a")
+        solver.solve(_dirichlet_problem(1.0), cache_key="b")
+        solver.solve(_dirichlet_problem(2.0), cache_key="a")
+        assert solver.n_factorizations == 2
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_key_invalidates_on_new_cloud(self, solver_cls):
+        # Same cache_key, different cloud objects: the discretisation
+        # token must keep the two factorisations apart.
+        s1 = solver_cls(SquareCloud(10))
+        s2 = solver_cls(SquareCloud(10))
+        assert s1._cache_token() != s2._cache_token()
+        key = ("shared", s1._cache_token())
+        s1.solve(_dirichlet_problem(1.0), cache_key="shared")
+        assert key in s1._lu_cache
+        assert ("shared", s2._cache_token()) not in s1._lu_cache
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_key_depends_on_kernel(self, square_cloud_12, solver_cls):
+        s1 = solver_cls(square_cloud_12, kernel=polyharmonic(3))
+        s2 = solver_cls(square_cloud_12, kernel=polyharmonic(5))
+        assert s1._cache_token() != s2._cache_token()
+
+    def test_local_token_depends_on_stencil_size(self, square_cloud_12):
+        s1 = LocalRBFSolver(square_cloud_12, stencil_size=12)
+        s2 = LocalRBFSolver(square_cloud_12, stencil_size=20)
+        assert s1._cache_token() != s2._cache_token()
+
+    def test_local_cached_solve_matches_dense(self, square_cloud_12):
+        def exact(p):
+            return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(
+                np.pi
+            )
+
+        prob = _dirichlet_problem(exact)
+        u_dense = RBFSolver(square_cloud_12).solve(prob)
+        local = LocalRBFSolver(square_cloud_12, stencil_size=25)
+        u1 = local.solve(prob, cache_key="k")
+        u2 = local.solve(prob, cache_key="k")
+        np.testing.assert_allclose(u1, u2, rtol=1e-12)
+        assert local.n_factorizations == 1
+        assert np.max(np.abs(u1 - u_dense)) < 0.05
 
 
 class TestSourceEvaluation:

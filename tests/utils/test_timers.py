@@ -4,6 +4,7 @@ import time
 import tracemalloc
 
 import numpy as np
+import pytest
 
 from repro.utils.timers import PeakMemory, Timer
 
@@ -39,4 +40,58 @@ class TestPeakMemory:
                 _ = np.zeros(250_000)
             assert inner.peak_bytes > 0
         assert outer.peak_bytes > 0
+        assert not tracemalloc.is_tracing()
+
+    def test_raising_body_still_stops_tracing(self):
+        # A benchmark body that blows up must not leave tracemalloc
+        # running and poison every later measurement.
+        assert not tracemalloc.is_tracing()
+        with pytest.raises(RuntimeError, match="boom"):
+            with PeakMemory() as m:
+                _ = np.zeros(500_000)
+                raise RuntimeError("boom")
+        assert not tracemalloc.is_tracing()
+        # The allocation made before the raise is still reported.
+        assert m.peak_bytes > 3 * 10**6
+
+    def test_raising_inner_does_not_break_outer(self):
+        with PeakMemory() as outer:
+            _ = np.zeros(500_000)  # ~4 MB
+            with pytest.raises(ValueError):
+                with PeakMemory():
+                    raise ValueError("inner failure")
+            _ = np.zeros(125_000)  # ~1 MB, smaller than the first block
+        assert not tracemalloc.is_tracing()
+        # The outer manager must still see the 4 MB allocated *before*
+        # the failed inner block, even though the inner reset the peak.
+        assert outer.peak_bytes > 3 * 10**6
+
+    def test_nested_outer_sees_pre_inner_allocation(self):
+        with PeakMemory() as outer:
+            big = np.zeros(2_000_000)  # ~16 MB
+            del big
+            with PeakMemory() as inner:
+                _ = np.zeros(125_000)  # ~1 MB
+        # Inner measures only its own block; outer keeps the folded-in
+        # 16 MB peak from before the inner reset.
+        assert inner.peak_bytes < 8 * 10**6
+        assert outer.peak_bytes > 12 * 10**6
+
+    def test_reusable_after_exception(self):
+        # Back-to-back measurements after a failure start from a clean
+        # slate (tracing off, fresh peak).
+        with pytest.raises(RuntimeError):
+            with PeakMemory():
+                _ = np.zeros(2_000_000)
+                raise RuntimeError
+        with PeakMemory() as m:
+            _ = np.zeros(125_000)  # ~1 MB
+        assert m.peak_bytes < 8 * 10**6
+        assert not tracemalloc.is_tracing()
+
+    def test_body_stopping_tracemalloc_is_tolerated(self):
+        with PeakMemory() as m:
+            _ = np.zeros(125_000)
+            tracemalloc.stop()  # hostile body
+        assert m.peak_bytes == 0
         assert not tracemalloc.is_tracing()
