@@ -1,0 +1,156 @@
+"""ABLATION — eager tape vs compiled replay on the DP hot loop.
+
+The DP oracle re-executes the same computation graph at every optimiser
+iteration: only the control values change, never the graph topology.  The
+compiled replay engine (:mod:`repro.autodiff.compile`) exploits this by
+tracing once and then re-running a linearised program over preallocated
+buffers — no Tensor wrappers, no closure construction, no per-node dict
+bookkeeping.  This ablation sweeps the Laplace DP problem over N and
+times a single oracle evaluation (``value_and_grad``, i.e. one forward
+solve + one adjoint sweep — the unit of work per optimiser iteration) in
+both modes, then verifies the two modes drive the optimiser to the same
+final cost.
+
+Beyond N ≈ 400 the O(n²) back-substitutions of the cached-LU solver
+dominate and the two modes converge — the replay engine removes Python
+interpretation overhead, not LAPACK time — so the sweep targets the
+overhead-bound regime that the paper's benchmark tiers run in.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autodiff.compile import compiled_value_and_grad
+from repro.bench.tables import render_table
+from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.pde.laplace import LaplaceControlProblem
+
+SIZES = (6, 8, 10, 12)  # nx; N = nx**2 — the overhead-bound regime
+OPT_ITERS = 40
+TIMING_REPS = 300
+TIMING_ROUNDS = 7
+
+
+def _per_iter_time(oracle, c0: np.ndarray) -> float:
+    """Best-of-rounds mean oracle-call time (one DP iteration's work)."""
+    oracle.value_and_grad(c0)  # warm up: trace/compile, page in buffers
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        t0 = time.perf_counter()
+        for _ in range(TIMING_REPS):
+            oracle.value_and_grad(c0)
+        best = min(best, (time.perf_counter() - t0) / TIMING_REPS)
+    return best
+
+
+@pytest.fixture(scope="module")
+def compile_sweep():
+    rng = np.random.default_rng(0)
+    out = []
+    for nx in SIZES:
+        problem = LaplaceControlProblem(SquareCloud(nx))
+        c0 = rng.normal(scale=0.1, size=problem.n_control)
+
+        eager = LaplaceDP(problem)
+        compiled = LaplaceDP(problem, compile=True)
+
+        t_eager = _per_iter_time(eager, c0)
+        t_comp = _per_iter_time(compiled, c0)
+
+        _, hist_e = optimize(eager, OPT_ITERS, 1e-2)
+        _, hist_c = optimize(compiled, OPT_ITERS, 1e-2)
+
+        out.append({
+            "n": problem.cloud.n,
+            "t_eager": t_eager,
+            "t_comp": t_comp,
+            "cost_eager": hist_e.best_cost,
+            "cost_comp": hist_c.best_cost,
+        })
+    return out
+
+
+def test_ablation_compile_table(compile_sweep, save_artifact, benchmark):
+    rows = []
+    for r in compile_sweep:
+        rows.append([
+            str(r["n"]),
+            f"{r['t_eager'] * 1e6:.1f}",
+            f"{r['t_comp'] * 1e6:.1f}",
+            f"{r['t_eager'] / r['t_comp']:.2f}x",
+            f"{r['cost_eager']:.12e}",
+            f"{abs(r['cost_eager'] - r['cost_comp']):.1e}",
+        ])
+    text = render_table(
+        ["N", "eager us/iter", "compiled us/iter", "speedup",
+         "final cost J", "|J diff|"],
+        rows,
+        title="ABLATION: LaplaceDP oracle (forward solve + adjoint sweep) "
+        "per optimiser iteration, eager tape vs compiled replay",
+    )
+    text += (
+        "\nTiming: best-of-{} rounds of {} oracle calls each.\n"
+        "Replay removes Python-side graph interpretation; beyond N ~ 400\n"
+        "the cached-LU back-substitutions (O(n^2) LAPACK time, identical\n"
+        "in both modes) dominate and the curves converge.".format(
+            TIMING_ROUNDS, TIMING_REPS
+        )
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_compile.txt", text)
+
+
+def test_compiled_at_least_2x_at_largest_n(compile_sweep, benchmark):
+    """Acceptance: >= 2x faster iteration at the largest benchmarked N."""
+    benchmark(lambda: None)
+    r = compile_sweep[-1]
+    speedup = r["t_eager"] / r["t_comp"]
+    assert speedup >= 2.0, f"N={r['n']}: speedup {speedup:.2f}x < 2.0x"
+
+
+def test_final_cost_identical(compile_sweep, benchmark):
+    """Replay must not change optimisation results (1e-10 relative)."""
+    benchmark(lambda: None)
+    for r in compile_sweep:
+        scale = max(abs(r["cost_eager"]), 1e-30)
+        assert abs(r["cost_eager"] - r["cost_comp"]) <= 1e-10 * scale, (
+            f"N={r['n']}: |J_eager - J_compiled| = "
+            f"{abs(r['cost_eager'] - r['cost_comp']):.3e}"
+        )
+
+
+def test_profile_report(save_artifact, benchmark):
+    """Op-level replay profile: per-op time and buffer-reuse statistics."""
+    problem = LaplaceControlProblem(SquareCloud(SIZES[-1]))
+    oracle = LaplaceDP(problem, compile=True)
+    vg = compiled_value_and_grad(oracle._cost_tensor, profile=True)
+    rng = np.random.default_rng(1)
+    for _ in range(50):
+        vg(rng.normal(scale=0.1, size=problem.n_control))
+
+    p = vg.profile
+    reused = p.bytes_reused
+    alloc = p.bytes_allocated
+    frac = reused / max(reused + alloc, 1)
+    lines = [
+        f"Compiled replay profile — LaplaceDP, N = {problem.cloud.n}",
+        f"traces: {p.n_traces}   replays: {p.n_replays}   "
+        f"eager fallbacks: {p.n_eager_calls}",
+        f"persistent buffers: {p.persistent_bytes / 2**10:.1f} KiB "
+        f"(allocated once at trace time)",
+        f"backward bytes reused in place: {reused / 2**20:.2f} MiB   "
+        f"freshly allocated: {alloc / 2**20:.2f} MiB   "
+        f"reuse fraction: {frac:.1%}",
+        "",
+        p.report(),
+    ]
+    benchmark(lambda: None)
+    save_artifact("profile_compile_ops.txt", "\n".join(lines))
+
+    assert p.n_traces == 1
+    assert p.n_replays == 49
+    assert reused > 0, "replay reported no buffer reuse"

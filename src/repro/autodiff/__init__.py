@@ -16,6 +16,11 @@ provides:
 - Function transforms in :mod:`repro.autodiff.functional` —
   :func:`grad`, :func:`value_and_grad`, :func:`jacobian` — mirroring the JAX
   API used by the paper.
+- A trace-once compiled replay engine in :mod:`repro.autodiff.compile` —
+  :func:`compiled_value_and_grad` records the tape on the first call and
+  replays forward + backward over reused buffers thereafter, the NumPy
+  analogue of ``jax.jit`` around a loss (used by the DP and PINN hot
+  loops via their ``compile=True`` options).
 - Numerical gradient checking in :mod:`repro.autodiff.check`.
 
 Gradients are exact (to floating point) wherever defined: the engine applies
@@ -73,6 +78,13 @@ from repro.autodiff.functional import (
     jacobian,
     stop_gradient,
 )
+from repro.autodiff.compile import (
+    CompiledProgram,
+    CompileError,
+    ReplayProfile,
+    compiled_value_and_grad,
+    compiled_value_and_grad_tree,
+)
 from repro.autodiff.check import (
     numerical_gradient,
     check_gradient,
@@ -129,6 +141,11 @@ __all__ = [
     "value_and_grad",
     "jacobian",
     "stop_gradient",
+    "CompiledProgram",
+    "CompileError",
+    "ReplayProfile",
+    "compiled_value_and_grad",
+    "compiled_value_and_grad_tree",
     "numerical_gradient",
     "check_gradient",
     "directional_numerical_derivative",

@@ -1,0 +1,546 @@
+"""Trace-once compiled replay for the reverse-mode tape.
+
+The eager engine rebuilds the whole computation graph — Tensor objects,
+VJP closures, fresh ndarray buffers — on *every* call, even though the DP
+and PINN hot loops evaluate the same graph topology hundreds of times
+with only the input values changing.  JAX (the paper's substrate)
+amortises this with trace-once ``jit`` compilation; this module brings the
+same execution model to the NumPy tape:
+
+1. **Trace** — the first call runs eagerly, producing an ordinary tape.
+   The graph is linearised into a topologically sorted op list whose VJP
+   wiring (parent slots + closures) is recorded once.
+2. **Replay** — subsequent calls with same-shaped inputs never touch
+   ``Tensor`` or closure construction.  New input values are copied into
+   the recorded leaf buffers, each op's forward-replay closure recomputes
+   its value *in place* into the node's persistent buffer, and the
+   backward pass accumulates cotangents into a matching set of persistent
+   gradient buffers.  Every node therefore owns a **double buffer**: a
+   value half written by the forward sweep and read by the backward sweep,
+   and a cotangent half written by the backward sweep — no allocation for
+   either across iterations (VJP closures may still create small
+   temporaries; the profiler reports both sides).
+3. **Safety** — programs are keyed on the shapes/dtypes of the
+   differentiated inputs (and a content digest of any baked-in constant
+   arguments), so a shape or dtype change triggers a fresh trace rather
+   than stale-buffer reuse.  Each new program is validated against the
+   eager result before it is cached; ops without a replay closure, or a
+   validation mismatch, fall back to the eager path permanently for that
+   key.
+
+The replayed backward visits nodes in exactly the order the eager
+``Tensor.backward`` would, and the forward closures invoke the same NumPy
+kernels, so compiled results match the eager tape bit-for-bit on the
+problems in this repository (the test suite asserts ``rtol=1e-12``).
+
+Functions whose *structure* depends on input values (data-dependent
+branching on tensor values) must not be compiled — like ``jax.jit``, the
+trace freezes one execution path.  The control-loop cost functions here
+are all structurally static.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.functional import Argnums, _normalize_argnums, _wrap_args
+from repro.autodiff.tensor import (
+    Tensor,
+    VIEW_FWD,
+    _topological_order,
+    asdata,
+    tensor,
+)
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "ReplayProfile",
+    "compiled_value_and_grad",
+    "compiled_value_and_grad_tree",
+]
+
+
+class CompileError(RuntimeError):
+    """Raised when a recorded program cannot be replayed safely."""
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+class OpStats:
+    """Per-primitive replay statistics (one row of the profile report)."""
+
+    __slots__ = ("calls", "fwd_seconds", "bwd_seconds", "bytes_reused", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.fwd_seconds = 0.0
+        self.bwd_seconds = 0.0
+        self.bytes_reused = 0
+        self.bytes_allocated = 0
+
+
+class ReplayProfile:
+    """Aggregated op-level statistics across every trace and replay.
+
+    ``bytes_reused`` counts writes that landed in persistent buffers
+    (forward values, cotangent accumulators); ``bytes_allocated`` counts
+    fresh ndarrays the replay still creates (VJP temporaries, gradient
+    copies handed to the caller).  The ratio is the allocation saving the
+    compiled engine delivers over the eager tape, which allocates *every*
+    forward and backward array anew.
+    """
+
+    def __init__(self) -> None:
+        self.ops: Dict[str, OpStats] = {}
+        self.n_traces = 0
+        self.n_replays = 0
+        self.n_eager_calls = 0
+        self.persistent_bytes = 0
+        self.trace_seconds = 0.0
+        self.replay_seconds = 0.0
+
+    def op(self, name: str) -> OpStats:
+        """The (auto-created) stats row for primitive ``name``."""
+        s = self.ops.get(name)
+        if s is None:
+            s = self.ops[name] = OpStats()
+        return s
+
+    @property
+    def bytes_reused(self) -> int:
+        """Total bytes written into persistent buffers."""
+        return sum(s.bytes_reused for s in self.ops.values())
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes freshly allocated during replays."""
+        return sum(s.bytes_allocated for s in self.ops.values())
+
+    def report(self) -> str:
+        """Human-readable per-op table plus reuse summary."""
+        lines = [
+            f"{'op':<22}{'calls':>9}{'fwd ms':>10}{'bwd ms':>10}"
+            f"{'MB reused':>12}{'MB alloc':>11}",
+            "-" * 74,
+        ]
+        rows = sorted(
+            self.ops.items(),
+            key=lambda kv: kv[1].fwd_seconds + kv[1].bwd_seconds,
+            reverse=True,
+        )
+        for name, s in rows:
+            lines.append(
+                f"{name:<22}{s.calls:>9d}{s.fwd_seconds * 1e3:>10.3f}"
+                f"{s.bwd_seconds * 1e3:>10.3f}"
+                f"{s.bytes_reused / 1e6:>12.3f}{s.bytes_allocated / 1e6:>11.3f}"
+            )
+        reused, alloc = self.bytes_reused, self.bytes_allocated
+        denom = reused + alloc
+        ratio = reused / denom if denom else 0.0
+        lines += [
+            "-" * 74,
+            f"traces: {self.n_traces}   replays: {self.n_replays}   "
+            f"eager fallbacks: {self.n_eager_calls}",
+            f"persistent buffer pool: {self.persistent_bytes / 1e6:.3f} MB "
+            f"(value + cotangent double buffers)",
+            f"bytes reused: {reused / 1e6:.3f} MB   "
+            f"bytes allocated: {alloc / 1e6:.3f} MB   "
+            f"reuse fraction: {ratio:.3f}",
+            f"trace time: {self.trace_seconds * 1e3:.2f} ms   "
+            f"replay time: {self.replay_seconds * 1e3:.2f} ms",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The recorded program
+# ----------------------------------------------------------------------
+class CompiledProgram:
+    """A linearised tape: topologically sorted ops with static VJP wiring.
+
+    Holds the trace's node buffers (forward values) plus one preallocated
+    cotangent buffer per node.  ``replay`` re-executes forward + backward
+    over these buffers without constructing any graph objects.
+    """
+
+    def __init__(self, root: Tensor, leaves: Sequence[Tensor]) -> None:
+        order = _topological_order(root)  # root first, leaves last
+        pos = {id(n): i for i, n in enumerate(order)}
+        self._order = order
+        self._ops: List[str] = [n._op for n in order]
+        self._root_data = root.data
+
+        self.replayable = True
+        self.unreplayable_op: Optional[str] = None
+        fwd_steps: List[Tuple[np.ndarray, Callable, str]] = []
+        for node in reversed(order):  # leaves first = forward schedule
+            if not node._parents:
+                continue  # leaves/constants: values arrive via input copy
+            f = node._fwd
+            if f is None:
+                self.replayable = False
+                self.unreplayable_op = node._op
+                break
+            if f is VIEW_FWD:
+                continue  # aliases a parent buffer; updates for free
+            fwd_steps.append((node.data, f, node._op))
+        self._fwd_steps = fwd_steps
+
+        # Cotangent half of each node's double buffer.
+        self._gradbufs: List[np.ndarray] = [np.empty_like(n.data) for n in order]
+
+        # Backward schedule, flattened at build time.  Every node in
+        # ``order`` is reachable from the root through parent edges, so
+        # every node receives at least one cotangent contribution — which
+        # write is the *first* (buffer initialisation via copy) versus an
+        # accumulation (+=) is therefore static, and the runtime loop
+        # needs no touched-flag bookkeeping at all.  Steps run in exactly
+        # the order the eager backward would visit them, so accumulation
+        # order — and hence floating-point bits — match eager.
+        bwd_steps: List[Tuple[np.ndarray, Callable, np.ndarray, bool, str]] = []
+        initialised = {0}  # root buffer is seeded directly
+        for i, node in enumerate(order):
+            g = self._gradbufs[i]
+            for p, vjp in node._parents:
+                pi = pos[id(p)]
+                first = pi not in initialised
+                initialised.add(pi)
+                bwd_steps.append((g, vjp, self._gradbufs[pi], first, node._op))
+        self._bwd_steps = bwd_steps
+        self._root_grad = self._gradbufs[0]
+
+        self._leaf_pos = [pos.get(id(l), -1) for l in leaves]
+        self._leaf_bufs = [l.data for l in leaves]
+        self._leaf_shapes = [l.data.shape for l in leaves]
+        self.n_ops = sum(1 for n in order if n._parents)
+        self.buffer_bytes = sum(n.data.nbytes for n in order) + sum(
+            b.nbytes for b in self._gradbufs
+        )
+
+    # ------------------------------------------------------------------
+    def replay(
+        self, inputs: Sequence[np.ndarray], profile: Optional[ReplayProfile] = None
+    ) -> Tuple[float, List[np.ndarray]]:
+        """Run forward + backward over the recorded buffers.
+
+        Parameters
+        ----------
+        inputs:
+            New values for the differentiated leaves, in trace order;
+            shapes must match the trace (enforced).
+        profile:
+            Optional stats sink; adds per-op timing overhead.
+
+        Returns
+        -------
+        (value, grads)
+            Scalar output value and one gradient array per input leaf
+            (fresh copies — safe to hand to optimisers).
+        """
+        if not self.replayable:
+            raise CompileError(
+                f"program is not replayable (op {self.unreplayable_op!r} "
+                "records no forward-replay closure)"
+            )
+        for buf, arr in zip(self._leaf_bufs, inputs):
+            if buf.shape != arr.shape:
+                raise CompileError(
+                    f"input shape {arr.shape} does not match traced shape "
+                    f"{buf.shape}; re-trace required"
+                )
+            np.copyto(buf, arr)
+
+        if profile is not None:
+            return self._replay_profiled(profile)
+
+        for buf, f, _ in self._fwd_steps:
+            f(buf)
+
+        self._root_grad[...] = 1.0
+        for g, vjp, b, first, _ in self._bwd_steps:
+            if first:
+                np.copyto(b, vjp(g))
+            else:
+                b += vjp(g)
+        return float(self._root_data), self._collect_grads()
+
+    def _collect_grads(self) -> List[np.ndarray]:
+        grads = []
+        for p, shape in zip(self._leaf_pos, self._leaf_shapes):
+            if p >= 0:
+                grads.append(self._gradbufs[p].copy())
+            else:
+                grads.append(np.zeros(shape))
+        return grads
+
+    def _replay_profiled(self, profile: ReplayProfile) -> Tuple[float, List[np.ndarray]]:
+        perf = time.perf_counter
+        t_start = perf()
+        for buf, f, name in self._fwd_steps:
+            t0 = perf()
+            f(buf)
+            s = profile.op(name)
+            s.fwd_seconds += perf() - t0
+            s.calls += 1
+            s.bytes_reused += buf.nbytes
+
+        self._root_grad[...] = 1.0
+        for g, vjp, b, first, op in self._bwd_steps:
+            t0 = perf()
+            contrib = vjp(g)
+            if first:
+                np.copyto(b, contrib)
+            else:
+                b += contrib
+            s = profile.op(op)
+            s.bwd_seconds += perf() - t0
+            s.bytes_reused += b.nbytes
+            # Views (broadcast VJPs, slices of g) are not allocations.
+            if isinstance(contrib, np.ndarray) and contrib.flags.owndata:
+                s.bytes_allocated += contrib.nbytes
+
+        grads = self._collect_grads()
+        for arr in grads:
+            profile.op("<output-grads>").bytes_allocated += arr.nbytes
+        profile.n_replays += 1
+        profile.replay_seconds += perf() - t_start
+        return float(self._root_data), grads
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def _const_key(x: Any) -> Any:
+    """A hashable key component for a *baked* (non-differentiated) arg.
+
+    Arrays are digested by content: a compiled program freezes constant
+    operands at trace time, so changing them must trigger a re-trace.
+    """
+    if isinstance(x, Tensor):
+        x = x.data
+    if isinstance(x, np.ndarray):
+        return ("arr", x.shape, str(x.dtype), hashlib.sha1(np.ascontiguousarray(x).tobytes()).hexdigest())
+    if isinstance(x, (int, float, bool, str, bytes, type(None))):
+        return ("lit", x)
+    return ("obj", type(x).__qualname__, repr(x))
+
+
+def _diff_key(x: Any) -> Tuple:
+    arr = asdata(x)
+    return (arr.shape, arr.dtype)  # dtype objects hash fast; str() does not
+
+
+# ----------------------------------------------------------------------
+# Function transforms
+# ----------------------------------------------------------------------
+def _validate(
+    program: CompiledProgram,
+    inputs: Sequence[np.ndarray],
+    value: float,
+    grads: Sequence[np.ndarray],
+) -> bool:
+    """Cross-check one replay against the eager trace results."""
+    try:
+        v2, g2 = program.replay(list(inputs))
+    except Exception:
+        return False
+    if not np.allclose(v2, value, rtol=1e-12, atol=1e-300, equal_nan=True):
+        return False
+    for a, b in zip(grads, g2):
+        if not np.allclose(a, b, rtol=1e-12, atol=1e-300, equal_nan=True):
+            return False
+    return True
+
+
+def compiled_value_and_grad(
+    f: Callable[..., Any], argnums: Argnums = 0, profile: bool = False
+) -> Callable[..., Tuple[float, Any]]:
+    """Trace-once counterpart of :func:`repro.autodiff.functional.value_and_grad`.
+
+    Returns ``g(*args) -> (f(*args), df/dargs)`` with identical semantics;
+    the first call per input-shape signature traces eagerly and records a
+    replay program, later calls replay it over reused buffers.  Functions
+    containing ops without replay support, or failing the post-trace
+    validation, silently run eagerly (correctness first).
+
+    The returned callable exposes ``.profile`` (a :class:`ReplayProfile`
+    when ``profile=True``, else ``None``) and ``.cache_info()``.
+    """
+    nums = _normalize_argnums(argnums)
+    cache: Dict[Any, Optional[CompiledProgram]] = {}
+    prof = ReplayProfile() if profile else None
+    counters = {"traces": 0, "replays": 0, "eager": 0}
+
+    def _eager(args, kwargs) -> Tuple[float, Tuple[np.ndarray, ...], Tensor, list]:
+        call_args, leaves = _wrap_args(args, nums)
+        out = f(*call_args, **kwargs)
+        out_t = tensor(out)
+        if out_t.size != 1:
+            raise ValueError(
+                f"compiled_value_and_grad requires a scalar output, got shape {out_t.shape}"
+            )
+        out_t.backward()
+        grads = tuple(
+            leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+            for leaf in leaves
+        )
+        return float(out_t.data), grads, out_t, leaves
+
+    # The DP hot loop calls ``wrapped(control)`` — one positional diff arg,
+    # no kwargs.  Precompute the dispatch shape so the per-call key is two
+    # attribute reads and a dict hit.
+    single_diff = isinstance(argnums, int) and nums == (argnums,)
+
+    def wrapped(*args: Any, **kwargs: Any) -> Tuple[float, Any]:
+        if single_diff and len(args) == 1 and not kwargs:
+            arr = asdata(args[0])
+            key = ((arr.shape, arr.dtype),)
+            program = cache.get(key, _MISSING)
+            if isinstance(program, CompiledProgram):
+                counters["replays"] += 1
+                value, grad_list = program.replay(
+                    (np.asarray(arr, dtype=np.float64),), prof
+                )
+                return value, grad_list[0]
+        else:
+            key = tuple(
+                _diff_key(a) if i in nums else _const_key(a)
+                for i, a in enumerate(args)
+            ) + tuple((k, _const_key(v)) for k, v in sorted(kwargs.items()))
+            program = cache.get(key, _MISSING)
+        if isinstance(program, CompiledProgram):
+            inputs = [np.asarray(asdata(args[i]), dtype=np.float64) for i in nums]
+            value, grad_list = program.replay(inputs, prof)
+            counters["replays"] += 1
+            grads = tuple(grad_list)
+            return (value, grads[0]) if isinstance(argnums, int) else (value, grads)
+
+        t0 = time.perf_counter()
+        value, grads, out_t, leaves = _eager(args, kwargs)
+        if program is _MISSING:  # first sighting of this signature
+            counters["traces"] += 1
+            prog = CompiledProgram(out_t, leaves)
+            if prof is not None:
+                prof.n_traces += 1
+                prof.trace_seconds += time.perf_counter() - t0
+            if prog.replayable and _validate(
+                prog, [l.data.copy() for l in leaves], value, grads
+            ):
+                cache[key] = prog
+                if prof is not None:
+                    prof.persistent_bytes += prog.buffer_bytes
+            else:
+                if prog.replayable:
+                    warnings.warn(
+                        "compiled replay failed validation; falling back to "
+                        "the eager tape for this signature",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                cache[key] = None  # permanently eager for this key
+        else:
+            counters["eager"] += 1
+            if prof is not None:
+                prof.n_eager_calls += 1
+        return (value, grads[0]) if isinstance(argnums, int) else (value, grads)
+
+    wrapped.profile = prof
+    wrapped.cache_info = lambda: {
+        **counters,
+        "programs": sum(1 for v in cache.values() if isinstance(v, CompiledProgram)),
+    }
+    wrapped._cache = cache
+    return wrapped
+
+
+def compiled_value_and_grad_tree(
+    f: Callable[..., Any], profile: bool = False
+) -> Callable[..., Tuple[float, Any]]:
+    """Trace-once counterpart of :func:`repro.nn.pytree.value_and_grad_tree`.
+
+    ``f(params, *rest)`` takes a parameter pytree; the wrapper differentiates
+    every leaf.  Used by the PINN training loops, where the loss graph
+    topology is identical across all epochs.
+    """
+    from repro.nn.pytree import tree_flatten, tree_unflatten
+
+    cache: Dict[Any, Optional[CompiledProgram]] = {}
+    prof = ReplayProfile() if profile else None
+    counters = {"traces": 0, "replays": 0, "eager": 0}
+
+    def _eager(params, args, kwargs):
+        leaves, treedef = tree_flatten(params)
+        leaf_tensors = [Tensor(asdata(x), requires_grad=True) for x in leaves]
+        out = f(tree_unflatten(treedef, leaf_tensors), *args, **kwargs)
+        out_t = out if isinstance(out, Tensor) else Tensor(out)
+        if out_t.size != 1:
+            raise ValueError("compiled_value_and_grad_tree requires a scalar output")
+        out_t.backward()
+        grads = [
+            t.grad if t.grad is not None else np.zeros_like(t.data)
+            for t in leaf_tensors
+        ]
+        return float(out_t.data), grads, out_t, leaf_tensors, treedef
+
+    def wrapped(params: Any, *args: Any, **kwargs: Any) -> Tuple[float, Any]:
+        leaves, treedef = tree_flatten(params)
+        key = (
+            repr(treedef),
+            tuple(_diff_key(l) for l in leaves),
+            tuple(_const_key(a) for a in args),
+            tuple((k, _const_key(v)) for k, v in sorted(kwargs.items())),
+        )
+
+        program = cache.get(key, _MISSING)
+        if isinstance(program, CompiledProgram):
+            inputs = [np.asarray(asdata(l), dtype=np.float64) for l in leaves]
+            value, grad_list = program.replay(inputs, prof)
+            counters["replays"] += 1
+            return value, tree_unflatten(treedef, grad_list)
+
+        t0 = time.perf_counter()
+        value, grads, out_t, leaf_tensors, treedef = _eager(params, args, kwargs)
+        if program is _MISSING:
+            counters["traces"] += 1
+            prog = CompiledProgram(out_t, leaf_tensors)
+            if prof is not None:
+                prof.n_traces += 1
+                prof.trace_seconds += time.perf_counter() - t0
+            if prog.replayable and _validate(
+                prog, [t.data.copy() for t in leaf_tensors], value, grads
+            ):
+                cache[key] = prog
+                if prof is not None:
+                    prof.persistent_bytes += prog.buffer_bytes
+            else:
+                if prog.replayable:
+                    warnings.warn(
+                        "compiled replay failed validation; falling back to "
+                        "the eager tape for this signature",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                cache[key] = None
+        else:
+            counters["eager"] += 1
+            if prof is not None:
+                prof.n_eager_calls += 1
+        return value, tree_unflatten(treedef, grads)
+
+    wrapped.profile = prof
+    wrapped.cache_info = lambda: {
+        **counters,
+        "programs": sum(1 for v in cache.values() if isinstance(v, CompiledProgram)),
+    }
+    wrapped._cache = cache
+    return wrapped
+
+
+_MISSING = object()

@@ -54,19 +54,41 @@ def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
     if Ad.ndim != 2 or Ad.shape[0] != Ad.shape[1]:
         raise ValueError(f"solve expects a square matrix, got {Ad.shape}")
 
+    # The factorisation lives in a one-slot holder so the replay closure
+    # can refresh it when the matrix values change between replays (the
+    # NS momentum matrix depends on the previous velocity iterate); the
+    # VJPs read through the holder and always see the current factors.
     if assume_a == "pos":
-        c = sla.cho_factor(Ad, check_finite=False)
-        x = sla.cho_solve(c, bd, check_finite=False)
+        holder = [sla.cho_factor(Ad, check_finite=False)]
+        x = np.asarray(sla.cho_solve(holder[0], bd, check_finite=False))
+
+        def refactor() -> None:
+            holder[0] = sla.cho_factor(Ad, check_finite=False)
 
         def solve_T(g: np.ndarray) -> np.ndarray:
-            return sla.cho_solve(c, g, check_finite=False)  # symmetric
+            return sla.cho_solve(holder[0], g, check_finite=False)  # symmetric
+
+        def fwd(o: np.ndarray) -> None:
+            if a_on_tape:
+                refactor()
+            o[...] = sla.cho_solve(holder[0], bd, check_finite=False)
 
     else:
-        lu = sla.lu_factor(Ad, check_finite=False)
-        x = sla.lu_solve(lu, bd, check_finite=False)
+        holder = [sla.lu_factor(Ad, check_finite=False)]
+        x = np.asarray(sla.lu_solve(holder[0], bd, check_finite=False))
+
+        def refactor() -> None:
+            holder[0] = sla.lu_factor(Ad, check_finite=False)
 
         def solve_T(g: np.ndarray) -> np.ndarray:
-            return sla.lu_solve(lu, g, trans=1, check_finite=False)
+            return sla.lu_solve(holder[0], g, trans=1, check_finite=False)
+
+        def fwd(o: np.ndarray) -> None:
+            if a_on_tape:
+                refactor()
+            o[...] = sla.lu_solve(holder[0], bd, check_finite=False)
+
+    a_on_tape = tA.needs_tape()
 
     def vjp_b(g: np.ndarray) -> np.ndarray:
         return solve_T(g)
@@ -77,7 +99,7 @@ def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
             return -np.outer(w, x)
         return -(w @ x.T)
 
-    return make_node(x, [(tA, vjp_A), (tb, vjp_b)], "solve")
+    return make_node(x, [(tA, vjp_A), (tb, vjp_b)], "solve", fwd=fwd)
 
 
 class LUSolver:
@@ -98,24 +120,42 @@ class LUSolver:
             raise ValueError(f"LUSolver expects a square matrix, got {A.shape}")
         self.n = A.shape[0]
         self._lu = sla.lu_factor(A, check_finite=False)
+        # Bind LAPACK ``getrs`` once: ``scipy.linalg.lu_solve`` dispatches
+        # to the same routine but re-validates inputs on every call, which
+        # dominates small solves in the replay hot loop.  Results are
+        # bit-identical — it is literally the same LAPACK call.
+        lu_mat, self._piv = self._lu
+        self._lu_f = np.asfortranarray(lu_mat)
+        (self._getrs,) = sla.get_lapack_funcs(("getrs",), (self._lu_f,))
+
+    def _solve(self, b: np.ndarray, trans: int = 0) -> np.ndarray:
+        x, info = self._getrs(self._lu_f, self._piv, b, trans=trans)
+        if info != 0:
+            raise np.linalg.LinAlgError(f"getrs failed with info={info}")
+        return x
 
     def __call__(self, b: ArrayLike) -> Tensor:
         """Solve ``A x = b`` differentiably w.r.t. ``b``."""
         tb = tensor(b)
-        x = sla.lu_solve(self._lu, tb.data, check_finite=False)
+        bd = tb.data
+        x = self._solve(bd)
 
         def vjp_b(g: np.ndarray) -> np.ndarray:
-            return sla.lu_solve(self._lu, g, trans=1, check_finite=False)
+            return self._solve(g, trans=1)
 
-        return make_node(x, [(tb, vjp_b)], "lu_solve")
+        # Constant matrix: replay re-solves with the cached factors.
+        def fwd(o: np.ndarray, bd=bd) -> None:
+            o[...] = self._solve(bd)
+
+        return make_node(x, [(tb, vjp_b)], "lu_solve", fwd=fwd)
 
     def solve_numpy(self, b: np.ndarray) -> np.ndarray:
         """Plain NumPy solve (no tape)."""
-        return sla.lu_solve(self._lu, np.asarray(b, dtype=np.float64), check_finite=False)
+        return self._solve(np.asarray(b, dtype=np.float64))
 
     def solve_transposed(self, b: np.ndarray) -> np.ndarray:
         """Solve ``Aᵀ x = b`` (the adjoint system) without taping."""
-        return sla.lu_solve(self._lu, np.asarray(b, dtype=np.float64), trans=1, check_finite=False)
+        return self._solve(np.asarray(b, dtype=np.float64), trans=1)
 
 
 def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
@@ -135,7 +175,10 @@ def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
         w = np.linalg.solve(gram, g)
         return Ad @ w
 
-    return make_node(x, [(tb, vjp_b)], "lstsq")
+    def fwd(o: np.ndarray) -> None:
+        o[...] = np.linalg.lstsq(Ad, bd, rcond=rcond)[0]
+
+    return make_node(x, [(tb, vjp_b)], "lstsq", fwd=fwd)
 
 
 def norm(a: ArrayLike, ord: Union[int, float] = 2) -> Tensor:

@@ -7,6 +7,25 @@ possible the cotangent is reduced with :func:`~repro.autodiff.tensor.unbroadcast
 
 Primitives accept raw arrays or :class:`~repro.autodiff.tensor.Tensor`
 inputs interchangeably.
+
+Replay contract
+---------------
+Every primitive also records a *forward-replay closure* ``fwd(out)`` on its
+tape node: called with the node's own data buffer, it recomputes the forward
+value **in place** from the parent buffers it captured by reference at trace
+time.  Because the VJP closures capture those same arrays by reference, a
+recorded tape can be re-executed for new input values without rebuilding a
+single Tensor or closure — this is what powers the compiled replay engine in
+:mod:`repro.autodiff.compile`.  Three rules keep replay sound:
+
+1. ``fwd`` writes only into the supplied buffer (plus any value-dependent
+   auxiliaries such as the ``maximum`` tie mask, which it refreshes in
+   place so the captured VJP closures stay current);
+2. an op whose output *aliases* a parent buffer (reshape/transpose views,
+   basic-index views) records the :data:`~repro.autodiff.tensor.VIEW_FWD`
+   sentinel instead — the view updates for free when the parent does;
+3. VJPs never capture value-dependent temporaries that ``fwd`` does not
+   refresh (e.g. ``power``'s exponent branch recomputes from parent data).
 """
 
 from __future__ import annotations
@@ -18,6 +37,7 @@ import numpy as np
 from repro.autodiff.tensor import (
     ArrayLike,
     Tensor,
+    VIEW_FWD,
     asdata,
     make_node,
     tensor,
@@ -27,74 +47,117 @@ from repro.autodiff.tensor import (
 Axis = Union[None, int, Tuple[int, ...]]
 
 
+def _broadcast_view(
+    g: np.ndarray, shape: Tuple[int, ...], cache: Optional[list] = None
+) -> np.ndarray:
+    """Broadcast ``g`` to ``shape`` without copying.
+
+    The result is a read-only stride-0 view: reduction VJPs return it
+    directly instead of materialising a full-size copy, and every consumer
+    (cotangent accumulation, ``np.copyto`` into replay buffers) only reads
+    it.  Callers holding a returned gradient must not mutate it in place —
+    NumPy enforces this (the view is non-writeable).
+
+    ``cache`` is an optional two-slot list pinned by a reduction VJP
+    closure.  Under compiled replay the cotangent arriving at a node is
+    the *same* preallocated buffer on every call, so the stride-0 view of
+    it is constructed once and then returned by identity lookup (~50 ns
+    instead of ~3 µs for ``np.broadcast_to``).  The pinned reference in
+    slot 0 keeps the array alive, so the ``is`` check can never collide
+    with a recycled ``id``; eager backwards pass fresh cotangents and
+    simply miss.
+    """
+    if cache is not None:
+        if cache[0] is g:
+            return cache[1]
+        view = np.broadcast_to(g, shape)
+        cache[0] = g
+        cache[1] = view
+        return view
+    return np.broadcast_to(g, shape)
+
+
 # ----------------------------------------------------------------------
 # Arithmetic
 # ----------------------------------------------------------------------
 def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a + b`` with NumPy broadcasting."""
     ta, tb = tensor(a), tensor(b)
-    out = ta.data + tb.data
+    x, y = ta.data, tb.data
+    out = x + y
     return make_node(
         out,
         [
-            (ta, lambda g, s=ta.data.shape: unbroadcast(g, s)),
-            (tb, lambda g, s=tb.data.shape: unbroadcast(g, s)),
+            (ta, lambda g, s=x.shape: unbroadcast(g, s)),
+            (tb, lambda g, s=y.shape: unbroadcast(g, s)),
         ],
         "add",
+        fwd=lambda o, x=x, y=y: np.add(x, y, out=o),
     )
 
 
 def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a - b``."""
     ta, tb = tensor(a), tensor(b)
-    out = ta.data - tb.data
+    x, y = ta.data, tb.data
+    out = x - y
     return make_node(
         out,
         [
-            (ta, lambda g, s=ta.data.shape: unbroadcast(g, s)),
-            (tb, lambda g, s=tb.data.shape: unbroadcast(-g, s)),
+            (ta, lambda g, s=x.shape: unbroadcast(g, s)),
+            (tb, lambda g, s=y.shape: unbroadcast(-g, s)),
         ],
         "sub",
+        fwd=lambda o, x=x, y=y: np.subtract(x, y, out=o),
     )
 
 
 def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a * b``."""
     ta, tb = tensor(a), tensor(b)
-    out = ta.data * tb.data
+    x, y = ta.data, tb.data
+    out = x * y
     return make_node(
         out,
         [
-            (ta, lambda g, o=tb.data, s=ta.data.shape: unbroadcast(g * o, s)),
-            (tb, lambda g, o=ta.data, s=tb.data.shape: unbroadcast(g * o, s)),
+            (ta, lambda g, o=y, s=x.shape: unbroadcast(g * o, s)),
+            (tb, lambda g, o=x, s=y.shape: unbroadcast(g * o, s)),
         ],
         "mul",
+        fwd=lambda o, x=x, y=y: np.multiply(x, y, out=o),
     )
 
 
 def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a / b``."""
     ta, tb = tensor(a), tensor(b)
-    out = ta.data / tb.data
+    x, y = ta.data, tb.data
+    out = x / y
     return make_node(
         out,
         [
-            (ta, lambda g, d=tb.data, s=ta.data.shape: unbroadcast(g / d, s)),
+            (ta, lambda g, d=y, s=x.shape: unbroadcast(g / d, s)),
             (
                 tb,
-                lambda g, n=ta.data, d=tb.data, s=tb.data.shape: unbroadcast(
+                lambda g, n=x, d=y, s=y.shape: unbroadcast(
                     -g * n / (d * d), s
                 ),
             ),
         ],
         "div",
+        fwd=lambda o, x=x, y=y: np.divide(x, y, out=o),
     )
 
 
 def neg(a: ArrayLike) -> Tensor:
     """Elementwise negation."""
     ta = tensor(a)
-    return make_node(-ta.data, [(ta, lambda g: -g)], "neg")
+    return make_node(
+        -ta.data,
+        [(ta, lambda g: -g)],
+        "neg",
+        fwd=lambda o, x=ta.data: np.negative(x, out=o),
+    )
 
 
 def power(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -115,39 +178,54 @@ def power(a: ArrayLike, b: ArrayLike) -> Tensor:
     if tb.needs_tape():
 
         def vjp_exp(g: np.ndarray) -> np.ndarray:
+            x, y = ta.data, tb.data
             with np.errstate(divide="ignore", invalid="ignore"):
-                loga = np.where(ta.data > 0, np.log(np.where(ta.data > 0, ta.data, 1.0)), 0.0)
-            return unbroadcast(g * out * loga, tb.data.shape)
+                loga = np.where(x > 0, np.log(np.where(x > 0, x, 1.0)), 0.0)
+            return unbroadcast(g * (x ** y) * loga, y.shape)
 
         parents.append((tb, vjp_exp))
-    return make_node(out, parents, "power")
+    return make_node(
+        out,
+        parents,
+        "power",
+        fwd=lambda o, x=ta.data, y=tb.data: np.power(x, y, out=o),
+    )
 
 
 def square(a: ArrayLike) -> Tensor:
     """Elementwise square (faster than ``power(a, 2)``)."""
     ta = tensor(a)
+    x = ta.data
     return make_node(
-        ta.data * ta.data, [(ta, lambda g, x=ta.data: 2.0 * g * x)], "square"
+        x * x,
+        [(ta, lambda g, x=x: 2.0 * g * x)],
+        "square",
+        fwd=lambda o, x=x: np.multiply(x, x, out=o),
     )
 
 
 def sqrt(a: ArrayLike) -> Tensor:
     """Elementwise square root."""
     ta = tensor(a)
-    out = np.sqrt(ta.data)
+    out = np.asarray(np.sqrt(ta.data))
 
     def vjp(g: np.ndarray, o: np.ndarray = out) -> np.ndarray:
         with np.errstate(divide="ignore"):
             return g * 0.5 / np.where(o > 0, o, np.inf)
 
-    return make_node(out, [(ta, vjp)], "sqrt")
+    return make_node(
+        out, [(ta, vjp)], "sqrt", fwd=lambda o, x=ta.data: np.sqrt(x, out=o)
+    )
 
 
 def abs_(a: ArrayLike) -> Tensor:
     """Elementwise absolute value (subgradient 0 at the kink)."""
     ta = tensor(a)
     return make_node(
-        np.abs(ta.data), [(ta, lambda g, x=ta.data: g * np.sign(x))], "abs"
+        np.abs(ta.data),
+        [(ta, lambda g, x=ta.data: g * np.sign(x))],
+        "abs",
+        fwd=lambda o, x=ta.data: np.abs(x, out=o),
     )
 
 
@@ -157,42 +235,68 @@ def abs_(a: ArrayLike) -> Tensor:
 def exp(a: ArrayLike) -> Tensor:
     """Elementwise exponential."""
     ta = tensor(a)
-    out = np.exp(ta.data)
-    return make_node(out, [(ta, lambda g, o=out: g * o)], "exp")
+    out = np.asarray(np.exp(ta.data))
+    return make_node(
+        out,
+        [(ta, lambda g, o=out: g * o)],
+        "exp",
+        fwd=lambda o, x=ta.data: np.exp(x, out=o),
+    )
 
 
 def log(a: ArrayLike) -> Tensor:
     """Elementwise natural logarithm."""
     ta = tensor(a)
-    return make_node(np.log(ta.data), [(ta, lambda g, x=ta.data: g / x)], "log")
+    return make_node(
+        np.log(ta.data),
+        [(ta, lambda g, x=ta.data: g / x)],
+        "log",
+        fwd=lambda o, x=ta.data: np.log(x, out=o),
+    )
 
 
 def sin(a: ArrayLike) -> Tensor:
     """Elementwise sine."""
     ta = tensor(a)
-    return make_node(np.sin(ta.data), [(ta, lambda g, x=ta.data: g * np.cos(x))], "sin")
+    return make_node(
+        np.sin(ta.data),
+        [(ta, lambda g, x=ta.data: g * np.cos(x))],
+        "sin",
+        fwd=lambda o, x=ta.data: np.sin(x, out=o),
+    )
 
 
 def cos(a: ArrayLike) -> Tensor:
     """Elementwise cosine."""
     ta = tensor(a)
     return make_node(
-        np.cos(ta.data), [(ta, lambda g, x=ta.data: -g * np.sin(x))], "cos"
+        np.cos(ta.data),
+        [(ta, lambda g, x=ta.data: -g * np.sin(x))],
+        "cos",
+        fwd=lambda o, x=ta.data: np.cos(x, out=o),
     )
 
 
 def tanh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic tangent (the paper's PINN activation)."""
     ta = tensor(a)
-    out = np.tanh(ta.data)
-    return make_node(out, [(ta, lambda g, o=out: g * (1.0 - o * o))], "tanh")
+    out = np.asarray(np.tanh(ta.data))
+    return make_node(
+        out,
+        [(ta, lambda g, o=out: g * (1.0 - o * o))],
+        "tanh",
+        fwd=lambda o, x=ta.data: np.tanh(x, out=o),
+    )
 
 
 def sinh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic sine."""
     ta = tensor(a)
     return make_node(
-        np.sinh(ta.data), [(ta, lambda g, x=ta.data: g * np.cosh(x))], "sinh"
+        np.sinh(ta.data),
+        [(ta, lambda g, x=ta.data: g * np.cosh(x))],
+        "sinh",
+        fwd=lambda o, x=ta.data: np.sinh(x, out=o),
     )
 
 
@@ -200,7 +304,10 @@ def cosh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic cosine."""
     ta = tensor(a)
     return make_node(
-        np.cosh(ta.data), [(ta, lambda g, x=ta.data: g * np.sinh(x))], "cosh"
+        np.cosh(ta.data),
+        [(ta, lambda g, x=ta.data: g * np.sinh(x))],
+        "cosh",
+        fwd=lambda o, x=ta.data: np.cosh(x, out=o),
     )
 
 
@@ -211,14 +318,22 @@ def arctan(a: ArrayLike) -> Tensor:
         np.arctan(ta.data),
         [(ta, lambda g, x=ta.data: g / (1.0 + x * x))],
         "arctan",
+        fwd=lambda o, x=ta.data: np.arctan(x, out=o),
     )
 
 
 def sigmoid(a: ArrayLike) -> Tensor:
     """Elementwise logistic sigmoid."""
     ta = tensor(a)
-    out = 1.0 / (1.0 + np.exp(-ta.data))
-    return make_node(out, [(ta, lambda g, o=out: g * o * (1.0 - o))], "sigmoid")
+    out = np.asarray(1.0 / (1.0 + np.exp(-ta.data)))
+
+    def fwd(o: np.ndarray, x: np.ndarray = ta.data) -> None:
+        np.negative(x, out=o)
+        np.exp(o, out=o)
+        o += 1.0
+        np.divide(1.0, o, out=o)
+
+    return make_node(out, [(ta, lambda g, o=out: g * o * (1.0 - o))], "sigmoid", fwd=fwd)
 
 
 # ----------------------------------------------------------------------
@@ -227,30 +342,46 @@ def sigmoid(a: ArrayLike) -> Tensor:
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise maximum; ties route the gradient to the first input."""
     ta, tb = tensor(a), tensor(b)
-    out = np.maximum(ta.data, tb.data)
-    mask = ta.data >= tb.data
+    x, y = ta.data, tb.data
+    out = np.maximum(x, y)
+    mask = x >= y
+
+    # fwd refreshes the tie mask in place so the VJP closures (which
+    # capture it by reference) stay valid when input values change.
+    def fwd(o: np.ndarray, x=x, y=y, m=mask) -> None:
+        np.maximum(x, y, out=o)
+        np.greater_equal(x, y, out=m)
+
     return make_node(
         out,
         [
-            (ta, lambda g, m=mask, s=ta.data.shape: unbroadcast(g * m, s)),
-            (tb, lambda g, m=~mask, s=tb.data.shape: unbroadcast(g * m, s)),
+            (ta, lambda g, m=mask, s=x.shape: unbroadcast(g * m, s)),
+            (tb, lambda g, m=mask, s=y.shape: unbroadcast(g * ~m, s)),
         ],
         "maximum",
+        fwd=fwd,
     )
 
 
 def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise minimum; ties route the gradient to the first input."""
     ta, tb = tensor(a), tensor(b)
-    out = np.minimum(ta.data, tb.data)
-    mask = ta.data <= tb.data
+    x, y = ta.data, tb.data
+    out = np.minimum(x, y)
+    mask = x <= y
+
+    def fwd(o: np.ndarray, x=x, y=y, m=mask) -> None:
+        np.minimum(x, y, out=o)
+        np.less_equal(x, y, out=m)
+
     return make_node(
         out,
         [
-            (ta, lambda g, m=mask, s=ta.data.shape: unbroadcast(g * m, s)),
-            (tb, lambda g, m=~mask, s=tb.data.shape: unbroadcast(g * m, s)),
+            (ta, lambda g, m=mask, s=x.shape: unbroadcast(g * m, s)),
+            (tb, lambda g, m=mask, s=y.shape: unbroadcast(g * ~m, s)),
         ],
         "minimum",
+        fwd=fwd,
     )
 
 
@@ -258,23 +389,32 @@ def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Differentiable ``np.where`` (the condition itself is constant)."""
     c = asdata(cond).astype(bool)
     ta, tb = tensor(a), tensor(b)
-    out = np.where(c, ta.data, tb.data)
+    x, y = ta.data, tb.data
+    out = np.where(c, x, y)
     return make_node(
         out,
         [
-            (ta, lambda g, m=c, s=ta.data.shape: unbroadcast(np.where(m, g, 0.0), s)),
-            (tb, lambda g, m=c, s=tb.data.shape: unbroadcast(np.where(m, 0.0, g), s)),
+            (ta, lambda g, m=c, s=x.shape: unbroadcast(np.where(m, g, 0.0), s)),
+            (tb, lambda g, m=c, s=y.shape: unbroadcast(np.where(m, 0.0, g), s)),
         ],
         "where",
+        fwd=lambda o, m=c, x=x, y=y: np.copyto(o, np.where(m, x, y)),
     )
 
 
 def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
     """Clamp values to ``[lo, hi]``; gradient is zero outside the interval."""
     ta = tensor(a)
-    out = np.clip(ta.data, lo, hi)
-    mask = (ta.data >= lo) & (ta.data <= hi)
-    return make_node(out, [(ta, lambda g, m=mask: g * m)], "clip")
+    x = ta.data
+    out = np.clip(x, lo, hi)
+    mask = (x >= lo) & (x <= hi)
+
+    def fwd(o: np.ndarray, x=x, m=mask) -> None:
+        np.clip(x, lo, hi, out=o)
+        np.greater_equal(x, lo, out=m)
+        np.logical_and(m, x <= hi, out=m)
+
+    return make_node(out, [(ta, lambda g, m=mask: g * m)], "clip", fwd=fwd)
 
 
 # ----------------------------------------------------------------------
@@ -283,40 +423,55 @@ def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
 def sum_(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Sum reduction."""
     ta = tensor(a)
-    out = ta.data.sum(axis=axis, keepdims=keepdims)
+    x = ta.data
+    out = x.sum(axis=axis, keepdims=keepdims)
+
+    view_cache = [None, None]
 
     def vjp(g: np.ndarray) -> np.ndarray:
         if axis is None:
-            return np.broadcast_to(g, ta.data.shape).copy()
+            return _broadcast_view(g, x.shape, view_cache)
         g2 = g
         if not keepdims:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
-            for ax in sorted(a % ta.data.ndim for a in axes):
+            for ax in sorted(a % x.ndim for a in axes):
                 g2 = np.expand_dims(g2, ax)
-        return np.broadcast_to(g2, ta.data.shape).copy()
+        return _broadcast_view(g2, x.shape)
 
-    return make_node(out, [(ta, vjp)], "sum")
+    return make_node(
+        out,
+        [(ta, vjp)],
+        "sum",
+        # Bound ndarray method: skips np.sum's Python dispatch layer.
+        fwd=lambda o, x=x: x.sum(axis=axis, keepdims=keepdims, out=o),
+    )
 
 
 def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Mean reduction."""
     ta = tensor(a)
-    out = ta.data.mean(axis=axis, keepdims=keepdims)
-    denom = ta.data.size if axis is None else np.prod(
-        [ta.data.shape[ax] for ax in ((axis,) if isinstance(axis, int) else axis)]
+    x = ta.data
+    out = x.mean(axis=axis, keepdims=keepdims)
+    denom = x.size if axis is None else np.prod(
+        [x.shape[ax] for ax in ((axis,) if isinstance(axis, int) else axis)]
     )
 
     def vjp(g: np.ndarray) -> np.ndarray:
         if axis is None:
-            return np.broadcast_to(g / denom, ta.data.shape).copy()
+            return _broadcast_view(g / denom, x.shape)
         g2 = g
         if not keepdims:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
-            for ax in sorted(a % ta.data.ndim for a in axes):
+            for ax in sorted(a % x.ndim for a in axes):
                 g2 = np.expand_dims(g2, ax)
-        return np.broadcast_to(g2 / denom, ta.data.shape).copy()
+        return _broadcast_view(g2 / denom, x.shape)
 
-    return make_node(out, [(ta, vjp)], "mean")
+    return make_node(
+        out,
+        [(ta, vjp)],
+        "mean",
+        fwd=lambda o, x=x: x.mean(axis=axis, keepdims=keepdims, out=o),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -326,7 +481,10 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Matrix product with the standard VJPs.
 
     Supports the 1-D/2-D combinations used by the solver (matrix@vector,
-    matrix@matrix, vector@matrix, vector@vector).
+    matrix@matrix, vector@matrix, vector@vector) plus a *stacked* left
+    operand — ``(s, m, k) @ (k, n)`` — used by the batched PINN derivative
+    propagation to push all directional derivatives through a layer in one
+    call.
     """
     ta, tb = tensor(a), tensor(b)
     A, B = ta.data, tb.data
@@ -339,7 +497,7 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
             return B @ g
         if B.ndim == 1:  # (m,k) @ (k,) -> (m,)
             return np.outer(g, B)
-        return g @ B.T
+        return g @ np.swapaxes(B, -1, -2)
 
     def vjp_b(g: np.ndarray) -> np.ndarray:
         if A.ndim == 1 and B.ndim == 1:
@@ -348,9 +506,17 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
             return np.outer(A, g)
         if B.ndim == 1:
             return A.T @ g
+        if A.ndim > 2 and B.ndim == 2:
+            # Stacked A: contract every leading axis pair.
+            k = A.ndim - 1
+            return np.tensordot(A, g, axes=(tuple(range(k)), tuple(range(k))))
         return A.T @ g
 
-    return make_node(out, [(ta, vjp_a), (tb, vjp_b)], "matmul")
+    if np.ndim(out) == 0:  # 1-D @ 1-D: scalar result, no ufunc out=
+        fwd = lambda o, A=A, B=B: np.copyto(o, A @ B)
+    else:
+        fwd = lambda o, A=A, B=B: np.matmul(A, B, out=o)
+    return make_node(out, [(ta, vjp_a), (tb, vjp_b)], "matmul", fwd=fwd)
 
 
 def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -364,10 +530,15 @@ def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
 def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     """Differentiable reshape."""
     ta = tensor(a)
+    x = ta.data
+    out = x.reshape(shape)
+    fwd = (
+        VIEW_FWD
+        if np.may_share_memory(out, x)
+        else (lambda o, x=x: np.copyto(o, x.reshape(shape)))
+    )
     return make_node(
-        ta.data.reshape(shape),
-        [(ta, lambda g, s=ta.data.shape: g.reshape(s))],
-        "reshape",
+        out, [(ta, lambda g, s=x.shape: g.reshape(s))], "reshape", fwd=fwd
     )
 
 
@@ -376,32 +547,69 @@ def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
     ta = tensor(a)
     out = np.transpose(ta.data, axes)
     inv = None if axes is None else tuple(np.argsort(axes))
-    return make_node(out, [(ta, lambda g: np.transpose(g, inv))], "transpose")
+    # np.transpose always returns a view: nothing to recompute on replay.
+    return make_node(
+        out, [(ta, lambda g: np.transpose(g, inv))], "transpose", fwd=VIEW_FWD
+    )
+
+
+def _is_unique_index(index) -> bool:
+    """True when ``index`` can never address the same element twice.
+
+    Basic indexing (ints, slices, Ellipsis, None) and boolean masks select
+    each element at most once, so the VJP may scatter with direct
+    assignment; integer fancy indexing can repeat positions and needs the
+    accumulating ``np.add.at``.
+    """
+    if isinstance(index, tuple):
+        return all(_is_unique_index(i) for i in index)
+    if isinstance(index, (int, np.integer, slice)) or index is None or index is Ellipsis:
+        return True
+    if isinstance(index, np.ndarray) and index.dtype == bool:
+        return True
+    return False
 
 
 def getitem(a: ArrayLike, index) -> Tensor:
-    """Differentiable indexing/slicing (``np.add.at`` scatter in the VJP)."""
+    """Differentiable indexing/slicing.
+
+    Basic indices keep a *view* of the parent data (no forward copy) and
+    scatter the cotangent with direct assignment; integer fancy indices
+    copy forward and scatter with ``np.add.at`` (duplicates accumulate).
+    """
     ta = tensor(a)
-    out = ta.data[index]
+    x = ta.data
+    out = x[index]
+    unique = _is_unique_index(index)
 
     def vjp(g: np.ndarray) -> np.ndarray:
-        full = np.zeros_like(ta.data)
-        np.add.at(full, index, g)
+        full = np.zeros_like(x)
+        if unique:
+            full[index] = g
+        else:
+            np.add.at(full, index, g)
         return full
 
-    return make_node(np.array(out, copy=True), [(ta, vjp)], "getitem")
+    if isinstance(out, np.ndarray) and np.may_share_memory(out, x):
+        fwd = VIEW_FWD
+    else:
+        fwd = lambda o, x=x: np.copyto(o, x[index])
+    return make_node(out, [(ta, vjp)], "getitem", fwd=fwd)
 
 
 def concatenate(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     ts = [tensor(p) for p in parts]
-    out = np.concatenate([t.data for t in ts], axis=axis)
+    arrays = [t.data for t in ts]
+    out = np.concatenate(arrays, axis=axis)
     sizes = [t.data.shape[axis] for t in ts]
     offsets = np.concatenate([[0], np.cumsum(sizes)])
 
     parents = []
+    spans = []
     for i, t in enumerate(ts):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
+        spans.append((lo, hi))
 
         def vjp(g: np.ndarray, lo=lo, hi=hi) -> np.ndarray:
             slicer = [slice(None)] * g.ndim
@@ -409,13 +617,21 @@ def concatenate(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
             return g[tuple(slicer)]
 
         parents.append((t, vjp))
-    return make_node(out, parents, "concatenate")
+
+    def fwd(o: np.ndarray, arrays=arrays, spans=spans) -> None:
+        slicer = [slice(None)] * o.ndim
+        for arr, (lo, hi) in zip(arrays, spans):
+            slicer[axis] = slice(lo, hi)
+            o[tuple(slicer)] = arr
+
+    return make_node(out, parents, "concatenate", fwd=fwd)
 
 
 def stack(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Differentiable stacking along a new axis."""
     ts = [tensor(p) for p in parts]
-    out = np.stack([t.data for t in ts], axis=axis)
+    arrays = [t.data for t in ts]
+    out = np.stack(arrays, axis=axis)
 
     parents = []
     for i, t in enumerate(ts):
@@ -424,4 +640,10 @@ def stack(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
             return np.take(g, i, axis=axis)
 
         parents.append((t, vjp))
-    return make_node(out, parents, "stack")
+
+    def fwd(o: np.ndarray, arrays=arrays) -> None:
+        mv = np.moveaxis(o, axis, 0)
+        for i, arr in enumerate(arrays):
+            mv[i] = arr
+
+    return make_node(out, parents, "stack", fwd=fwd)

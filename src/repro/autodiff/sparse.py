@@ -71,12 +71,16 @@ def sparse_solve(A, b: ArrayLike) -> Tensor:
         )
     lu = _splu(A)
     tb = tensor(b)
-    x = lu.solve(np.ascontiguousarray(tb.data))
+    bd = tb.data
+    x = lu.solve(np.ascontiguousarray(bd))
 
     def vjp_b(g: np.ndarray) -> np.ndarray:
         return lu.solve(np.ascontiguousarray(g), trans="T")
 
-    return make_node(x, [(tb, vjp_b)], "sparse_solve")
+    def fwd(o: np.ndarray) -> None:
+        o[...] = lu.solve(np.ascontiguousarray(bd))
+
+    return make_node(x, [(tb, vjp_b)], "sparse_solve", fwd=fwd)
 
 
 def sparse_matvec(M, x: ArrayLike) -> Tensor:
@@ -89,13 +93,17 @@ def sparse_matvec(M, x: ArrayLike) -> Tensor:
     if not sp.issparse(M):
         raise TypeError("sparse_matvec expects a scipy.sparse matrix")
     tx = tensor(x)
-    out = M @ tx.data
+    xd = tx.data
+    out = M @ xd
     MT = M.T.tocsr()
 
     def vjp_x(g: np.ndarray) -> np.ndarray:
         return MT @ g
 
-    return make_node(out, [(tx, vjp_x)], "sparse_matvec")
+    def fwd(o: np.ndarray) -> None:
+        o[...] = M @ xd
+
+    return make_node(out, [(tx, vjp_x)], "sparse_matvec", fwd=fwd)
 
 
 def sparse_pattern_solve(
@@ -126,12 +134,17 @@ def sparse_pattern_solve(
         raise ValueError(
             f"data has shape {td.data.shape}, pattern has {rows.shape}"
         )
-    A = sp.csr_matrix((td.data, (rows, cols)), shape=shape)
-    lu = _splu(A)
-    x = lu.solve(np.ascontiguousarray(tb.data))
+    dd, bd = td.data, tb.data
+    A = sp.csr_matrix((dd, (rows, cols)), shape=shape)
+    # One-slot holder: the forward-replay closure re-assembles and
+    # re-factorises from the *current* pattern values (they live on the
+    # tape and change between replays); the VJPs read through the holder
+    # so the adjoint solves always use the matching factorisation.
+    holder = [_splu(A)]
+    x = np.asarray(holder[0].solve(np.ascontiguousarray(bd)))
 
     def solve_T(g: np.ndarray) -> np.ndarray:
-        return lu.solve(np.ascontiguousarray(g), trans="T")
+        return holder[0].solve(np.ascontiguousarray(g), trans="T")
 
     def vjp_b(g: np.ndarray) -> np.ndarray:
         return solve_T(g)
@@ -142,7 +155,13 @@ def sparse_pattern_solve(
             return -w[rows] * x[cols]
         return -np.sum(w[rows] * x[cols], axis=1)
 
-    return make_node(x, [(td, vjp_data), (tb, vjp_b)], "sparse_pattern_solve")
+    def fwd(o: np.ndarray) -> None:
+        holder[0] = _splu(sp.csr_matrix((dd, (rows, cols)), shape=shape))
+        o[...] = holder[0].solve(np.ascontiguousarray(bd))
+
+    return make_node(
+        x, [(td, vjp_data), (tb, vjp_b)], "sparse_pattern_solve", fwd=fwd
+    )
 
 
 class SparseLUSolver:
@@ -175,12 +194,16 @@ class SparseLUSolver:
     def __call__(self, b: ArrayLike) -> Tensor:
         """Solve ``A x = b`` differentiably w.r.t. ``b``."""
         tb = tensor(b)
-        x = self._lu.solve(np.ascontiguousarray(tb.data))
+        bd = tb.data
+        x = self._lu.solve(np.ascontiguousarray(bd))
 
         def vjp_b(g: np.ndarray) -> np.ndarray:
             return self._lu.solve(np.ascontiguousarray(g), trans="T")
 
-        return make_node(x, [(tb, vjp_b)], "sparse_lu_solve")
+        def fwd(o: np.ndarray, lu=self._lu) -> None:
+            o[...] = lu.solve(np.ascontiguousarray(bd))
+
+        return make_node(x, [(tb, vjp_b)], "sparse_lu_solve", fwd=fwd)
 
     def solve_numpy(self, b: np.ndarray) -> np.ndarray:
         """Plain NumPy solve (no tape)."""

@@ -33,6 +33,23 @@ ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 _GRAD_ENABLED: bool = True
 
 
+class _ViewFwd:
+    """Sentinel marking a node whose data aliases its parent's buffer.
+
+    Replay engines skip these nodes in the forward pass: when the parent
+    buffer is updated in place, the view reflects the new values for free
+    (reshape/transpose of contiguous arrays, basic-index views).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "VIEW_FWD"
+
+
+VIEW_FWD = _ViewFwd()
+
+
 class no_grad:
     """Context manager that disables tape construction.
 
@@ -93,7 +110,7 @@ class Tensor:
         Internal — primitive name, for debugging and graph inspection.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_op")
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_op", "_fwd")
 
     # Make NumPy defer ``ndarray <op> Tensor`` to the Tensor's reflected
     # operators instead of trying elementwise object coercion.
@@ -106,6 +123,7 @@ class Tensor:
         requires_grad: bool = False,
         parents: Optional[List[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]]] = None,
         op: str = "leaf",
+        fwd: Optional[Callable[[np.ndarray], None]] = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
@@ -114,6 +132,13 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self._parents = parents or []
         self._op = op
+        # Forward-replay closure: recomputes this node's value *in place*
+        # into the buffer passed to it (always ``self.data``), reading the
+        # parent buffers it captured by reference at trace time.  ``None``
+        # means the op cannot replay; ``VIEW_FWD`` means the data aliases a
+        # parent buffer and needs no recomputation.  Only consulted by the
+        # compiled replay engine (:mod:`repro.autodiff.compile`).
+        self._fwd = fwd
 
     # ------------------------------------------------------------------
     # Introspection
@@ -384,6 +409,7 @@ def make_node(
     data: np.ndarray,
     parents: Iterable[Tuple[Tensor, Callable[[np.ndarray], np.ndarray]]],
     op: str,
+    fwd: Optional[Callable[[np.ndarray], None]] = None,
 ) -> Tensor:
     """Create an interior tape node, respecting the global no-grad switch.
 
@@ -391,8 +417,13 @@ def make_node(
     gradients are globally disabled, or no parent participates in a gradient
     computation, the result is a detached leaf (the tape is pruned eagerly,
     keeping forward-only solves as cheap as plain NumPy).
+
+    ``fwd`` is the op's forward-replay closure (see :class:`Tensor`): it
+    re-executes the forward computation into a caller-supplied output
+    buffer, so a recorded tape can be replayed without rebuilding any
+    Tensor or closure objects.
     """
     parents = [(p, v) for (p, v) in parents if p.needs_tape()]
     if not grad_enabled() or not parents:
         return Tensor(data)
-    return Tensor(data, parents=parents, op=op)
+    return Tensor(data, parents=parents, op=op, fwd=fwd)

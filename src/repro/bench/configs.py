@@ -34,6 +34,12 @@ def is_full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
 
 
+def is_compile_enabled() -> bool:
+    """True when ``REPRO_COMPILE=1`` opts the benchmarks into the
+    trace-once replay engine (:mod:`repro.autodiff.compile`)."""
+    return os.environ.get("REPRO_COMPILE", "0") not in ("0", "", "false", "False")
+
+
 @dataclass(frozen=True)
 class LaplaceScale:
     """Laplace-problem knobs (paper values in comments)."""
@@ -43,6 +49,7 @@ class LaplaceScale:
     lr_dal: float = 1e-2         # paper: 1e-2
     lr_dp: float = 1e-2          # paper: 1e-2
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
+    compile: bool = False        # trace-once replay for the DP/DAL loops
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,7 @@ class NavierStokesScale:
     pseudo_dt: float = 0.5
     perturbation: float = 0.3
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
+    compile: bool = False        # trace-once replay for the DP/DAL loops
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,7 @@ class PinnScale:
     # paper: 9 values 1e-3..1e5, ω* = 1
     n_interior: int = 300
     n_boundary: int = 30
+    compile: bool = False            # trace-once replay for the epoch loop
 
 
 @dataclass(frozen=True)
@@ -113,5 +122,20 @@ FULL_SCALE = ExperimentScale(
 
 
 def get_scale() -> ExperimentScale:
-    """Return the active tier (``REPRO_FULL=1`` selects the full tier)."""
-    return FULL_SCALE if is_full_scale() else DEFAULT_SCALE
+    """Return the active tier (``REPRO_FULL=1`` selects the full tier).
+
+    ``REPRO_COMPILE=1`` additionally switches every strategy onto the
+    trace-once replay engine — results are bit-identical (the property
+    tests assert it), only the per-iteration wall time changes.
+    """
+    from dataclasses import replace
+
+    scale = FULL_SCALE if is_full_scale() else DEFAULT_SCALE
+    if is_compile_enabled():
+        scale = ExperimentScale(
+            name=scale.name + "+compile",
+            laplace=replace(scale.laplace, compile=True),
+            ns=replace(scale.ns, compile=True),
+            pinn=replace(scale.pinn, compile=True),
+        )
+    return scale

@@ -81,7 +81,7 @@ def run_laplace_dal(
     """DAL on the Laplace problem (Table 1 column / Fig. 3 curves)."""
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
-    oracle = LaplaceDAL(prob)
+    oracle = LaplaceDAL(prob, compile=s.laplace.compile)
 
     def run():
         return optimize(oracle, s.laplace.iterations, s.laplace.lr_dal)
@@ -107,7 +107,7 @@ def run_laplace_dp(
     """DP on the Laplace problem."""
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
-    oracle = LaplaceDP(prob)
+    oracle = LaplaceDP(prob, compile=s.laplace.compile)
 
     def run():
         return optimize(oracle, s.laplace.iterations, s.laplace.lr_dp)
@@ -171,6 +171,7 @@ def run_laplace_pinn(
         lr=s.pinn.laplace_lr,
         n_interior=s.pinn.n_interior,
         n_boundary=s.pinn.n_boundary,
+        compile=s.pinn.compile,
     )
     pinn = LaplacePINN(prob, state_hidden=s.pinn.laplace_hidden, config=cfg)
 
@@ -221,7 +222,9 @@ def run_ns_dal(
     s = scale or get_scale()
     prob = problem or make_ns_problem(s)
     cfg = _ns_config(s, s.ns.refinements_dal, reynolds)
-    oracle = NavierStokesDAL(prob, cfg, adjoint_refinements=s.ns.adjoint_refinements)
+    oracle = NavierStokesDAL(
+        prob, cfg, adjoint_refinements=s.ns.adjoint_refinements, compile=s.ns.compile
+    )
 
     def run():
         return optimize(oracle, s.ns.iterations, s.ns.lr)
@@ -258,7 +261,7 @@ def run_ns_dp(
     cfg = _ns_config(
         s, refinements if refinements is not None else s.ns.refinements_dp, reynolds
     )
-    oracle = NavierStokesDP(prob, cfg)
+    oracle = NavierStokesDP(prob, cfg, compile=s.ns.compile)
 
     def run():
         return optimize(oracle, s.ns.iterations, s.ns.lr)
@@ -293,6 +296,7 @@ def run_ns_pinn(
         lr=s.pinn.ns_lr,
         n_interior=s.pinn.n_interior,
         n_boundary=s.pinn.n_boundary,
+        compile=s.pinn.compile,
     )
     ns_cfg = _ns_config(s, s.ns.refinements_dp)
     pinn = NavierStokesPINN(

@@ -206,10 +206,11 @@ class Cloud:
         )
         if np.any(np.diff(ranks) < 0):
             raise ValueError("node ordering violates kind-block invariant")
-        # No duplicate points.
-        from scipy.spatial import cKDTree
+        # No duplicate points.  The cached tree is shared with the
+        # stencil-assembly and spacing-metric queries on the same cloud.
+        from repro.cloud.neighbors import kdtree
 
-        tree = cKDTree(self.points)
+        tree = kdtree(self.points)
         pairs = tree.query_pairs(1e-12)
         if pairs:
             raise ValueError(f"duplicate points: {sorted(pairs)[:5]} ...")

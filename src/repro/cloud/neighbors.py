@@ -2,14 +2,75 @@
 
 Used by the conditioning diagnostics (separation distance drives the
 collocation matrix conditioning) and by the local RBF-FD extension.
+
+Trees are cached: every caller in the hot paths (stencil assembly,
+cloud validation, spacing metrics) queries the *same* immutable point
+set, so :func:`kdtree` keys a small LRU on point-set identity — checked
+first by ``(id, shape)`` of the array object, then by a content digest —
+and rebuilds only when the coordinates actually change.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
+
+_TREE_CACHE: "OrderedDict[Tuple, cKDTree]" = OrderedDict()
+# alias -> (digest key, pinned array).  Pinning the array keeps its id()
+# from being recycled by a different object while the alias is live.
+_ID_ALIAS: Dict[Tuple[int, Tuple[int, ...]], Tuple] = {}
+_CACHE_CAPACITY = 8
+cache_stats = {"hits": 0, "misses": 0}
+
+
+def kdtree(points: np.ndarray) -> cKDTree:
+    """A (cached) ``cKDTree`` over ``points``.
+
+    The cache key is a SHA-1 digest of the coordinate bytes, so distinct
+    array objects holding the same cloud share one tree; an identity
+    alias (``id(points)``, shape) skips even the digest for the common
+    case of repeated queries against the same array object.  Point
+    clouds in this repository are immutable after construction, which is
+    what makes identity aliasing sound.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    alias = (id(points), points.shape)
+    hit = _ID_ALIAS.get(alias)
+    if hit is not None and hit[1] is points and hit[0] in _TREE_CACHE:
+        key = hit[0]
+        cache_stats["hits"] += 1
+        _TREE_CACHE.move_to_end(key)
+        return _TREE_CACHE[key]
+    key = (
+        points.shape,
+        hashlib.sha1(np.ascontiguousarray(points).tobytes()).hexdigest(),
+    )
+    tree = _TREE_CACHE.get(key)
+    if tree is None:
+        cache_stats["misses"] += 1
+        tree = cKDTree(points)
+        _TREE_CACHE[key] = tree
+        while len(_TREE_CACHE) > _CACHE_CAPACITY:
+            _TREE_CACHE.popitem(last=False)
+    else:
+        cache_stats["hits"] += 1
+        _TREE_CACHE.move_to_end(key)
+    _ID_ALIAS[alias] = (key, points)
+    if len(_ID_ALIAS) > 4 * _CACHE_CAPACITY:
+        _ID_ALIAS.clear()
+    return tree
+
+
+def clear_tree_cache() -> None:
+    """Drop all cached trees and reset the hit/miss counters."""
+    _TREE_CACHE.clear()
+    _ID_ALIAS.clear()
+    cache_stats["hits"] = 0
+    cache_stats["misses"] = 0
 
 
 def nearest_neighbors(
@@ -23,7 +84,7 @@ def nearest_neighbors(
     points = np.asarray(points, dtype=np.float64)
     if k < 1 or k > points.shape[0]:
         raise ValueError(f"k must be in [1, {points.shape[0]}]")
-    tree = cKDTree(points)
+    tree = kdtree(points)
     q = points if queries is None else np.asarray(queries, dtype=np.float64)
     dists, idx = tree.query(q, k=k)
     if k == 1:
@@ -46,6 +107,6 @@ def fill_distance(points: np.ndarray, resolution: int = 50) -> float:
     gy = np.linspace(lo[1], hi[1], resolution)
     xx, yy = np.meshgrid(gx, gy, indexing="ij")
     probes = np.stack([xx.ravel(), yy.ravel()], axis=1)
-    tree = cKDTree(points)
+    tree = kdtree(points)
     dists, _ = tree.query(probes, k=1)
     return float(np.max(dists))

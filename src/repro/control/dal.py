@@ -70,13 +70,20 @@ class LaplaceDAL:
     Runs on either operator backend: the direct and adjoint systems share
     one factorisation — dense LU for the global collocation matrix,
     sparse ``splu`` for the RBF-FD system (``backend="local"``).
+
+    ``compile=True`` enables buffer reuse across iterations (the DAL
+    analogue of the DP replay engine): the adjoint right-hand side is
+    preallocated and zeroed once — only its top-wall entries are ever
+    written, so per-call allocation of the full nodal vector disappears.
     """
 
-    def __init__(self, problem: LaplaceControlProblem) -> None:
+    def __init__(self, problem: LaplaceControlProblem, compile: bool = False) -> None:
         self.problem = problem
         # Direct and adjoint share the system matrix (Laplace operator,
         # all-Dirichlet rows): one factorisation for both.
         self.solver = make_linear_solver(problem.system)
+        self.compile = bool(compile)
+        self._b_adj = np.zeros(problem.cloud.n) if self.compile else None
 
     def value(self, c: np.ndarray) -> float:
         """Direct solve + cost quadrature."""
@@ -91,8 +98,10 @@ class LaplaceDAL:
         mismatch = p.flux_rows @ u - p.target
         cost = float(p.quad_w @ (mismatch * mismatch))
 
-        # Adjoint: zero data everywhere except the top wall.
-        b_adj = np.zeros(p.cloud.n)
+        # Adjoint: zero data everywhere except the top wall.  Under
+        # ``compile`` the vector is a preallocated workspace — off-wall
+        # entries are zeroed once at construction and never touched.
+        b_adj = self._b_adj if self._b_adj is not None else np.zeros(p.cloud.n)
         b_adj[p.top] = 2.0 * mismatch
         lam = self.solver.solve_numpy(b_adj)
 
@@ -129,13 +138,21 @@ class NSAdjointState:
 
 
 class NavierStokesDAL:
-    """DAL oracle for the channel-flow problem."""
+    """DAL oracle for the channel-flow problem.
+
+    ``compile=True`` reuses two persistent ``(n, n)`` workspaces for the
+    dense adjoint momentum matrix assembly, replacing the ~5 full-size
+    temporaries that operator arithmetic would otherwise allocate on
+    every gradient evaluation (no effect on the sparse backend, whose
+    assembly is already pattern-bounded).
+    """
 
     def __init__(
         self,
         problem: ChannelFlowProblem,
         config: Optional[NSConfig] = None,
         adjoint_refinements: Optional[int] = None,
+        compile: bool = False,
     ) -> None:
         self.problem = problem
         self.config = config or NSConfig(refinements=3)
@@ -144,6 +161,9 @@ class NavierStokesDAL:
             if adjoint_refinements is not None
             else max(3 * self.config.refinements, 15)
         )
+        self.compile = bool(compile)
+        self._A_buf: Optional[np.ndarray] = None
+        self._T_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def value(self, c: np.ndarray) -> float:
@@ -186,8 +206,20 @@ class NavierStokesDAL:
             lu = spla.splu(sp.csc_matrix(A))
             solve_sys = lu.solve
         else:
-            op = (-u)[:, None] * nd.dx + (-v)[:, None] * nd.dy - (1.0 / Re) * nd.lap
-            A = mask[:, None] * op
+            if self.compile:
+                if self._A_buf is None:
+                    self._A_buf = np.empty((n, n))
+                    self._T_buf = np.empty((n, n))
+                A, T = self._A_buf, self._T_buf
+                np.multiply((-u)[:, None], nd.dx, out=A)
+                np.multiply((-v)[:, None], nd.dy, out=T)
+                A += T
+                np.multiply(1.0 / Re, nd.lap, out=T)
+                A -= T
+                A *= mask[:, None]
+            else:
+                op = (-u)[:, None] * nd.dx + (-v)[:, None] * nd.dy - (1.0 / Re) * nd.lap
+                A = mask[:, None] * op
             for g in dirichlet_groups:
                 idx = pr.cloud.groups[g]
                 A[idx] = 0.0

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autodiff import ops
+from repro.autodiff.compile import compiled_value_and_grad
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.sparse import make_linear_solver
 from repro.pde.laplace import LaplaceControlProblem
@@ -53,14 +54,29 @@ class LaplaceDP:
 
     ``smoothness_weight`` adds the §4 control-variation penalty to the
     objective (off by default, as in the paper).
+
+    ``compile=True`` routes ``value_and_grad`` through the trace-once
+    replay engine (:mod:`repro.autodiff.compile`): the cost graph is
+    recorded on the first call and subsequent iterations replay it over
+    reused buffers, skipping all Tensor/closure construction — the NumPy
+    analogue of wrapping the JAX loss in ``jit``.
     """
 
     def __init__(
-        self, problem: LaplaceControlProblem, smoothness_weight: float = 0.0
+        self,
+        problem: LaplaceControlProblem,
+        smoothness_weight: float = 0.0,
+        compile: bool = False,
     ) -> None:
         self.problem = problem
         self.solver = make_linear_solver(problem.system)
         self.smoothness_weight = float(smoothness_weight)
+        self.compile = bool(compile)
+        self._vg = (
+            compiled_value_and_grad(self._cost_tensor)
+            if self.compile
+            else value_and_grad(self._cost_tensor)
+        )
 
     def _cost_tensor(self, c):
         p = self.problem
@@ -78,7 +94,7 @@ class LaplaceDP:
 
     def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
         """Exact discrete gradient via one reverse pass."""
-        return value_and_grad(self._cost_tensor)(np.asarray(c, dtype=np.float64))
+        return self._vg(np.asarray(c, dtype=np.float64))
 
     def initial_control(self) -> np.ndarray:
         """Zero control (the paper's Laplace initialisation)."""
@@ -101,10 +117,17 @@ class NavierStokesDP:
         problem: ChannelFlowProblem,
         config: Optional[NSConfig] = None,
         smoothness_weight: float = 0.0,
+        compile: bool = False,
     ) -> None:
         self.problem = problem
         self.config = config or NSConfig(refinements=10)
         self.smoothness_weight = float(smoothness_weight)
+        self.compile = bool(compile)
+        self._vg = (
+            compiled_value_and_grad(self._cost_tensor)
+            if self.compile
+            else value_and_grad(self._cost_tensor)
+        )
 
     def _cost_tensor(self, c):
         u, v, _ = self.problem.solve_ad(c, self.config)
@@ -128,7 +151,7 @@ class NavierStokesDP:
 
     def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
         """Exact discrete gradient through the whole projection loop."""
-        return value_and_grad(self._cost_tensor)(np.asarray(c, dtype=np.float64))
+        return self._vg(np.asarray(c, dtype=np.float64))
 
     def initial_control(self) -> np.ndarray:
         """Parabolic inflow (the paper's NS initialisation)."""

@@ -56,7 +56,10 @@ class PINNTrainConfig:
 
     ``epochs`` follows the paper's piecewise-constant LR schedule; the
     alternating flag switches between joint and alternating updates of the
-    two networks.
+    two networks.  ``compile`` routes the loss through the trace-once
+    replay engine (:mod:`repro.autodiff.compile`): the loss graph is
+    recorded at the first epoch and each subsequent epoch replays it over
+    reused buffers — the epoch loop skips all Tensor/closure rebuilds.
     """
 
     epochs: int = 2000
@@ -66,6 +69,7 @@ class PINNTrainConfig:
     n_boundary: int = 40
     alternating: bool = True
     log_every: int = 0
+    compile: bool = False
 
 
 @dataclass
@@ -105,7 +109,12 @@ def _train(
     update to key ``alternating_keys[t % len]`` (the Mowlavi & Nabi
     alternating scheme); gradients for the frozen parts are discarded.
     """
-    vg = value_and_grad_tree(loss_fn)
+    if config.compile:
+        from repro.autodiff.compile import compiled_value_and_grad_tree
+
+        vg = compiled_value_and_grad_tree(loss_fn)
+    else:
+        vg = value_and_grad_tree(loss_fn)
     opt = Adam(lr=config.lr)
     state = opt.init(params)
     schedule = paper_schedule(config.lr)

@@ -16,6 +16,12 @@ layer by layer:
   ``a_i' = σ'(z) z_i'``,
   ``a_i'' = σ''(z) (z_i')² + σ'(z) z_i''``.
 
+The ``d`` directional derivatives are propagated *batched*: the seeds are
+stacked into one ``(d, batch, dim)`` tensor, so each layer costs three
+matmuls (value, first, second derivative) regardless of ``d`` instead of
+``1 + 2d`` — one stacked BLAS call replaces ``d`` small ones and the tape
+records ``O(1)`` nodes per layer rather than ``O(d)``.
+
 Because every step is written with autodiff primitives, the result is
 itself on the tape: one reverse pass yields exact weight-gradients of any
 residual built from ``u``, ``∇u``, ``Δu`` — precisely what PINN training
@@ -76,31 +82,29 @@ def mlp_with_derivatives(
 
     act = model.activation
     a = xt
-    # Seed: da/dx_i = e_i (constant), d2a/dx_i^2 = 0.
-    da: List[Tensor] = []
-    d2a: List[Tensor] = []
+    # Stacked seeds: da[i]/dx_j = δ_ij (a (d, batch, d) identity fan),
+    # d2a = 0.  All d directions ride through each layer in one tensor.
+    seed = np.zeros((d, batch, d))
     for i in range(d):
-        seed = np.zeros((batch, d))
-        seed[:, i] = 1.0
-        da.append(tensor(seed))
-        if need_second:
-            d2a.append(tensor(np.zeros((batch, d))))
+        seed[i, :, i] = 1.0
+    da = tensor(seed)
+    d2a = tensor(np.zeros((d, batch, d))) if need_second else None
 
     last = model.n_layers - 1
     for li, layer in enumerate(params):
         W, b = layer["W"], layer["b"]
         z = ops.matmul(a, W) + b
-        dz = [ops.matmul(g, W) for g in da]
-        d2z = [ops.matmul(h, W) for h in d2a] if need_second else []
+        dz = ops.matmul(da, W)
+        d2z = ops.matmul(d2a, W) if need_second else None
         if li < last:
             s1 = act.df(z)
             a = act.f(z)
             if need_second:
                 s2 = act.d2f(z)
-                d2a = [
-                    s2 * ops.square(dz[i]) + s1 * d2z[i] for i in range(d)
-                ]
-            da = [s1 * dz[i] for i in range(d)]
+                d2a = s2 * ops.square(dz) + s1 * d2z
+            da = s1 * dz
         else:
             a, da, d2a = z, dz, d2z
-    return a, da, d2a
+    du = [da[i] for i in range(d)]
+    d2u = [d2a[i] for i in range(d)] if need_second else []
+    return a, du, d2u

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.cloud.neighbors import fill_distance, min_spacing, nearest_neighbors
+from repro.cloud.neighbors import (
+    cache_stats,
+    clear_tree_cache,
+    fill_distance,
+    kdtree,
+    min_spacing,
+    nearest_neighbors,
+)
 from repro.cloud.square import SquareCloud
 
 
@@ -47,3 +54,53 @@ class TestMetrics:
         reg = SquareCloud(12)
         jit = SquareCloud(12, scatter="jitter", seed=0)
         assert fill_distance(jit.points) >= fill_distance(reg.points) - 1e-12
+
+
+class TestTreeCache:
+    def setup_method(self):
+        clear_tree_cache()
+
+    def teardown_method(self):
+        clear_tree_cache()
+
+    def test_same_object_hits_identity_alias(self):
+        pts = np.random.default_rng(1).uniform(size=(30, 2))
+        t1 = kdtree(pts)
+        t2 = kdtree(pts)
+        assert t1 is t2
+        assert cache_stats["misses"] == 1
+        assert cache_stats["hits"] == 1
+
+    def test_equal_content_shares_tree_across_objects(self):
+        pts = np.random.default_rng(2).uniform(size=(25, 2))
+        t1 = kdtree(pts)
+        t2 = kdtree(pts.copy())  # distinct object, same coordinates
+        assert t1 is t2
+        assert cache_stats["hits"] == 1
+
+    def test_changed_content_rebuilds(self):
+        pts = np.random.default_rng(3).uniform(size=(20, 2))
+        t1 = kdtree(pts)
+        moved = pts + 0.5
+        t2 = kdtree(moved)
+        assert t1 is not t2
+        assert cache_stats["misses"] == 2
+        # and the moved tree really reflects the new coordinates
+        d, _ = t2.query(moved[0], k=1)
+        assert d == 0.0
+
+    def test_queries_use_cache(self):
+        pts = SquareCloud(9).points
+        nearest_neighbors(pts, k=5)
+        nearest_neighbors(pts, k=7)
+        fill_distance(pts)
+        assert cache_stats["misses"] == 1
+        assert cache_stats["hits"] >= 2
+
+    def test_clear_resets(self):
+        pts = np.random.default_rng(4).uniform(size=(10, 2))
+        kdtree(pts)
+        clear_tree_cache()
+        assert cache_stats == {"hits": 0, "misses": 0}
+        kdtree(pts)
+        assert cache_stats["misses"] == 1
