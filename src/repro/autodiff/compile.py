@@ -455,6 +455,8 @@ def compiled_value_and_grad(
     wrapped.cache_info = lambda: {
         **counters,
         "programs": sum(1 for v in cache.values() if isinstance(v, CompiledProgram)),
+        "hit_rate": counters["replays"]
+        / max(counters["replays"] + counters["traces"] + counters["eager"], 1),
     }
     wrapped._cache = cache
     return wrapped
@@ -538,6 +540,8 @@ def compiled_value_and_grad_tree(
     wrapped.cache_info = lambda: {
         **counters,
         "programs": sum(1 for v in cache.values() if isinstance(v, CompiledProgram)),
+        "hit_rate": counters["replays"]
+        / max(counters["replays"] + counters["traces"] + counters["eager"], 1),
     }
     wrapped._cache = cache
     return wrapped

@@ -112,7 +112,15 @@ class LUSolver:
     per-iteration cost from O(n³) to O(n²) — this is what makes the scaled
     benchmark runs tractable and mirrors ``jax.scipy.linalg.lu_solve``
     composition under ``jit``.
+
+    ``n_factorizations``/``n_solves`` mirror the counters on
+    :class:`~repro.autodiff.sparse.SparseLUSolver`, so the telemetry
+    layer reports factorise-once/solve-many behaviour uniformly across
+    backends.
     """
+
+    solver_name = "dense-lu"
+    nnz = None  # dense storage: no sparsity to report
 
     def __init__(self, A: np.ndarray) -> None:
         A = np.asarray(A, dtype=np.float64)
@@ -120,6 +128,8 @@ class LUSolver:
             raise ValueError(f"LUSolver expects a square matrix, got {A.shape}")
         self.n = A.shape[0]
         self._lu = sla.lu_factor(A, check_finite=False)
+        self.n_factorizations = 1
+        self.n_solves = 0
         # Bind LAPACK ``getrs`` once: ``scipy.linalg.lu_solve`` dispatches
         # to the same routine but re-validates inputs on every call, which
         # dominates small solves in the replay hot loop.  Results are
@@ -129,6 +139,7 @@ class LUSolver:
         (self._getrs,) = sla.get_lapack_funcs(("getrs",), (self._lu_f,))
 
     def _solve(self, b: np.ndarray, trans: int = 0) -> np.ndarray:
+        self.n_solves += 1
         x, info = self._getrs(self._lu_f, self._piv, b, trans=trans)
         if info != 0:
             raise np.linalg.LinAlgError(f"getrs failed with info={info}")

@@ -171,9 +171,13 @@ class SparseLUSolver:
     control loops' system matrices are constant across iterations, so the
     symbolic + numeric factorisation happens exactly once and every
     forward *and* transposed (adjoint) solve reuses it — factorise-once,
-    solve-many.  ``n_factorizations`` counts numeric factorisations so
-    regression tests can assert the cache is actually hit.
+    solve-many.  ``n_factorizations`` counts numeric factorisations and
+    ``n_solves`` counts triangular solves against the cached factors, so
+    regression tests (and the telemetry layer's cache records) can assert
+    the cache is actually hit.
     """
+
+    solver_name = "sparse-splu"
 
     def __init__(self, A) -> None:
         if not sp.issparse(A):
@@ -190,32 +194,33 @@ class SparseLUSolver:
         self.nnz = A.nnz
         self._lu = spla.splu(A.astype(np.float64))
         self.n_factorizations = 1
+        self.n_solves = 0
+
+    def _solve(self, b: np.ndarray, trans: str = "N") -> np.ndarray:
+        self.n_solves += 1
+        return self._lu.solve(np.ascontiguousarray(b), trans=trans)
 
     def __call__(self, b: ArrayLike) -> Tensor:
         """Solve ``A x = b`` differentiably w.r.t. ``b``."""
         tb = tensor(b)
         bd = tb.data
-        x = self._lu.solve(np.ascontiguousarray(bd))
+        x = self._solve(bd)
 
         def vjp_b(g: np.ndarray) -> np.ndarray:
-            return self._lu.solve(np.ascontiguousarray(g), trans="T")
+            return self._solve(g, trans="T")
 
-        def fwd(o: np.ndarray, lu=self._lu) -> None:
-            o[...] = lu.solve(np.ascontiguousarray(bd))
+        def fwd(o: np.ndarray) -> None:
+            o[...] = self._solve(bd)
 
         return make_node(x, [(tb, vjp_b)], "sparse_lu_solve", fwd=fwd)
 
     def solve_numpy(self, b: np.ndarray) -> np.ndarray:
         """Plain NumPy solve (no tape)."""
-        return self._lu.solve(
-            np.ascontiguousarray(np.asarray(b, dtype=np.float64))
-        )
+        return self._solve(np.asarray(b, dtype=np.float64))
 
     def solve_transposed(self, b: np.ndarray) -> np.ndarray:
         """Solve ``Aᵀ x = b`` (the adjoint system) without taping."""
-        return self._lu.solve(
-            np.ascontiguousarray(np.asarray(b, dtype=np.float64)), trans="T"
-        )
+        return self._solve(np.asarray(b, dtype=np.float64), trans="T")
 
 
 def make_linear_solver(A) -> Union[LUSolver, SparseLUSolver]:

@@ -10,14 +10,19 @@ Options
     Skip the (slow) PINN line searches; DAL/DP rows only.
 ``--problem {laplace,ns,all}``
     Restrict to one benchmark problem.
+``--trace-dir DIR``
+    Attach a :class:`~repro.obs.recorder.TraceRecorder` to every run and
+    write one ``<problem>_<method>.jsonl`` convergence trace per runner
+    into ``DIR`` (defaults to ``$REPRO_TRACE_DIR`` when set).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.bench.configs import get_scale
+from repro.bench.configs import get_scale, trace_dir
 from repro.bench.harness import (
     make_laplace_problem,
     make_ns_problem,
@@ -29,6 +34,21 @@ from repro.bench.harness import (
     run_ns_pinn,
 )
 from repro.bench.tables import render_performance_table
+from repro.obs.recorder import TraceRecorder
+
+
+def _traced(out_dir, runner, *args, **kwargs):
+    """Run ``runner``; when tracing, attach a recorder and export JSONL."""
+    if out_dir is None:
+        return runner(*args, **kwargs)
+    rec = TraceRecorder()
+    result = runner(*args, recorder=rec, **kwargs)
+    path = os.path.join(
+        out_dir, f"{result.problem}_{result.method.lower()}.jsonl"
+    )
+    rec.to_jsonl(path)
+    print(f"    trace -> {path}")
+    return result
 
 
 def main(argv=None) -> int:
@@ -40,10 +60,14 @@ def main(argv=None) -> int:
                         help="skip the slow PINN line searches")
     parser.add_argument("--problem", choices=("laplace", "ns", "all"),
                         default="all")
+    parser.add_argument("--trace-dir", default=trace_dir(), metavar="DIR",
+                        help="write per-run convergence traces (JSONL) here")
     args = parser.parse_args(argv)
 
     scale = get_scale()
     print(f"scale tier: {scale.name}  (set REPRO_FULL=1 for paper scale)\n")
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
 
     results = []
     if args.problem in ("laplace", "all"):
@@ -51,11 +75,11 @@ def main(argv=None) -> int:
         print(f"Laplace problem: {prob.cloud.n} nodes, "
               f"{prob.n_control}-dimensional control")
         for name, runner in (("DAL", run_laplace_dal), ("DP", run_laplace_dp)):
-            r = runner(prob, scale)
+            r = _traced(args.trace_dir, runner, prob, scale)
             results.append(r)
             print("  " + r.summary())
         if not args.skip_pinn:
-            r = run_laplace_pinn(prob, scale)
+            r = _traced(args.trace_dir, run_laplace_pinn, prob, scale)
             results.append(r)
             print("  " + r.summary()
                   + f"  (omega* = {r.extra['best_omega']:g})")
@@ -65,11 +89,11 @@ def main(argv=None) -> int:
         print(f"\nNavier-Stokes channel: {prob.cloud.n} nodes, "
               f"Re = {scale.ns.reynolds:g}")
         for name, runner in (("DAL", run_ns_dal), ("DP", run_ns_dp)):
-            r = runner(prob, scale)
+            r = _traced(args.trace_dir, runner, prob, scale)
             results.append(r)
             print("  " + r.summary())
         if not args.skip_pinn:
-            r = run_ns_pinn(prob, scale)
+            r = _traced(args.trace_dir, run_ns_pinn, prob, scale)
             results.append(r)
             print("  " + r.summary()
                   + f"  (physical J = {r.extra['physical_cost']:.3e})")

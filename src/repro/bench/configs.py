@@ -40,6 +40,19 @@ def is_compile_enabled() -> bool:
     return os.environ.get("REPRO_COMPILE", "0") not in ("0", "", "false", "False")
 
 
+def trace_dir() -> "str | None":
+    """Directory for convergence-trace JSONL artifacts, if requested.
+
+    Set ``REPRO_TRACE_DIR=/some/dir`` (or pass ``--trace-dir`` to
+    ``python -m repro.bench``) to make every benchmark runner attach a
+    :class:`~repro.obs.recorder.TraceRecorder` and write one
+    ``<problem>_<method>.jsonl`` per run.  Unset (the default): telemetry
+    stays disabled and the hot loops take the no-recorder fast path.
+    """
+    d = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    return d or None
+
+
 @dataclass(frozen=True)
 class LaplaceScale:
     """Laplace-problem knobs (paper values in comments)."""

@@ -5,6 +5,13 @@ returns a :class:`~repro.control.problem.ControlResult` carrying the
 Table-3 metrics (final cost, iterations, wall time, peak memory) plus
 method-specific extras (cost history for Fig. 3b/4b, controls for
 Fig. 3a/4c, line-search data for Fig. 3c–e).
+
+Every runner accepts an optional ``recorder``
+(:class:`~repro.obs.recorder.TraceRecorder`): when given, the run emits
+per-iteration convergence telemetry — tagged with the method/problem/
+scale identity — and the oracle's cumulative cache statistics, ready for
+JSONL export (``python -m repro.bench --trace-dir``).  Without one, the
+loops take their zero-overhead path.
 """
 
 from __future__ import annotations
@@ -28,8 +35,18 @@ from repro.control.pinn import (
     omega_line_search,
 )
 from repro.control.problem import ControlResult
+from repro.obs.hooks import record_oracle_telemetry
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
+
+
+def _tag_trace(recorder, method: str, problem: str, scale: ExperimentScale,
+               backend: str) -> None:
+    """Stamp run identity onto a trace (no-op for falsy recorders)."""
+    if recorder:
+        recorder.set_meta(
+            method=method, problem=problem, scale=scale.name, backend=backend
+        )
 
 
 # ----------------------------------------------------------------------
@@ -77,16 +94,21 @@ def _ns_config(scale: ExperimentScale, refinements: int, reynolds=None) -> NSCon
 def run_laplace_dal(
     problem: Optional[LaplaceControlProblem] = None,
     scale: Optional[ExperimentScale] = None,
+    recorder=None,
 ) -> ControlResult:
     """DAL on the Laplace problem (Table 1 column / Fig. 3 curves)."""
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
     oracle = LaplaceDAL(prob, compile=s.laplace.compile)
+    _tag_trace(recorder, "DAL", "laplace", s, prob.backend)
 
     def run():
-        return optimize(oracle, s.laplace.iterations, s.laplace.lr_dal)
+        return optimize(
+            oracle, s.laplace.iterations, s.laplace.lr_dal, recorder=recorder
+        )
 
-    (c, hist), t, mem = measure_run(run)
+    (c, hist), t, mem = measure_run(run, recorder)
+    record_oracle_telemetry(recorder, oracle)
     return ControlResult(
         method="DAL",
         problem="laplace",
@@ -103,16 +125,21 @@ def run_laplace_dal(
 def run_laplace_dp(
     problem: Optional[LaplaceControlProblem] = None,
     scale: Optional[ExperimentScale] = None,
+    recorder=None,
 ) -> ControlResult:
     """DP on the Laplace problem."""
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
     oracle = LaplaceDP(prob, compile=s.laplace.compile)
+    _tag_trace(recorder, "DP", "laplace", s, prob.backend)
 
     def run():
-        return optimize(oracle, s.laplace.iterations, s.laplace.lr_dp)
+        return optimize(
+            oracle, s.laplace.iterations, s.laplace.lr_dp, recorder=recorder
+        )
 
-    (c, hist), t, mem = measure_run(run)
+    (c, hist), t, mem = measure_run(run, recorder)
+    record_oracle_telemetry(recorder, oracle)
     return ControlResult(
         method="DP",
         problem="laplace",
@@ -130,6 +157,7 @@ def run_laplace_fd(
     problem: Optional[LaplaceControlProblem] = None,
     scale: Optional[ExperimentScale] = None,
     iterations: Optional[int] = None,
+    recorder=None,
 ) -> ControlResult:
     """Finite-difference baseline on Laplace (footnote-11 comparison).
 
@@ -141,11 +169,13 @@ def run_laplace_fd(
     dp = LaplaceDP(prob)  # reuse the cheap forward evaluation
     oracle = FiniteDifferenceOracle(dp.value, prob.zero_control())
     iters = iterations if iterations is not None else max(s.laplace.iterations // 5, 10)
+    _tag_trace(recorder, "FD", "laplace", s, prob.backend)
 
     def run():
-        return optimize(oracle, iters, s.laplace.lr_dp)
+        return optimize(oracle, iters, s.laplace.lr_dp, recorder=recorder)
 
-    (c, hist), t, mem = measure_run(run)
+    (c, hist), t, mem = measure_run(run, recorder)
+    record_oracle_telemetry(recorder, dp)
     return ControlResult(
         method="FD",
         problem="laplace",
@@ -162,6 +192,7 @@ def run_laplace_fd(
 def run_laplace_pinn(
     problem: Optional[LaplaceControlProblem] = None,
     scale: Optional[ExperimentScale] = None,
+    recorder=None,
 ) -> ControlResult:
     """PINN with the two-step ω line search on Laplace (Fig. 3c–e)."""
     s = scale or get_scale()
@@ -174,11 +205,12 @@ def run_laplace_pinn(
         compile=s.pinn.compile,
     )
     pinn = LaplacePINN(prob, state_hidden=s.pinn.laplace_hidden, config=cfg)
+    _tag_trace(recorder, "PINN", "laplace", s, prob.backend)
 
     def run():
-        return omega_line_search(pinn, s.pinn.laplace_omegas)
+        return omega_line_search(pinn, s.pinn.laplace_omegas, recorder=recorder)
 
-    ls, t, mem = measure_run(run)
+    ls, t, mem = measure_run(run, recorder)
     c = pinn.control_values(ls.params_c)
     # Physical cost of the PINN's control under the reference RBF solver —
     # the PINN surrogate's own flux evaluation is budget-limited (see
@@ -217,19 +249,23 @@ def run_ns_dal(
     problem: Optional[ChannelFlowProblem] = None,
     scale: Optional[ExperimentScale] = None,
     reynolds: Optional[float] = None,
+    recorder=None,
 ) -> ControlResult:
     """DAL on the channel problem (expected to fail at Re = 100)."""
     s = scale or get_scale()
     prob = problem or make_ns_problem(s)
     cfg = _ns_config(s, s.ns.refinements_dal, reynolds)
     oracle = NavierStokesDAL(
-        prob, cfg, adjoint_refinements=s.ns.adjoint_refinements, compile=s.ns.compile
+        prob, cfg, adjoint_refinements=s.ns.adjoint_refinements,
+        compile=s.ns.compile, recorder=recorder,
     )
+    _tag_trace(recorder, "DAL", "navier-stokes", s, prob.backend)
 
     def run():
-        return optimize(oracle, s.ns.iterations, s.ns.lr)
+        return optimize(oracle, s.ns.iterations, s.ns.lr, recorder=recorder)
 
-    (c, hist), t, mem = measure_run(run)
+    (c, hist), t, mem = measure_run(run, recorder)
+    record_oracle_telemetry(recorder, oracle)
     return ControlResult(
         method="DAL",
         problem="navier-stokes",
@@ -254,6 +290,7 @@ def run_ns_dp(
     scale: Optional[ExperimentScale] = None,
     reynolds: Optional[float] = None,
     refinements: Optional[int] = None,
+    recorder=None,
 ) -> ControlResult:
     """DP on the channel problem."""
     s = scale or get_scale()
@@ -262,11 +299,13 @@ def run_ns_dp(
         s, refinements if refinements is not None else s.ns.refinements_dp, reynolds
     )
     oracle = NavierStokesDP(prob, cfg, compile=s.ns.compile)
+    _tag_trace(recorder, "DP", "navier-stokes", s, prob.backend)
 
     def run():
-        return optimize(oracle, s.ns.iterations, s.ns.lr)
+        return optimize(oracle, s.ns.iterations, s.ns.lr, recorder=recorder)
 
-    (c, hist), t, mem = measure_run(run)
+    (c, hist), t, mem = measure_run(run, recorder)
+    record_oracle_telemetry(recorder, oracle)
     return ControlResult(
         method="DP",
         problem="navier-stokes",
@@ -287,6 +326,7 @@ def run_ns_dp(
 def run_ns_pinn(
     problem: Optional[ChannelFlowProblem] = None,
     scale: Optional[ExperimentScale] = None,
+    recorder=None,
 ) -> ControlResult:
     """PINN with the two-step ω line search on the channel problem."""
     s = scale or get_scale()
@@ -302,11 +342,12 @@ def run_ns_pinn(
     pinn = NavierStokesPINN(
         prob, ns_config=ns_cfg, state_hidden=s.pinn.ns_hidden, config=cfg
     )
+    _tag_trace(recorder, "PINN", "navier-stokes", s, prob.backend)
 
     def run():
-        return omega_line_search(pinn, s.pinn.ns_omegas)
+        return omega_line_search(pinn, s.pinn.ns_omegas, recorder=recorder)
 
-    ls, t, mem = measure_run(run)
+    ls, t, mem = measure_run(run, recorder)
     c = pinn.control_values(ls.params_c)
     # Physical cost of the PINN control under the reference solver
     # (Fig. 1's "good control at the expense of first principles").

@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Callable, Tuple, TypeVar
+from typing import Callable, Optional, Tuple, TypeVar
 
 from repro.utils.timers import PeakMemory, Timer
 
 T = TypeVar("T")
 
 
-def measure_run(fn: Callable[[], T]) -> Tuple[T, float, int]:
+def measure_run(
+    fn: Callable[[], T], recorder=None
+) -> Tuple[T, float, int]:
     """Execute ``fn`` and return ``(result, wall_seconds, peak_bytes)``.
 
     Peak memory is tracked with ``tracemalloc`` (Python allocations,
@@ -17,8 +19,16 @@ def measure_run(fn: Callable[[], T]) -> Tuple[T, float, int]:
     tapes).  Note that tracing slows execution somewhat; wall times are
     therefore measured on the *same* footing for every method, preserving
     the comparison the paper's Table 3 makes.
+
+    When a live ``recorder`` is given, the measurements are also merged
+    into the trace metadata (``bench_wall_time_s``/``bench_peak_bytes``)
+    so a trace artifact is self-describing without the table next to it.
     """
     with PeakMemory() as mem:
         with Timer() as timer:
             result = fn()
+    if recorder:
+        recorder.set_meta(
+            bench_wall_time_s=timer.elapsed, bench_peak_bytes=mem.peak_bytes
+        )
     return result, timer.elapsed, mem.peak_bytes

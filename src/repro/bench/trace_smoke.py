@@ -1,0 +1,119 @@
+"""CI smoke benchmark: telemetry overhead must stay within budget.
+
+Runs the Laplace DP iteration loop at the smallest benchmarked scale
+with telemetry disabled (no recorder — the hot loop's fast path) and
+enabled (a live :class:`~repro.obs.recorder.TraceRecorder`) and compares
+best-of-``repeats`` wall times.  Exits nonzero when the traced run is
+more than ``--tolerance`` slower than the untraced one (default 2 %,
+the budget promised in DESIGN §10) or when the final costs disagree —
+telemetry must observe the optimisation, never perturb it.
+
+Usage::
+
+    python -m repro.bench.trace_smoke [--nx 10] [--iters 30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.obs.recorder import TraceRecorder
+from repro.pde.laplace import LaplaceControlProblem
+
+
+def _paired_times(oracle, iters: int, lr: float, repeats: int):
+    """Interleaved off/on wall times over ``repeats`` pairs.
+
+    Alternating off/on within each repeat means clock-speed drift and
+    background load hit both modes alike instead of biasing one side.
+    The gate uses the *minimum pairwise ratio*: genuine telemetry
+    overhead lifts every pair, whereas a scheduler hiccup inflates only
+    the pair it lands in — so min-of-ratios rejects noise that would
+    make independent best-of times flap on a loaded machine.
+    """
+    pairs = []
+    result_off = result_on = recorder = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result_off = optimize(oracle, iters, lr)
+        t_off = time.perf_counter() - t0
+
+        recorder = TraceRecorder()
+        t0 = time.perf_counter()
+        result_on = optimize(oracle, iters, lr, recorder=recorder)
+        pairs.append((t_off, time.perf_counter() - t0))
+    return pairs, result_off, result_on, recorder
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=16, help="cloud resolution")
+    ap.add_argument("--iters", type=int, default=60, help="optimiser iterations")
+    ap.add_argument("--lr", type=float, default=1e-2)
+    ap.add_argument("--repeats", type=int, default=7, help="best-of repeats")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="max allowed fractional slowdown of traced vs untraced",
+    )
+    args = ap.parse_args(argv)
+    if args.repeats < 1:
+        ap.error("--repeats must be >= 1")
+    if args.iters < 1:
+        ap.error("--iters must be >= 1")
+
+    problem = LaplaceControlProblem(SquareCloud(args.nx))
+    oracle = LaplaceDP(problem)
+    # Warm caches (LU factorisation) so both modes time the same work.
+    optimize(oracle, 2, args.lr)
+
+    pairs, (c_off, h_off), (c_on, h_on), rec = _paired_times(
+        oracle, args.iters, args.lr, args.repeats
+    )
+
+    cost_diff = abs(h_off.best_cost - h_on.best_cost)
+    ctrl_diff = float(np.max(np.abs(c_off - c_on)))
+    t_off = min(t for t, _ in pairs)
+    t_on = min(t for _, t in pairs)
+    overhead = min(on / off for off, on in pairs) - 1.0
+    print(
+        f"laplace-dp nx={args.nx} iters={args.iters} ({args.repeats} pairs):\n"
+        f"  telemetry off {t_off * 1e3:9.2f} ms (best)\n"
+        f"  telemetry on  {t_on * 1e3:9.2f} ms (best)   "
+        f"overhead {overhead:+.2%} (min pairwise)\n"
+        f"  |cost diff| = {cost_diff:.3e}   |control diff| = {ctrl_diff:.3e}\n"
+        f"  records: {len(rec.iterations)} iterations"
+    )
+
+    scale = max(abs(h_off.best_cost), 1e-30)
+    if cost_diff > 1e-10 * scale + 1e-14:
+        print("FAIL: traced final cost deviates from untraced", file=sys.stderr)
+        return 1
+    if len(rec.iterations) != args.iters:
+        print(
+            f"FAIL: trace has {len(rec.iterations)} iteration records, "
+            f"expected {args.iters}",
+            file=sys.stderr,
+        )
+        return 1
+    if overhead > args.tolerance:
+        print(
+            f"FAIL: telemetry adds {overhead:.1%} overhead "
+            f"(budget {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ reduced ``Re = 10`` "led to better solutions with DAL".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -58,6 +59,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.autodiff.sparse import make_linear_solver
+from repro.obs.hooks import record_solver_cache
 from repro.pde.discrete import row_selector
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
@@ -126,6 +128,10 @@ class LaplaceDAL:
         b_adj[p.top] = 2.0 * mismatch
         return self.solver.solve_numpy(b_adj)
 
+    def report_telemetry(self, recorder) -> None:
+        """End-of-run cumulative telemetry: shared direct/adjoint LU stats."""
+        record_solver_cache(recorder, self.solver, "lu-cache")
+
 
 @dataclass
 class NSAdjointState:
@@ -145,6 +151,13 @@ class NavierStokesDAL:
     temporaries that operator arithmetic would otherwise allocate on
     every gradient evaluation (no effect on the sparse backend, whose
     assembly is already pattern-bounded).
+
+    Telemetry: assigning a :class:`~repro.obs.recorder.TraceRecorder` to
+    :attr:`recorder` makes every adjoint solve emit an ``adjoint`` event
+    carrying its final update residual and refinement count — the
+    per-iteration signal behind the paper's DAL-at-``Re=100`` breakdown
+    (§3.2): the adjoint stalling or blowing up shows in this residual
+    long before the cost curve reveals it.
     """
 
     def __init__(
@@ -153,6 +166,7 @@ class NavierStokesDAL:
         config: Optional[NSConfig] = None,
         adjoint_refinements: Optional[int] = None,
         compile: bool = False,
+        recorder=None,
     ) -> None:
         self.problem = problem
         self.config = config or NSConfig(refinements=3)
@@ -162,6 +176,7 @@ class NavierStokesDAL:
             else max(3 * self.config.refinements, 15)
         )
         self.compile = bool(compile)
+        self.recorder = recorder
         self._A_buf: Optional[np.ndarray] = None
         self._T_buf: Optional[np.ndarray] = None
 
@@ -175,6 +190,8 @@ class NavierStokesDAL:
         self, u: np.ndarray, v: np.ndarray
     ) -> NSAdjointState:
         """Solve the adjoint system for a frozen direct flow ``(u, v)``."""
+        rec = self.recorder if self.recorder else None
+        t_adj0 = time.perf_counter() if rec is not None else 0.0
         pr = self.problem
         nd, mask, cfg = pr.nodal, pr.mask_int, self.config
         Re, dt = cfg.reynolds, cfg.pseudo_dt
@@ -265,6 +282,14 @@ class NavierStokesDAL:
             if not (np.all(np.isfinite(lx)) and np.all(np.isfinite(ly))):
                 break  # adjoint blow-up: report as-is (the failure mode)
 
+        if rec is not None:
+            rec.solver_event(
+                "ns-adjoint",
+                "adjoint",
+                n=n,
+                seconds=time.perf_counter() - t_adj0,
+                residual=hist[-1] if hist else None,
+            )
         return NSAdjointState(lx=lx, ly=ly, sigma=sigma, update_history=hist)
 
     def value_and_grad(self, c: np.ndarray) -> Tuple[float, np.ndarray]:
@@ -284,3 +309,9 @@ class NavierStokesDAL:
     def initial_control(self) -> np.ndarray:
         """Parabolic inflow."""
         return self.problem.default_control()
+
+    def report_telemetry(self, recorder) -> None:
+        """End-of-run cumulative telemetry: pressure-LU cache stats."""
+        record_solver_cache(
+            recorder, self.problem.pressure_solver, "pressure-lu-cache"
+        )

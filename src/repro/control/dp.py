@@ -21,6 +21,7 @@ from repro.autodiff import ops
 from repro.autodiff.compile import compiled_value_and_grad
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.sparse import make_linear_solver
+from repro.obs.hooks import record_compile_cache, record_solver_cache
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 
@@ -104,6 +105,12 @@ class LaplaceDP:
         """The nodal state for a given control (for figures)."""
         return self.solver.solve_numpy(self.problem.rhs(np.asarray(c)))
 
+    def report_telemetry(self, recorder) -> None:
+        """End-of-run cumulative telemetry: LU and replay cache stats."""
+        record_solver_cache(recorder, self.solver, "lu-cache")
+        if self.compile:
+            record_compile_cache(recorder, self._vg)
+
 
 class NavierStokesDP:
     """DP oracle for the channel-flow problem.
@@ -156,3 +163,11 @@ class NavierStokesDP:
     def initial_control(self) -> np.ndarray:
         """Parabolic inflow (the paper's NS initialisation)."""
         return self.problem.default_control()
+
+    def report_telemetry(self, recorder) -> None:
+        """End-of-run cumulative telemetry: pressure-LU and replay stats."""
+        record_solver_cache(
+            recorder, self.problem.pressure_solver, "pressure-lu-cache"
+        )
+        if self.compile:
+            record_compile_cache(recorder, self._vg)

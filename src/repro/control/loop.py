@@ -41,6 +41,7 @@ def optimize(
     c0: Optional[np.ndarray] = None,
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
     grad_clip: Optional[float] = None,
+    recorder=None,
 ) -> tuple[np.ndarray, OptimizationHistory]:
     """Run Adam with the paper's schedule on a cost oracle.
 
@@ -60,6 +61,12 @@ def optimize(
         Optional global-norm gradient clip — useful for DAL on
         Navier–Stokes where the paper reports gradients "rising to very
         large values".
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder`.  When falsy
+        (``None`` or the null recorder) the loop takes no timestamps and
+        allocates nothing beyond the history it always kept; when live,
+        each iteration emits one record with the cost, gradient norm,
+        step size and grad/update phase seconds.
 
     Returns
     -------
@@ -75,10 +82,15 @@ def optimize(
     state = opt.init(c)
     history = OptimizationHistory()
     best_c, best_j = c.copy(), np.inf
+    trace = recorder if recorder else None
 
     with Timer() as timer:
         for it in range(n_iterations):
+            if trace is not None:
+                timer.mark()
             j, g = oracle.value_and_grad(c)
+            if trace is not None:
+                t_grad = timer.lap("grad")
             if grad_clip is not None:
                 norm = float(np.linalg.norm(g))
                 if norm > grad_clip:
@@ -94,7 +106,23 @@ def optimize(
             if not np.all(np.isfinite(g)):
                 # Divergence (the DAL-on-NS failure mode): stop updating
                 # but keep the record — the benchmark reports it.
+                if trace is not None:
+                    trace.iteration(
+                        it, history.costs[-1], history.grad_norms[-1], lr,
+                        phases={"grad": t_grad, "update": 0.0},
+                    )
                 break
             c, state = opt.step(c, g, state, lr=lr)
+            if trace is not None:
+                trace.iteration(
+                    it, history.costs[-1], history.grad_norms[-1], lr,
+                    phases={"grad": t_grad, "update": timer.lap("update")},
+                )
     history.wall_time_s = timer.elapsed
+    if trace is not None:
+        trace.set_meta(
+            iterations_run=len(history.costs),
+            wall_time_s=timer.elapsed,
+            phase_seconds=timer.laps(),
+        )
     return best_c, history

@@ -40,6 +40,8 @@ from repro.nn.mlp import MLP
 from repro.nn.optimizers import Adam
 from repro.nn.pytree import value_and_grad_tree
 from repro.nn.schedules import paper_schedule
+from repro.obs.hooks import record_compile_cache
+from repro.utils.timers import Timer
 from repro.pde.laplace import (
     LaplaceControlProblem,
     laplace_bottom_data,
@@ -102,12 +104,19 @@ def _train(
     config: PINNTrainConfig,
     alternating_keys: Optional[Sequence[str]] = None,
     trackers=(),
+    recorder=None,
 ) -> Tuple[Dict[str, Any], List[float], Dict[str, List[float]]]:
     """Generic Adam training loop over a dict-of-pytrees parameter set.
 
     When ``alternating_keys`` is given, epoch ``t`` only applies the
     update to key ``alternating_keys[t % len]`` (the Mowlavi & Nabi
     alternating scheme); gradients for the frozen parts are discarded.
+
+    ``recorder`` (a :class:`~repro.obs.recorder.TraceRecorder`, optional)
+    receives one iteration record per epoch — loss as the cost, the
+    global norm of the *applied* gradient (after alternating masking),
+    the scheduled step size, and grad/update phase seconds.  Falsy
+    recorders cost one truth test per epoch.
     """
     if config.compile:
         from repro.autodiff.compile import compiled_value_and_grad_tree
@@ -120,18 +129,33 @@ def _train(
     schedule = paper_schedule(config.lr)
     history: List[float] = []
     tracked: Dict[str, List[float]] = {name: [] for name, _ in trackers}
-    for epoch in range(config.epochs):
-        val, grads = vg(params)
-        history.append(val)
-        for name, fn in trackers:
-            tracked[name].append(fn(params))
-        lr = schedule(epoch, config.epochs)
-        if alternating_keys:
-            active = alternating_keys[epoch % len(alternating_keys)]
-            for k in params:
-                if k != active:
-                    grads[k] = _zeros_like_tree(grads[k])
-        params, state = opt.step(params, grads, state, lr=lr)
+    trace = recorder if recorder else None
+    with Timer() as timer:
+        for epoch in range(config.epochs):
+            if trace is not None:
+                timer.mark()
+            val, grads = vg(params)
+            if trace is not None:
+                t_grad = timer.lap("grad")
+            history.append(val)
+            for name, fn in trackers:
+                tracked[name].append(fn(params))
+            lr = schedule(epoch, config.epochs)
+            if alternating_keys:
+                active = alternating_keys[epoch % len(alternating_keys)]
+                for k in params:
+                    if k != active:
+                        grads[k] = _zeros_like_tree(grads[k])
+            params, state = opt.step(params, grads, state, lr=lr)
+            if trace is not None:
+                trace.iteration(
+                    epoch, float(val), _tree_grad_norm(grads), lr,
+                    phases={"grad": t_grad, "update": timer.lap("update")},
+                )
+    if trace is not None:
+        trace.set_meta(epochs_run=config.epochs, train_wall_time_s=timer.elapsed)
+        if config.compile:
+            record_compile_cache(trace, vg)
     return params, history, tracked
 
 
@@ -139,6 +163,18 @@ def _zeros_like_tree(tree):
     from repro.nn.pytree import tree_map
 
     return tree_map(lambda x: np.zeros_like(np.asarray(x)), tree)
+
+
+def _tree_grad_norm(tree) -> float:
+    """Global 2-norm across every leaf of a gradient pytree."""
+    from repro.nn.pytree import tree_flatten
+
+    leaves, _ = tree_flatten(tree)
+    total = 0.0
+    for leaf in leaves:
+        a = np.asarray(leaf, dtype=np.float64).ravel()
+        total += float(a @ a)
+    return float(np.sqrt(total))
 
 
 # ======================================================================
@@ -226,7 +262,11 @@ class LaplacePINN:
 
     # ------------------------------------------------------------------
     def train_pair(
-        self, omega: float, config: Optional[PINNTrainConfig] = None, seed=None
+        self,
+        omega: float,
+        config: Optional[PINNTrainConfig] = None,
+        seed=None,
+        recorder=None,
     ) -> PINNRunResult:
         """Line-search step 1: alternating training of ``(u_θ, c_θ)``."""
         cfg = config or self.config
@@ -235,12 +275,15 @@ class LaplacePINN:
             ("cost", lambda p: float(self.cost_objective(p["u"]).data)),
             ("residual", lambda p: float(self.residual_loss(p["u"]).data)),
         )
+        if recorder:
+            recorder.set_meta(omega=omega)
         params, hist, tracked = _train(
             lambda p: self.loss(p, omega),
             params,
             cfg,
             alternating_keys=("u", "c") if cfg.alternating else None,
             trackers=trackers,
+            recorder=recorder,
         )
         return PINNRunResult(
             omega=omega,
@@ -252,7 +295,11 @@ class LaplacePINN:
         )
 
     def retrain_state(
-        self, params_c, config: Optional[PINNTrainConfig] = None, seed=None
+        self,
+        params_c,
+        config: Optional[PINNTrainConfig] = None,
+        seed=None,
+        recorder=None,
     ):
         """Line-search step 2: fresh state net, frozen control, no ωJ."""
         cfg = config or self.config
@@ -263,7 +310,7 @@ class LaplacePINN:
                 p["u"], params_c
             )
 
-        params, hist, _ = _train(forward_loss, params, cfg)
+        params, hist, _ = _train(forward_loss, params, cfg, recorder=recorder)
         return params["u"], hist
 
     # ------------------------------------------------------------------
@@ -408,7 +455,11 @@ class NavierStokesPINN:
 
     # ------------------------------------------------------------------
     def train_pair(
-        self, omega: float, config: Optional[PINNTrainConfig] = None, seed=None
+        self,
+        omega: float,
+        config: Optional[PINNTrainConfig] = None,
+        seed=None,
+        recorder=None,
     ) -> PINNRunResult:
         """Line-search step 1 for the channel problem."""
         cfg = config or self.config
@@ -417,12 +468,15 @@ class NavierStokesPINN:
             ("cost", lambda p: float(self.cost_objective(p["u"]).data)),
             ("residual", lambda p: float(self.residual_loss(p["u"]).data)),
         )
+        if recorder:
+            recorder.set_meta(omega=omega)
         params, hist, tracked = _train(
             lambda p: self.loss(p, omega),
             params,
             cfg,
             alternating_keys=("u", "c") if cfg.alternating else None,
             trackers=trackers,
+            recorder=recorder,
         )
         return PINNRunResult(
             omega=omega,
@@ -434,7 +488,11 @@ class NavierStokesPINN:
         )
 
     def retrain_state(
-        self, params_c, config: Optional[PINNTrainConfig] = None, seed=None
+        self,
+        params_c,
+        config: Optional[PINNTrainConfig] = None,
+        seed=None,
+        recorder=None,
     ):
         """Line-search step 2 for the channel problem."""
         cfg = config or self.config
@@ -443,7 +501,7 @@ class NavierStokesPINN:
         def forward_loss(p):
             return self.residual_loss(p["u"]) + self.boundary_loss(p["u"], params_c)
 
-        params, hist, _ = _train(forward_loss, params, cfg)
+        params, hist, _ = _train(forward_loss, params, cfg, recorder=recorder)
         return params["u"], hist
 
     # ------------------------------------------------------------------
@@ -484,12 +542,17 @@ def omega_line_search(
     omegas: Sequence[float],
     config_step1: Optional[PINNTrainConfig] = None,
     config_step2: Optional[PINNTrainConfig] = None,
+    recorder=None,
 ) -> LineSearchResult:
     """Run the Mowlavi & Nabi two-step strategy over an ω range.
 
     The paper tried 11 values (1e-3 … 1e+7) for Laplace, settling on
     ω* = 1e-1, and 9 values (1e-3 … 1e+5) for Navier–Stokes, settling on
     ω* = 1.
+
+    ``recorder`` receives the step-1 training epochs of every ω in
+    sequence (epoch indices restart per ω; the ``omega`` metadata key
+    reflects the most recent run) plus the line-search verdict.
     """
     if not omegas:
         raise ValueError("need at least one omega")
@@ -500,13 +563,20 @@ def omega_line_search(
     best = None
 
     for omega in omegas:
-        run = pinn.train_pair(omega, cfg1)
+        run = pinn.train_pair(omega, cfg1, recorder=recorder)
         step1.append(run)
         pu_re, _ = pinn.retrain_state(run.params_c, cfg2)
         cost = pinn.evaluate_cost(pu_re)
         step2_costs.append(cost)
         if best is None or cost < best[1]:
             best = (omega, cost, pu_re, run.params_c)
+
+    if recorder:
+        recorder.set_meta(
+            omegas=list(map(float, omegas)),
+            best_omega=float(best[0]),
+            step2_costs=[float(c) for c in step2_costs],
+        )
 
     return LineSearchResult(
         best_omega=best[0],

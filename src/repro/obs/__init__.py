@@ -1,0 +1,43 @@
+"""Convergence telemetry: structured traces of the optimisation loops.
+
+Public surface:
+
+- :class:`~repro.obs.recorder.TraceRecorder` / :data:`NULL_RECORDER` —
+  collect typed per-iteration records; JSONL round-trip.
+- :class:`~repro.obs.compare.TolerancePolicy` / :func:`diff_traces` —
+  golden-trace comparison with per-field tolerances.
+- :mod:`repro.obs.goldens` — tier-0 configs that produce the committed
+  baseline traces (imported lazily; it pulls in the control stack).
+- ``python -m repro.obs`` — summary / diff / record CLI.
+"""
+
+from repro.obs.compare import Deviation, TolerancePolicy, diff_traces, format_diff
+from repro.obs.hooks import (
+    record_compile_cache,
+    record_oracle_telemetry,
+    record_solver_cache,
+)
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    CacheRecord,
+    IterationRecord,
+    SolverRecord,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheRecord",
+    "Deviation",
+    "IterationRecord",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "SolverRecord",
+    "TolerancePolicy",
+    "TraceRecorder",
+    "diff_traces",
+    "format_diff",
+    "record_compile_cache",
+    "record_oracle_telemetry",
+    "record_solver_cache",
+]

@@ -1,0 +1,104 @@
+"""Command-line trace tooling: ``python -m repro.obs <command>``.
+
+Commands
+--------
+``summary TRACE``
+    Headline numbers of one trace: iteration count, first/final/best
+    cost, phase time totals, cache hit rates.
+``diff BASELINE CANDIDATE``
+    Compare two traces under the golden tolerance policy; exits 1 when
+    any field is out of tolerance.  Timings are never compared.
+``record CONFIG``
+    Run a tier-0 config under telemetry and write its trace (used to
+    bless golden baselines).
+``list``
+    Show the available tier-0 configs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.compare import TolerancePolicy, diff_traces, format_diff
+from repro.obs.recorder import TraceRecorder
+
+
+def _cmd_summary(args) -> int:
+    trace = TraceRecorder.from_jsonl(args.trace)
+    print(json.dumps(trace.summary(), indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    baseline = TraceRecorder.from_jsonl(args.baseline)
+    candidate = TraceRecorder.from_jsonl(args.candidate)
+    policy = TolerancePolicy(
+        cost_rtol=args.cost_rtol,
+        grad_rtol=args.grad_rtol,
+        residual_rtol=args.residual_rtol,
+    )
+    devs = diff_traces(baseline, candidate, policy)
+    print(format_diff(devs))
+    return 1 if devs else 0
+
+
+def _cmd_record(args) -> int:
+    from repro.obs.goldens import run_tier0
+
+    trace = run_tier0(args.config)
+    out = args.out or f"{args.config}.jsonl"
+    trace.to_jsonl(out)
+    summary = trace.summary()
+    print(
+        f"wrote {out}: {summary['n_iterations']} iterations, "
+        f"final J = {summary['final_cost']:.6e}"
+    )
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.obs.goldens import TIER0
+
+    for name, cfg in sorted(TIER0.items()):
+        print(
+            f"{name:24s} {cfg.problem:>13s} | {cfg.method.upper():>3s} | "
+            f"{cfg.iterations} iters @ lr {cfg.lr:g}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Convergence-trace tooling."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="print headline numbers of a trace")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_summary)
+
+    p = sub.add_parser("diff", help="compare two traces (exit 1 on deviation)")
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    pol = TolerancePolicy()
+    p.add_argument("--cost-rtol", type=float, default=pol.cost_rtol)
+    p.add_argument("--grad-rtol", type=float, default=pol.grad_rtol)
+    p.add_argument("--residual-rtol", type=float, default=pol.residual_rtol)
+    p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser("record", help="run a tier-0 config and write its trace")
+    p.add_argument("config")
+    p.add_argument("--out", default=None, help="output path (default CONFIG.jsonl)")
+    p.set_defaults(fn=_cmd_record)
+
+    p = sub.add_parser("list", help="list tier-0 configs")
+    p.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Golden-trace comparison with per-field tolerance policies.
+
+The regression question is "did the *shape* of convergence change?", not
+"did this machine run at the same speed?".  The comparator therefore
+splits fields into three classes:
+
+exact
+    Structural facts that must match bit-for-bit: record counts, iteration
+    indices, solver event sequences (``solver``/``event``/``n``/``nnz``),
+    cache hit/miss counters, and the identity metadata keys.
+relative
+    Floating-point trajectories compared as ``|a − b| ≤ atol + rtol·|b|``:
+    costs, gradient norms, step sizes, solver residuals.  NaN equals NaN
+    (a diverged run must stay diverged — *becoming* finite is as much a
+    behaviour change as blowing up).
+excluded
+    Anything measuring this machine rather than the algorithm: phase
+    timings, solver seconds, condition estimates (BLAS-dependent), and
+    non-identity metadata (wall times, host info).
+
+:func:`diff_traces` returns the out-of-tolerance fields as a list of
+:class:`Deviation`; an empty list means the candidate reproduces the
+baseline's convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.obs.recorder import TraceRecorder
+from repro.obs.schema import CacheRecord, IterationRecord, SolverRecord
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-field tolerances for golden comparisons.
+
+    Defaults absorb BLAS/libm variation across machines while catching
+    any change a config or code regression would make to the trajectory.
+    """
+
+    cost_rtol: float = 1e-6
+    cost_atol: float = 1e-12
+    grad_rtol: float = 1e-5
+    grad_atol: float = 1e-10
+    step_rtol: float = 1e-12
+    residual_rtol: float = 1e-4
+    residual_atol: float = 1e-10
+    #: Metadata keys compared exactly (when present in the baseline).
+    meta_keys: Tuple[str, ...] = ("method", "problem", "config", "backend")
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One out-of-tolerance field."""
+
+    kind: str  # "iteration" | "solver" | "cache" | "meta" | "structure"
+    index: Optional[int]
+    field: str
+    baseline: Any
+    candidate: Any
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"{self.kind}[{self.index}]" if self.index is not None else self.kind
+        msg = f"{where}.{self.field}: baseline={self.baseline!r} candidate={self.candidate!r}"
+        return f"{msg}  ({self.detail})" if self.detail else msg
+
+
+def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    if a is None or b is None:
+        return a is b
+    a, b = float(a), float(b)
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= atol + rtol * abs(b)
+
+
+def diff_traces(
+    baseline: TraceRecorder,
+    candidate: TraceRecorder,
+    policy: Optional[TolerancePolicy] = None,
+) -> List[Deviation]:
+    """Compare ``candidate`` against ``baseline`` under ``policy``.
+
+    Returns every out-of-tolerance field (empty list: traces agree).
+    The baseline defines which metadata keys exist; extra candidate
+    metadata is ignored so traces can carry host annotations freely.
+    """
+    pol = policy or TolerancePolicy()
+    devs: List[Deviation] = []
+
+    for key in pol.meta_keys:
+        if key in baseline.meta and baseline.meta.get(key) != candidate.meta.get(key):
+            devs.append(
+                Deviation(
+                    "meta", None, key, baseline.meta.get(key), candidate.meta.get(key),
+                    "identity metadata must match exactly",
+                )
+            )
+
+    # -- iteration records --------------------------------------------
+    bi, ci = baseline.iterations, candidate.iterations
+    if len(bi) != len(ci):
+        devs.append(
+            Deviation(
+                "structure", None, "n_iterations", len(bi), len(ci),
+                "iteration counts are compared exactly",
+            )
+        )
+    for idx, (a, b) in enumerate(zip(bi, ci)):
+        if a.iteration != b.iteration:
+            devs.append(
+                Deviation("iteration", idx, "iteration", a.iteration, b.iteration)
+            )
+        if not _close(b.cost, a.cost, pol.cost_rtol, pol.cost_atol):
+            devs.append(
+                Deviation(
+                    "iteration", idx, "cost", a.cost, b.cost,
+                    f"rtol={pol.cost_rtol:g}",
+                )
+            )
+        if not _close(b.grad_norm, a.grad_norm, pol.grad_rtol, pol.grad_atol):
+            devs.append(
+                Deviation(
+                    "iteration", idx, "grad_norm", a.grad_norm, b.grad_norm,
+                    f"rtol={pol.grad_rtol:g}",
+                )
+            )
+        if not _close(b.step_size, a.step_size, pol.step_rtol, 0.0):
+            devs.append(
+                Deviation(
+                    "iteration", idx, "step_size", a.step_size, b.step_size,
+                    f"rtol={pol.step_rtol:g}",
+                )
+            )
+        # a.phases: timings — excluded by design.
+
+    # -- solver records ------------------------------------------------
+    bs, cs = baseline.solver_events, candidate.solver_events
+    if len(bs) != len(cs):
+        devs.append(
+            Deviation(
+                "structure", None, "n_solver_events", len(bs), len(cs),
+                "solver event sequences are compared exactly",
+            )
+        )
+    for idx, (a, b) in enumerate(zip(bs, cs)):
+        for name in ("solver", "event", "n", "nnz"):
+            if getattr(a, name) != getattr(b, name):
+                devs.append(
+                    Deviation("solver", idx, name, getattr(a, name), getattr(b, name))
+                )
+        if not _close(b.residual, a.residual, pol.residual_rtol, pol.residual_atol):
+            devs.append(
+                Deviation(
+                    "solver", idx, "residual", a.residual, b.residual,
+                    f"rtol={pol.residual_rtol:g}",
+                )
+            )
+        # seconds / condition_estimate: machine-dependent — excluded.
+
+    # -- cache records -------------------------------------------------
+    bc = {r.cache: r for r in baseline.caches}
+    cc = {r.cache: r for r in candidate.caches}
+    for name in sorted(set(bc) | set(cc)):
+        a, b = bc.get(name), cc.get(name)
+        if a is None or b is None:
+            devs.append(
+                Deviation(
+                    "cache", None, name,
+                    None if a is None else (a.hits, a.misses),
+                    None if b is None else (b.hits, b.misses),
+                    "cache present in only one trace",
+                )
+            )
+            continue
+        if (a.hits, a.misses) != (b.hits, b.misses):
+            devs.append(
+                Deviation(
+                    "cache", None, name, (a.hits, a.misses), (b.hits, b.misses),
+                    "hit/miss counters are compared exactly",
+                )
+            )
+    return devs
+
+
+def format_diff(deviations: List[Deviation]) -> str:
+    """Human-readable report of :func:`diff_traces` output."""
+    if not deviations:
+        return "traces agree: 0 out-of-tolerance fields"
+    lines = [f"{len(deviations)} out-of-tolerance field(s):"]
+    lines += [f"  - {d}" for d in deviations]
+    return "\n".join(lines)

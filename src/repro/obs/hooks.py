@@ -1,0 +1,66 @@
+"""End-of-run telemetry collection from oracles and solvers.
+
+The per-iteration hooks live inside the loops themselves; this module
+handles the *cumulative* counters that only make sense once a run is
+over: LU-factorisation cache behaviour, compiled-replay program cache
+behaviour.  Everything is duck-typed so the collector works on any
+oracle that exposes the conventional attributes, and prefers an
+oracle-provided ``report_telemetry`` when one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def record_solver_cache(recorder, solver: Any, name: str = "lu-cache") -> None:
+    """Report a solver's factorise-once/solve-many behaviour as cache stats.
+
+    Any object with ``n_factorizations``/``n_solves`` counters qualifies
+    (:class:`~repro.autodiff.linalg.LUSolver`,
+    :class:`~repro.autodiff.sparse.SparseLUSolver`, and the
+    :mod:`repro.rbf.solver` classes all do).  A factorisation is a miss,
+    every further solve a hit.
+    """
+    if not recorder or solver is None:
+        return
+    n_fact = getattr(solver, "n_factorizations", None)
+    n_solves = getattr(solver, "n_solves", None)
+    if n_fact is None or n_solves is None:
+        return
+    recorder.cache_stats(name, hits=max(n_solves - n_fact, 0), misses=n_fact)
+
+
+def record_compile_cache(recorder, vg: Any, name: str = "compiled-replay") -> None:
+    """Report a compiled ``value_and_grad`` wrapper's program-cache stats.
+
+    Replays are hits; traces and permanent-eager calls are misses.
+    """
+    if not recorder or vg is None:
+        return
+    cache_info = getattr(vg, "cache_info", None)
+    if not callable(cache_info):
+        return
+    info = cache_info()
+    recorder.cache_stats(
+        name,
+        hits=int(info.get("replays", 0)),
+        misses=int(info.get("traces", 0)) + int(info.get("eager", 0)),
+    )
+
+
+def record_oracle_telemetry(recorder, oracle: Any) -> None:
+    """Collect an oracle's cumulative telemetry into ``recorder``.
+
+    Prefers the oracle's own ``report_telemetry(recorder)`` (every control
+    oracle in :mod:`repro.control` implements it); falls back to the
+    conventional ``solver`` / ``_vg`` attributes otherwise.
+    """
+    if not recorder or oracle is None:
+        return
+    report = getattr(oracle, "report_telemetry", None)
+    if callable(report):
+        report(recorder)
+        return
+    record_solver_cache(recorder, getattr(oracle, "solver", None))
+    record_compile_cache(recorder, getattr(oracle, "_vg", None))

@@ -1,0 +1,146 @@
+"""Typed trace records and the JSONL wire format.
+
+A *trace* is the per-iteration telemetry of one optimisation (or
+training) run: what the cost did, how large the gradients were, what the
+solvers underneath reported, and how the caches behaved.  Three record
+kinds cover every producer in the repository:
+
+``iteration``
+    One optimiser step: cost ``J``, gradient norm, step size, and wall
+    seconds per named phase (``grad``, ``update``, ...).
+``solver``
+    One linear-algebra event: a factorisation or a solve, with the system
+    size, optional relative residual, condition estimate, and nonzero
+    count (sparse backends).
+``cache``
+    Cumulative hit/miss counters of one cache (LU factorisations,
+    compiled replay programs, ...), reported once at the end of a run.
+
+Records are frozen dataclasses so a trace cannot be mutated after the
+fact, and the field lists are part of the public schema: the
+``tests/obs`` suite pins them, and :data:`SCHEMA_VERSION` must be bumped
+whenever a field is added, removed or renamed.  On disk a trace is one
+JSON object per line — a ``header`` line carrying the schema version and
+run metadata, followed by the records in emission order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Union
+
+SCHEMA_VERSION = 1
+
+#: ``kind`` tag used on the wire for each record type.
+KIND_HEADER = "header"
+KIND_ITERATION = "iteration"
+KIND_SOLVER = "solver"
+KIND_CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One optimiser (or training-epoch) step."""
+
+    iteration: int
+    cost: float
+    grad_norm: float
+    step_size: float
+    #: Wall seconds per named phase, e.g. ``{"grad": ..., "update": ...}``.
+    #: Timings are recorded for profiling but excluded from golden
+    #: comparisons (see :mod:`repro.obs.compare`).
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolverRecord:
+    """One linear-solver event (a factorisation or a solve)."""
+
+    solver: str
+    event: str  # "factorize" | "solve" | "adjoint"
+    n: int
+    seconds: float = 0.0
+    residual: Optional[float] = None
+    condition_estimate: Optional[float] = None
+    nnz: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """Cumulative hit/miss counters for one cache."""
+
+    cache: str
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+Record = Union[IterationRecord, SolverRecord, CacheRecord]
+
+_KIND_OF = {
+    IterationRecord: KIND_ITERATION,
+    SolverRecord: KIND_SOLVER,
+    CacheRecord: KIND_CACHE,
+}
+_TYPE_OF = {kind: cls for cls, kind in _KIND_OF.items()}
+
+#: Public field lists per kind — pinned by the schema-stability tests.
+FIELDS = {
+    kind: tuple(f.name for f in fields(cls)) for cls, kind in _KIND_OF.items()
+}
+
+
+def encode_record(record: Record) -> Dict[str, Any]:
+    """Record → plain JSON-serialisable dict with a ``kind`` tag."""
+    kind = _KIND_OF.get(type(record))
+    if kind is None:
+        raise TypeError(f"not a trace record: {type(record).__name__}")
+    out = asdict(record)
+    out["kind"] = kind
+    return out
+
+
+def decode_record(obj: Mapping[str, Any]) -> Record:
+    """Dict (one parsed JSONL line) → typed record."""
+    kind = obj.get("kind")
+    cls = _TYPE_OF.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace record kind: {kind!r}")
+    data = {k: v for k, v in obj.items() if k != "kind"}
+    allowed = set(FIELDS[kind])
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown fields for {kind!r} record: {sorted(unknown)} "
+            f"(schema version {SCHEMA_VERSION})"
+        )
+    return cls(**data)
+
+
+def encode_header(meta: Mapping[str, Any]) -> Dict[str, Any]:
+    """Header line: schema version + run metadata."""
+    return {"kind": KIND_HEADER, "schema_version": SCHEMA_VERSION, "meta": dict(meta)}
+
+
+def decode_header(obj: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and return the metadata of a header line."""
+    if obj.get("kind") != KIND_HEADER:
+        raise ValueError("trace file does not start with a header line")
+    version = obj.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"trace schema version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    return dict(obj.get("meta", {}))
+
+
+def dumps_line(obj: Mapping[str, Any]) -> str:
+    """One compact JSONL line (no trailing newline)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True, allow_nan=True)

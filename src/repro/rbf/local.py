@@ -19,6 +19,7 @@ the two regimes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -44,7 +45,9 @@ class LocalOperators:
 
     Attributes mirror :class:`repro.rbf.operators.NodalOperators` but the
     matrices are ``scipy.sparse.csr_matrix`` with ``stencil_size``
-    nonzeros per row.
+    nonzeros per row.  ``build_seconds`` records the stencil-assembly
+    wall time (the telemetry layer reports it as a ``factorize`` event);
+    :attr:`nnz` is the total nonzero count across the three operators.
     """
 
     cloud: Cloud
@@ -55,6 +58,12 @@ class LocalOperators:
     dy: sp.csr_matrix
     lap: sp.csr_matrix
     normal: sp.csr_matrix
+    build_seconds: float = 0.0
+
+    @property
+    def nnz(self) -> int:
+        """Total stored nonzeros of ``∂x``, ``∂y`` and ``Δ``."""
+        return int(self.dx.nnz + self.dy.nnz + self.lap.nnz)
 
 
 def default_stencil_size(degree: int) -> int:
@@ -85,6 +94,7 @@ def build_local_operators(
     conditioned.
     """
     kernel = kernel or polyharmonic(3)
+    t_build0 = time.perf_counter()
     n = cloud.n
     m = n_poly_terms(degree)
     k = stencil_size or default_stencil_size(degree)
@@ -156,6 +166,7 @@ def build_local_operators(
         dy=dy,
         lap=lap,
         normal=normal.tocsr(),
+        build_seconds=time.perf_counter() - t_build0,
     )
 
 

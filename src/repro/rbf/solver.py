@@ -16,6 +16,7 @@ caches LU factorisations by a caller-supplied key.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Union
 
@@ -69,6 +70,32 @@ _KIND_NAME = {
 }
 
 
+def _dense_condition_estimate(A: np.ndarray, lu) -> Optional[float]:
+    """1-norm condition estimate from an existing LU factorisation.
+
+    Uses LAPACK ``gecon`` — O(n²) given the factors, versus O(n³) for a
+    fresh SVD — so the telemetry layer can afford it per factorisation.
+    Returns ``None`` when the estimate is unavailable (singular matrix,
+    LAPACK quirk): telemetry must never turn into a solver failure.
+    """
+    try:
+        (gecon,) = sla.get_lapack_funcs(("gecon",), (lu[0],))
+        anorm = float(np.linalg.norm(A, 1))
+        rcond, info = gecon(lu[0], anorm)
+        if info == 0 and rcond > 0:
+            return float(1.0 / rcond)
+    except Exception:
+        pass
+    return None
+
+
+def _relative_residual(A, x: np.ndarray, b: np.ndarray) -> float:
+    """``‖Ax − b‖∞ / max(‖b‖∞, tiny)`` for dense or sparse ``A``."""
+    r = A @ x - b
+    scale = max(float(np.max(np.abs(b))), 1e-300)
+    return float(np.max(np.abs(r))) / scale
+
+
 @dataclass
 class LinearPDEProblem:
     """A linear PDE ``D u = q`` with per-group boundary conditions."""
@@ -114,9 +141,21 @@ class RBFSolver:
     with different boundary data pay only a triangular-solve per iteration
     (the optimisation the paper's timing table depends on).
 
-    ``n_factorizations`` counts numeric factorisations so regression tests
-    can assert factorise-once/solve-many behaviour across loop iterations.
+    ``n_factorizations``/``n_solves`` count numeric factorisations and
+    triangular solves so regression tests can assert
+    factorise-once/solve-many behaviour across loop iterations.
+
+    Telemetry: assigning a :class:`~repro.obs.recorder.TraceRecorder` to
+    :attr:`recorder` makes every factorisation emit a ``factorize`` event
+    (with a LAPACK ``gecon`` condition estimate) and every solve a
+    ``solve`` event with the relative residual.  Residuals require the
+    system matrix, which is only retained for factorisations performed
+    *while* a recorder is attached — cached factorisations from before
+    report ``residual=None``.  With no recorder the solve path is
+    unchanged (no matrix retention, no timestamps).
     """
+
+    solver_name = "rbf-dense-lu"
 
     def __init__(
         self,
@@ -132,6 +171,8 @@ class RBFSolver:
         )
         self._lu_cache: Dict[object, object] = {}
         self.n_factorizations = 0
+        self.n_solves = 0
+        self.recorder = None
 
     def _cache_token(self) -> tuple:
         """Discretisation fingerprint mixed into every cache key.
@@ -187,17 +228,43 @@ class RBFSolver:
         the caller asserts the matrix is unchanged (true for linear
         problems whose control enters only through boundary *values*).
         """
+        rec = self.recorder if self.recorder else None
         key = None if cache_key is None else (cache_key, self._cache_token())
         if key is not None and key in self._lu_cache:
-            lu = self._lu_cache[key]
+            lu, A_kept = self._lu_cache[key]
         else:
+            t0 = time.perf_counter() if rec is not None else 0.0
             A = self.assemble_system(problem)
             lu = sla.lu_factor(A, check_finite=False)
             self.n_factorizations += 1
+            if rec is not None:
+                rec.solver_event(
+                    self.solver_name,
+                    "factorize",
+                    n=self.cloud.n,
+                    seconds=time.perf_counter() - t0,
+                    condition_estimate=_dense_condition_estimate(A, lu),
+                )
+            # The matrix is only retained for residual reporting; without
+            # a recorder the cache stays factors-only, as before.
+            A_kept = A if rec is not None else None
             if key is not None:
-                self._lu_cache[key] = lu
+                self._lu_cache[key] = (lu, A_kept)
         b = self.assemble_rhs(problem)
-        return sla.lu_solve(lu, b, check_finite=False)
+        t0 = time.perf_counter() if rec is not None else 0.0
+        x = sla.lu_solve(lu, b, check_finite=False)
+        self.n_solves += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "solve",
+                n=self.cloud.n,
+                seconds=time.perf_counter() - t0,
+                residual=(
+                    _relative_residual(A_kept, x, b) if A_kept is not None else None
+                ),
+            )
+        return x
 
     def clear_cache(self) -> None:
         """Drop all cached factorisations."""
@@ -215,7 +282,16 @@ class LocalRBFSolver:
 
     Supports the same boundary-condition kinds: Dirichlet (unit rows),
     Neumann (stencil-sparse normal rows) and Robin (``normal + β·I``).
+
+    Telemetry mirrors :class:`RBFSolver`: attach a recorder to
+    :attr:`recorder` for per-factorisation/per-solve events.  The sparse
+    matrix is always kept next to its factors (it is nnz-bounded), so
+    residuals are reported even for factorisations cached before the
+    recorder was attached; condition estimates are not available for
+    ``splu`` factors and are reported as ``None``.
     """
+
+    solver_name = "rbf-sparse-splu"
 
     def __init__(
         self,
@@ -233,6 +309,8 @@ class LocalRBFSolver:
         self.stencil_size = self.local.stencil_size
         self._lu_cache: Dict[object, object] = {}
         self.n_factorizations = 0
+        self.n_solves = 0
+        self.recorder = None
 
     def _cache_token(self) -> tuple:
         """Discretisation fingerprint mixed into every cache key."""
@@ -299,17 +377,39 @@ class LocalRBFSolver:
         self, problem: LinearPDEProblem, cache_key: Optional[str] = None
     ) -> np.ndarray:
         """Sparse solve with ``splu`` factorisation caching by key."""
+        rec = self.recorder if self.recorder else None
         key = None if cache_key is None else (cache_key, self._cache_token())
         if key is not None and key in self._lu_cache:
-            lu = self._lu_cache[key]
+            lu, A = self._lu_cache[key]
         else:
+            t0 = time.perf_counter() if rec is not None else 0.0
             A = self.assemble_system(problem)
             lu = spla.splu(sp.csc_matrix(A))
             self.n_factorizations += 1
+            if rec is not None:
+                rec.solver_event(
+                    self.solver_name,
+                    "factorize",
+                    n=self.cloud.n,
+                    seconds=time.perf_counter() - t0,
+                    nnz=int(A.nnz),
+                )
             if key is not None:
-                self._lu_cache[key] = lu
+                self._lu_cache[key] = (lu, A)
         b = self.assemble_rhs(problem)
-        return lu.solve(b)
+        t0 = time.perf_counter() if rec is not None else 0.0
+        x = lu.solve(b)
+        self.n_solves += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "solve",
+                n=self.cloud.n,
+                seconds=time.perf_counter() - t0,
+                residual=_relative_residual(A, x, b),
+                nnz=int(A.nnz),
+            )
+        return x
 
     def clear_cache(self) -> None:
         """Drop all cached factorisations."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 import tracemalloc
 from types import TracebackType
-from typing import List, Optional, Type
+from typing import Dict, List, Optional, Type
 
 
 class Timer:
@@ -25,14 +25,27 @@ class Timer:
 
     ``elapsed`` is set on exit even when the body raises, so a failed run
     still reports how long it took before failing.
+
+    Phases
+    ------
+    Loops that want per-phase breakdowns (the telemetry hooks in
+    :mod:`repro.control.loop`) use the lap API instead of nesting ad-hoc
+    ``perf_counter`` calls: :meth:`mark` resets the lap clock without
+    recording, :meth:`lap` accumulates the time since the last
+    mark/lap under a name and returns that increment, and :meth:`laps`
+    exposes the running totals.  Lap bookkeeping never affects
+    ``elapsed``, which always measures the whole managed block.
     """
 
     def __init__(self) -> None:
         self.elapsed: float = 0.0
         self._t0: float = 0.0
+        self._lap_t: Optional[float] = None
+        self._laps: Dict[str, float] = {}
 
     def __enter__(self) -> "Timer":
         self._t0 = time.perf_counter()
+        self._lap_t = self._t0
         return self
 
     def __exit__(
@@ -42,6 +55,31 @@ class Timer:
         tb: Optional[TracebackType],
     ) -> None:
         self.elapsed = time.perf_counter() - self._t0
+
+    def mark(self) -> None:
+        """Reset the lap clock without recording a phase."""
+        if self._lap_t is None:
+            raise RuntimeError("Timer.mark() before entering the context")
+        self._lap_t = time.perf_counter()
+
+    def lap(self, name: str) -> float:
+        """Accumulate time since the last mark/lap under ``name``.
+
+        Returns the increment just recorded (so callers can attach the
+        per-iteration value to a trace record while the timer keeps the
+        per-phase totals).
+        """
+        if self._lap_t is None:
+            raise RuntimeError("Timer.lap() before entering the context")
+        now = time.perf_counter()
+        dt = now - self._lap_t
+        self._lap_t = now
+        self._laps[name] = self._laps.get(name, 0.0) + dt
+        return dt
+
+    def laps(self) -> Dict[str, float]:
+        """Total seconds accumulated per phase name (a copy)."""
+        return dict(self._laps)
 
 
 # Stack of PeakMemory managers currently active in this process.  Needed

@@ -16,6 +16,22 @@ from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace baselines in tests/goldens/ from "
+        "the current build instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_goldens(request):
+    """True when the run should rebless golden baselines."""
+    return request.config.getoption("--regen-goldens")
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

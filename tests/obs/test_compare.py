@@ -1,0 +1,141 @@
+"""The golden comparator: tolerance classes, NaN semantics, reporting."""
+
+import math
+
+import pytest
+
+from repro.obs.compare import TolerancePolicy, diff_traces, format_diff
+from repro.obs.recorder import TraceRecorder
+
+
+def _trace(costs, step=1e-2, meta=None) -> TraceRecorder:
+    rec = TraceRecorder(**(meta or {"method": "DP", "problem": "laplace"}))
+    for i, c in enumerate(costs):
+        rec.iteration(i, c, grad_norm=abs(c), step_size=step,
+                      phases={"grad": 0.1 * (i + 1)})
+    return rec
+
+
+class TestExactFields:
+    def test_identical_traces_agree(self):
+        a, b = _trace([3.0, 2.0, 1.0]), _trace([3.0, 2.0, 1.0])
+        assert diff_traces(a, b) == []
+
+    def test_iteration_count_is_exact(self):
+        devs = diff_traces(_trace([3.0, 2.0, 1.0]), _trace([3.0, 2.0]))
+        assert any(d.field == "n_iterations" for d in devs)
+
+    def test_step_size_is_near_exact(self):
+        devs = diff_traces(_trace([1.0]), _trace([1.0], step=2e-2))
+        assert [d.field for d in devs] == ["step_size"]
+
+    def test_meta_identity_keys_exact(self):
+        a = _trace([1.0], meta={"method": "DP", "problem": "laplace"})
+        b = _trace([1.0], meta={"method": "DAL", "problem": "laplace"})
+        devs = diff_traces(a, b)
+        assert [(d.kind, d.field) for d in devs] == [("meta", "method")]
+
+    def test_extra_candidate_meta_ignored(self):
+        a = _trace([1.0])
+        b = _trace([1.0])
+        b.set_meta(hostname="ci-runner-7", wall_time_s=1.23)
+        assert diff_traces(a, b) == []
+
+    def test_solver_event_sequence_exact(self):
+        a, b = _trace([1.0]), _trace([1.0])
+        a.solver_event("lu", "factorize", n=100)
+        b.solver_event("lu", "solve", n=100)
+        devs = diff_traces(a, b)
+        assert [(d.kind, d.field) for d in devs] == [("solver", "event")]
+
+    def test_cache_counters_exact(self):
+        a, b = _trace([1.0]), _trace([1.0])
+        a.cache_stats("lu-cache", 49, 1)
+        b.cache_stats("lu-cache", 48, 2)
+        devs = diff_traces(a, b)
+        assert [(d.kind, d.field) for d in devs] == [("cache", "lu-cache")]
+
+    def test_cache_missing_on_one_side(self):
+        a, b = _trace([1.0]), _trace([1.0])
+        a.cache_stats("lu-cache", 49, 1)
+        devs = diff_traces(a, b)
+        assert len(devs) == 1 and devs[0].candidate is None
+
+
+class TestRelativeFields:
+    def test_cost_within_rtol_passes(self):
+        a = _trace([1.0, 0.5])
+        b = _trace([1.0 * (1 + 1e-8), 0.5])
+        assert diff_traces(a, b) == []
+
+    def test_cost_beyond_rtol_fails(self):
+        devs = diff_traces(_trace([1.0]), _trace([1.0 + 1e-4]))
+        # grad_norm tracks |cost| in the helper, so both fields move.
+        assert [d.field for d in devs] == ["cost", "grad_norm"]
+
+    def test_policy_overrides_widen_tolerance(self):
+        loose = TolerancePolicy(cost_rtol=1e-2, grad_rtol=1e-2)
+        assert diff_traces(_trace([1.0]), _trace([1.0 + 1e-4]), loose) == []
+
+    def test_residual_uses_its_own_tolerance(self):
+        a, b = _trace([1.0]), _trace([1.0])
+        a.solver_event("lu", "solve", n=10, residual=1e-14)
+        b.solver_event("lu", "solve", n=10, residual=2e-14)
+        # 100 % relative difference but both tiny: atol=1e-10 absorbs it.
+        assert diff_traces(a, b) == []
+        a.solver_event("lu", "solve", n=10, residual=1e-3)
+        b.solver_event("lu", "solve", n=10, residual=2e-3)
+        devs = diff_traces(a, b)
+        assert [d.field for d in devs] == ["residual"]
+
+
+class TestExcludedFields:
+    def test_timings_never_compared(self):
+        a, b = _trace([1.0, 0.5]), _trace([1.0, 0.5])
+        # _trace gives both identical phases; now make them wildly differ.
+        b._records[0] = b.iterations[0].__class__(
+            iteration=0, cost=1.0, grad_norm=1.0, step_size=1e-2,
+            phases={"grad": 99.0, "update": 42.0},
+        )
+        assert diff_traces(a, b) == []
+
+    def test_solver_seconds_and_condition_excluded(self):
+        a, b = _trace([1.0]), _trace([1.0])
+        a.solver_event("lu", "factorize", n=10, seconds=0.1,
+                       condition_estimate=1e4)
+        b.solver_event("lu", "factorize", n=10, seconds=9.9,
+                       condition_estimate=1e9)
+        assert diff_traces(a, b) == []
+
+
+class TestNaNSemantics:
+    def test_nan_equals_nan(self):
+        # A diverged baseline must accept a diverged candidate...
+        nan = float("nan")
+        assert diff_traces(_trace([1.0, nan]), _trace([1.0, nan])) == []
+
+    def test_nan_vs_finite_is_a_deviation(self):
+        # ...but a run that *stops* diverging is a behaviour change.
+        nan = float("nan")
+        devs = diff_traces(_trace([1.0, nan]), _trace([1.0, 0.5]))
+        assert any(
+            d.field == "cost" and math.isnan(d.baseline) for d in devs
+        )
+
+    def test_inf_must_match_sign(self):
+        inf = float("inf")
+        assert diff_traces(_trace([inf]), _trace([inf])) == []
+        devs = diff_traces(_trace([inf]), _trace([-inf]))
+        # grad_norm = |cost| = +inf on both sides, so only cost flags.
+        assert [d.field for d in devs] == ["cost"]
+
+
+class TestFormatting:
+    def test_agreement_message(self):
+        assert "0 out-of-tolerance" in format_diff([])
+
+    def test_report_lists_each_deviation(self):
+        devs = diff_traces(_trace([1.0, 2.0]), _trace([1.0, 3.0]))
+        report = format_diff(devs)
+        assert "out-of-tolerance field(s)" in report
+        assert "iteration[1].cost" in report

@@ -1,0 +1,76 @@
+"""Golden-trace regression tests.
+
+Each test runs one tier-0 config (seconds-fast, fully deterministic) and
+compares its trace against the committed baseline in ``tests/goldens/``
+under the default :class:`~repro.obs.compare.TolerancePolicy` — exact on
+structure, relative on trajectories, timings excluded.
+
+To rebless the baselines after an intentional behaviour change::
+
+    pytest tests/obs/test_goldens.py --regen-goldens
+
+then commit the rewritten ``tests/goldens/*.jsonl`` with an explanation
+of why the convergence behaviour changed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.compare import diff_traces, format_diff
+from repro.obs.goldens import TIER0, run_tier0
+from repro.obs.recorder import TraceRecorder
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: Configs with a committed baseline (one Laplace + one Navier–Stokes).
+GOLDEN_CONFIGS = ("laplace_dp_tier0", "ns_dp_tier0")
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.jsonl"
+
+
+@pytest.mark.parametrize("name", GOLDEN_CONFIGS)
+def test_trace_matches_golden(name, regen_goldens):
+    trace = run_tier0(name)
+    path = _golden_path(name)
+    if regen_goldens:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        trace.to_jsonl(path)
+        pytest.skip(f"reblessed golden baseline: {path}")
+    baseline = TraceRecorder.from_jsonl(path)
+    devs = diff_traces(baseline, trace)
+    assert devs == [], format_diff(devs)
+
+
+def test_same_config_reruns_agree():
+    # The determinism premise of the golden layer, checked directly:
+    # two fresh runs of one config may differ only in excluded timings.
+    a = run_tier0("laplace_dal_tier0")
+    b = run_tier0("laplace_dal_tier0")
+    devs = diff_traces(a, b)
+    assert devs == [], format_diff(devs)
+
+
+def test_comparator_catches_injected_regression(regen_goldens):
+    # Perturb one hyperparameter and the diff must flag it — this is
+    # the end-to-end proof that the golden layer can actually fail.
+    if regen_goldens:
+        pytest.skip("baselines are being reblessed")
+    baseline = TraceRecorder.from_jsonl(_golden_path("laplace_dp_tier0"))
+    perturbed = run_tier0("laplace_dp_tier0", lr=2e-2)
+    devs = diff_traces(baseline, perturbed)
+    assert devs, "comparator accepted a run with a doubled learning rate"
+    fields = {d.field for d in devs}
+    assert "step_size" in fields  # the lr change itself
+    assert "cost" in fields  # and its downstream trajectory change
+
+
+def test_golden_traces_carry_identity_metadata():
+    for name in GOLDEN_CONFIGS:
+        baseline = TraceRecorder.from_jsonl(_golden_path(name))
+        assert baseline.meta.get("config") == name
+        assert baseline.meta.get("method") in ("DP", "DAL")
+        assert baseline.meta.get("problem") in ("laplace", "navier-stokes")
+        assert len(baseline.iterations) == TIER0[name].iterations

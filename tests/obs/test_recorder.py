@@ -1,0 +1,209 @@
+"""TraceRecorder: round-trip fidelity, schema stability, no-op cost."""
+
+import json
+import math
+import tracemalloc
+
+import pytest
+
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.obs.schema import (
+    FIELDS,
+    SCHEMA_VERSION,
+    CacheRecord,
+    IterationRecord,
+    SolverRecord,
+    decode_header,
+    decode_record,
+    encode_header,
+    encode_record,
+)
+
+
+def _sample_recorder() -> TraceRecorder:
+    rec = TraceRecorder(method="DP", problem="laplace")
+    rec.set_meta(config="unit", backend="dense")
+    rec.iteration(0, 1.5, 0.3, 1e-2, phases={"grad": 1e-3, "update": 2e-4})
+    rec.iteration(1, 1.2, 0.25, 1e-2)
+    rec.solver_event(
+        "rbf-dense-lu", "factorize", n=100, seconds=0.01,
+        condition_estimate=1e4,
+    )
+    rec.solver_event("rbf-dense-lu", "solve", n=100, residual=1e-14)
+    rec.solver_event("rbf-sparse-splu", "solve", n=100, nnz=900)
+    rec.cache_stats("lu-cache", hits=48, misses=2)
+    return rec
+
+
+class TestTraceRecorder:
+    def test_truthiness_and_len(self):
+        rec = TraceRecorder()
+        assert rec and rec.enabled
+        assert len(rec) == 0
+        rec.iteration(0, 1.0, 1.0, 1e-2)
+        assert len(rec) == 1
+
+    def test_views_split_by_kind(self):
+        rec = _sample_recorder()
+        assert [r.iteration for r in rec.iterations] == [0, 1]
+        assert [r.event for r in rec.solver_events] == [
+            "factorize", "solve", "solve",
+        ]
+        assert [r.cache for r in rec.caches] == ["lu-cache"]
+        assert len(rec.records) == 6
+
+    def test_records_preserve_emission_order(self):
+        rec = _sample_recorder()
+        kinds = [type(r).__name__ for r in rec.records]
+        assert kinds == [
+            "IterationRecord", "IterationRecord",
+            "SolverRecord", "SolverRecord", "SolverRecord",
+            "CacheRecord",
+        ]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        rec.to_jsonl(path)
+        back = TraceRecorder.from_jsonl(path)
+        assert back.meta == rec.meta
+        assert back.records == rec.records
+
+    def test_jsonl_round_trips_nan_cost(self, tmp_path):
+        # Diverged runs record NaN costs; they must survive the wire.
+        rec = TraceRecorder()
+        rec.iteration(0, float("nan"), float("inf"), 1e-1)
+        path = tmp_path / "nan.jsonl"
+        rec.to_jsonl(path)
+        back = TraceRecorder.from_jsonl(path)
+        assert math.isnan(back.iterations[0].cost)
+        assert math.isinf(back.iterations[0].grad_norm)
+
+    def test_jsonl_is_one_object_per_line(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        rec.to_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(rec.records)
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema_version"] == SCHEMA_VERSION
+        for line in lines[1:]:
+            assert json.loads(line)["kind"] in ("iteration", "solver", "cache")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            TraceRecorder.from_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text('{"kind":"iteration","iteration":0,"cost":1.0,'
+                        '"grad_norm":1.0,"step_size":0.01,"phases":{}}\n')
+        with pytest.raises(ValueError, match="header"):
+            TraceRecorder.from_jsonl(path)
+
+    def test_summary_headlines(self):
+        rec = _sample_recorder()
+        s = rec.summary()
+        assert s["n_iterations"] == 2
+        assert s["first_cost"] == 1.5
+        assert s["final_cost"] == 1.2
+        assert s["best_cost"] == 1.2
+        assert s["n_solver_events"] == 3
+        assert s["caches"]["lu-cache"]["hits"] == 48
+        assert s["caches"]["lu-cache"]["hit_rate"] == pytest.approx(0.96)
+        assert s["phase_seconds"]["grad"] == pytest.approx(1e-3)
+
+
+class TestSchemaStability:
+    """The wire format is versioned: these tests pin it.
+
+    If one fails because you changed a record, bump ``SCHEMA_VERSION``
+    and regenerate the goldens — do not just update the expectation.
+    """
+
+    def test_field_lists_are_pinned(self):
+        assert FIELDS == {
+            "iteration": (
+                "iteration", "cost", "grad_norm", "step_size", "phases",
+            ),
+            "solver": (
+                "solver", "event", "n", "seconds", "residual",
+                "condition_estimate", "nnz",
+            ),
+            "cache": ("cache", "hits", "misses"),
+        }
+
+    def test_schema_version_is_one(self):
+        assert SCHEMA_VERSION == 1
+
+    def test_encode_decode_identity(self):
+        records = [
+            IterationRecord(3, 0.5, 0.1, 1e-3, {"grad": 0.1}),
+            SolverRecord("s", "solve", 10, residual=1e-9, nnz=7),
+            CacheRecord("c", 5, 1),
+        ]
+        for r in records:
+            assert decode_record(encode_record(r)) == r
+
+    def test_decode_rejects_unknown_field(self):
+        obj = encode_record(IterationRecord(0, 1.0, 1.0, 1e-2))
+        obj["surprise"] = 42
+        with pytest.raises(ValueError, match="unknown fields"):
+            decode_record(obj)
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown trace record kind"):
+            decode_record({"kind": "mystery"})
+
+    def test_header_rejects_future_version(self):
+        obj = encode_header({"method": "DP"})
+        obj["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="not supported"):
+            decode_header(obj)
+
+    def test_cache_hit_rate_zero_when_unused(self):
+        assert CacheRecord("c", 0, 0).hit_rate == 0.0
+
+
+class TestNullRecorder:
+    def test_falsy_and_disabled(self):
+        assert not NULL_RECORDER
+        assert not NullRecorder()
+        assert NULL_RECORDER.enabled is False
+        assert len(NULL_RECORDER) == 0
+
+    def test_all_emissions_are_noops(self):
+        n = NullRecorder()
+        n.set_meta(method="DP")
+        n.iteration(0, 1.0, 1.0, 1e-2, phases={"grad": 0.1})
+        n.solver_event("s", "solve", 10, residual=1e-9)
+        n.cache_stats("c", 1, 2)
+        assert len(n) == 0
+
+    def test_allocates_nothing(self):
+        # The disabled path must be allocation-free: NullRecorder is
+        # stateless (__slots__ = ()) and its methods build no objects.
+        n = NULL_RECORDER
+        for _ in range(32):  # warm up: bytecode caches, int pool
+            n.iteration(0, 1.0, 1.0, 1e-2)
+            n.solver_event("s", "solve", 10)
+            n.cache_stats("c", 1, 2)
+        tracemalloc.start()
+        try:
+            before = tracemalloc.get_traced_memory()[0]
+            for i in range(1000):
+                n.iteration(i, 1.0, 1.0, 1e-2)
+                n.solver_event("s", "solve", 10)
+                n.cache_stats("c", 1, 2)
+            after = tracemalloc.get_traced_memory()[0]
+        finally:
+            tracemalloc.stop()
+        # Zero growth module small interpreter noise (< 1 byte/call).
+        assert after - before < 512
+
+    def test_has_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            NullRecorder().stash = 1

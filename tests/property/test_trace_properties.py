@@ -1,0 +1,97 @@
+"""Trajectory properties the paper implies, asserted on recorded traces.
+
+The paper's Laplace problem is smooth and convex enough that both exact-
+gradient methods (DP and DAL) descend monotonically under Adam at the
+published learning rate — §4.1 shows strictly decreasing cost curves
+(Fig. 3b).  These tests run the tier-0 configs under telemetry and check
+the recorded traces directly, which exercises the same records the
+golden layer compares.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.goldens import TIER0, run_tier0
+
+
+@pytest.fixture(scope="module")
+def laplace_dp_trace():
+    return run_tier0("laplace_dp_tier0")
+
+
+@pytest.fixture(scope="module")
+def laplace_dal_trace():
+    return run_tier0("laplace_dal_tier0")
+
+
+class TestMonotoneDescent:
+    def test_dp_laplace_cost_non_increasing(self, laplace_dp_trace):
+        costs = [r.cost for r in laplace_dp_trace.iterations]
+        assert all(b <= a for a, b in zip(costs, costs[1:])), costs
+
+    def test_dal_laplace_cost_non_increasing(self, laplace_dal_trace):
+        costs = [r.cost for r in laplace_dal_trace.iterations]
+        assert all(b <= a for a, b in zip(costs, costs[1:])), costs
+
+    def test_dp_laplace_makes_real_progress(self, laplace_dp_trace):
+        costs = [r.cost for r in laplace_dp_trace.iterations]
+        assert costs[-1] < 0.9 * costs[0]
+
+
+class TestTraceWellFormedness:
+    @pytest.mark.parametrize("fixture", [
+        "laplace_dp_trace", "laplace_dal_trace",
+    ])
+    def test_every_value_finite(self, fixture, request):
+        trace = request.getfixturevalue(fixture)
+        for r in trace.iterations:
+            assert math.isfinite(r.cost)
+            assert math.isfinite(r.grad_norm) and r.grad_norm >= 0
+            assert r.step_size > 0
+            assert all(s >= 0 for s in r.phases.values())
+
+    @pytest.mark.parametrize("fixture", [
+        "laplace_dp_trace", "laplace_dal_trace",
+    ])
+    def test_iteration_indices_contiguous(self, fixture, request):
+        trace = request.getfixturevalue(fixture)
+        assert [r.iteration for r in trace.iterations] == list(
+            range(len(trace.iterations))
+        )
+
+    def test_trace_length_matches_config(self, laplace_dp_trace):
+        assert len(laplace_dp_trace.iterations) == (
+            TIER0["laplace_dp_tier0"].iterations
+        )
+
+
+class TestPaperSchedule:
+    """The lr schedule (÷10 at 50 % and 75 %) shows up in step sizes."""
+
+    def test_step_sizes_non_increasing(self, laplace_dp_trace):
+        steps = [r.step_size for r in laplace_dp_trace.iterations]
+        assert all(b <= a for a, b in zip(steps, steps[1:]))
+
+    def test_schedule_drops_by_factor_ten(self, laplace_dp_trace):
+        steps = [r.step_size for r in laplace_dp_trace.iterations]
+        distinct = sorted(set(steps), reverse=True)
+        assert len(distinct) >= 2  # at least one drop within the budget
+        for hi, lo in zip(distinct, distinct[1:]):
+            assert lo == pytest.approx(hi / 10)
+
+
+class TestSolverTelemetry:
+    def test_dp_reports_lu_cache_reuse(self, laplace_dp_trace):
+        # Factorise-once/solve-many is the DP speed story: with one
+        # operator and 25 iterations the cache must be nearly all hits.
+        caches = {r.cache: r for r in laplace_dp_trace.caches}
+        assert "lu-cache" in caches
+        rec = caches["lu-cache"]
+        assert rec.misses >= 1
+        assert rec.hits > rec.misses
+        assert 0.9 < rec.hit_rate <= 1.0
+
+    def test_phases_cover_grad_and_update(self, laplace_dp_trace):
+        for r in laplace_dp_trace.iterations:
+            assert set(r.phases) == {"grad", "update"}

@@ -19,6 +19,67 @@ class TestTimer:
         t = Timer()
         assert t.elapsed == 0.0
 
+    def test_elapsed_set_when_body_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with t:
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        assert t.elapsed > 0.005
+
+
+class TestTimerLaps:
+    def test_lap_returns_increment_and_accumulates(self):
+        with Timer() as t:
+            time.sleep(0.01)
+            first = t.lap("work")
+            time.sleep(0.01)
+            second = t.lap("work")
+        assert first > 0.005
+        assert second > 0.005
+        assert t.laps()["work"] == pytest.approx(first + second)
+
+    def test_mark_resets_without_recording(self):
+        with Timer() as t:
+            time.sleep(0.02)
+            t.mark()  # discard the sleep
+            dt = t.lap("fast")
+        assert dt < 0.015
+        assert set(t.laps()) == {"fast"}
+
+    def test_separate_phases_tracked_independently(self):
+        with Timer() as t:
+            time.sleep(0.01)
+            t.lap("grad")
+            t.lap("update")  # immediately after: near-zero
+        laps = t.laps()
+        assert laps["grad"] > 0.005
+        assert laps["update"] < laps["grad"]
+
+    def test_laps_do_not_affect_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+            t.mark()
+            t.lap("a")
+        assert t.elapsed > 0.005
+
+    def test_laps_returns_a_copy(self):
+        with Timer() as t:
+            t.lap("a")
+        t.laps()["a"] = 123.0
+        assert t.laps()["a"] != 123.0
+
+    def test_mark_before_enter_raises(self):
+        with pytest.raises(RuntimeError, match="before entering"):
+            Timer().mark()
+
+    def test_lap_before_enter_raises(self):
+        with pytest.raises(RuntimeError, match="before entering"):
+            Timer().lap("x")
+
+    def test_laps_empty_before_use(self):
+        assert Timer().laps() == {}
+
 
 class TestPeakMemory:
     def test_detects_allocation(self):
