@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autodiff.functional import Argnums, _normalize_argnums, _wrap_args
+from repro.obs.metrics import get_registry
 from repro.autodiff.tensor import (
     Tensor,
     VIEW_FWD,
@@ -70,13 +71,37 @@ class CompileError(RuntimeError):
     """Raised when a recorded program cannot be replayed safely."""
 
 
+def _bump(counters: Dict[str, int], event: str) -> None:
+    """Advance a wrapper-local counter and its registry twin together.
+
+    The per-wrapper dict stays authoritative for ``cache_info()`` (tests
+    pin it); the ``compile.<event>`` registry counters aggregate across
+    every compiled function in the process for metrics exports.
+    """
+    counters[event] += 1
+    get_registry().counter(f"compile.{event}").inc()
+
+
 # ----------------------------------------------------------------------
 # Profiling
 # ----------------------------------------------------------------------
 class OpStats:
-    """Per-primitive replay statistics (one row of the profile report)."""
+    """Per-primitive replay statistics (one row of the profile report).
 
-    __slots__ = ("calls", "fwd_seconds", "bwd_seconds", "bytes_reused", "bytes_allocated")
+    ``flops`` and ``bytes_moved`` are *estimates* derived from the traced
+    shapes (see :func:`_estimate_cost`): good enough to rank ops and to
+    check arithmetic-intensity claims, not a hardware counter.
+    """
+
+    __slots__ = (
+        "calls",
+        "fwd_seconds",
+        "bwd_seconds",
+        "bytes_reused",
+        "bytes_allocated",
+        "flops",
+        "bytes_moved",
+    )
 
     def __init__(self) -> None:
         self.calls = 0
@@ -84,6 +109,36 @@ class OpStats:
         self.bwd_seconds = 0.0
         self.bytes_reused = 0
         self.bytes_allocated = 0
+        self.flops = 0.0
+        self.bytes_moved = 0.0
+
+
+def _estimate_cost(op: str, out: np.ndarray, parents: Sequence[Any]) -> Tuple[float, float]:
+    """Estimated (FLOPs, bytes moved) for one forward execution of ``op``.
+
+    Shape-derived at trace time, so the replay hot loop only adds two
+    float adds per profiled step.  Conventions: a dense matmul costs
+    ``2·m·k·n``; a triangular-solve pair against an ``n×n`` factorisation
+    costs ``2·n²``; everything else is counted as one FLOP per output
+    element.  Bytes moved = output bytes + every parent operand's bytes
+    (one read of each input, one write of the output).
+    """
+    shapes = [np.shape(getattr(p, "data", p)) for p in parents]
+    bytes_moved = float(out.nbytes) + 8.0 * sum(
+        float(np.prod(s)) if s else 1.0 for s in shapes
+    )
+    if op == "matmul" and len(shapes) >= 2:
+        a, b = shapes[0], shapes[1]
+        m = float(a[0]) if len(a) > 1 else 1.0
+        k = float(a[-1]) if a else 1.0
+        n = float(b[-1]) if len(b) > 1 else 1.0
+        flops = 2.0 * m * k * n
+    elif "solve" in op:
+        n = float(out.shape[0]) if out.ndim else 1.0
+        flops = 2.0 * n * n
+    else:
+        flops = float(out.size)
+    return flops, bytes_moved
 
 
 class ReplayProfile:
@@ -127,8 +182,8 @@ class ReplayProfile:
         """Human-readable per-op table plus reuse summary."""
         lines = [
             f"{'op':<22}{'calls':>9}{'fwd ms':>10}{'bwd ms':>10}"
-            f"{'MB reused':>12}{'MB alloc':>11}",
-            "-" * 74,
+            f"{'MB reused':>12}{'MB alloc':>11}{'MFLOP':>10}{'MB moved':>11}",
+            "-" * 95,
         ]
         rows = sorted(
             self.ops.items(),
@@ -140,12 +195,13 @@ class ReplayProfile:
                 f"{name:<22}{s.calls:>9d}{s.fwd_seconds * 1e3:>10.3f}"
                 f"{s.bwd_seconds * 1e3:>10.3f}"
                 f"{s.bytes_reused / 1e6:>12.3f}{s.bytes_allocated / 1e6:>11.3f}"
+                f"{s.flops / 1e6:>10.3f}{s.bytes_moved / 1e6:>11.3f}"
             )
         reused, alloc = self.bytes_reused, self.bytes_allocated
         denom = reused + alloc
         ratio = reused / denom if denom else 0.0
         lines += [
-            "-" * 74,
+            "-" * 95,
             f"traces: {self.n_traces}   replays: {self.n_replays}   "
             f"eager fallbacks: {self.n_eager_calls}",
             f"persistent buffer pool: {self.persistent_bytes / 1e6:.3f} MB "
@@ -180,6 +236,7 @@ class CompiledProgram:
         self.replayable = True
         self.unreplayable_op: Optional[str] = None
         fwd_steps: List[Tuple[np.ndarray, Callable, str]] = []
+        fwd_costs: List[Tuple[float, float]] = []
         for node in reversed(order):  # leaves first = forward schedule
             if not node._parents:
                 continue  # leaves/constants: values arrive via input copy
@@ -191,7 +248,13 @@ class CompiledProgram:
             if f is VIEW_FWD:
                 continue  # aliases a parent buffer; updates for free
             fwd_steps.append((node.data, f, node._op))
+            fwd_costs.append(
+                _estimate_cost(node._op, node.data, [p for p, _ in node._parents])
+            )
         self._fwd_steps = fwd_steps
+        # Parallel to ``_fwd_steps`` so the unprofiled replay loop stays a
+        # bare 3-tuple unpack; only ``_replay_profiled`` reads these.
+        self._fwd_costs = fwd_costs
 
         # Cotangent half of each node's double buffer.
         self._gradbufs: List[np.ndarray] = [np.empty_like(n.data) for n in order]
@@ -281,15 +344,24 @@ class CompiledProgram:
         return grads
 
     def _replay_profiled(self, profile: ReplayProfile) -> Tuple[float, List[np.ndarray]]:
+        from repro.obs.metrics import FLOP_BUCKETS, BYTE_BUCKETS, get_registry
+
+        reg = get_registry()
+        h_flops = reg.histogram("compile.op.flops", FLOP_BUCKETS)
+        h_bytes = reg.histogram("compile.op.bytes_moved", BYTE_BUCKETS)
         perf = time.perf_counter
         t_start = perf()
-        for buf, f, name in self._fwd_steps:
+        for (buf, f, name), (flops, moved) in zip(self._fwd_steps, self._fwd_costs):
             t0 = perf()
             f(buf)
             s = profile.op(name)
             s.fwd_seconds += perf() - t0
             s.calls += 1
             s.bytes_reused += buf.nbytes
+            s.flops += flops
+            s.bytes_moved += moved
+            h_flops.observe(flops)
+            h_bytes.observe(moved)
 
         self._root_grad[...] = 1.0
         for g, vjp, b, first, op in self._bwd_steps:
@@ -404,7 +476,7 @@ def compiled_value_and_grad(
             key = ((arr.shape, arr.dtype),)
             program = cache.get(key, _MISSING)
             if isinstance(program, CompiledProgram):
-                counters["replays"] += 1
+                _bump(counters, "replays")
                 value, grad_list = program.replay(
                     (np.asarray(arr, dtype=np.float64),), prof
                 )
@@ -418,14 +490,14 @@ def compiled_value_and_grad(
         if isinstance(program, CompiledProgram):
             inputs = [np.asarray(asdata(args[i]), dtype=np.float64) for i in nums]
             value, grad_list = program.replay(inputs, prof)
-            counters["replays"] += 1
+            _bump(counters, "replays")
             grads = tuple(grad_list)
             return (value, grads[0]) if isinstance(argnums, int) else (value, grads)
 
         t0 = time.perf_counter()
         value, grads, out_t, leaves = _eager(args, kwargs)
         if program is _MISSING:  # first sighting of this signature
-            counters["traces"] += 1
+            _bump(counters, "traces")
             prog = CompiledProgram(out_t, leaves)
             if prof is not None:
                 prof.n_traces += 1
@@ -446,7 +518,7 @@ def compiled_value_and_grad(
                     )
                 cache[key] = None  # permanently eager for this key
         else:
-            counters["eager"] += 1
+            _bump(counters, "eager")
             if prof is not None:
                 prof.n_eager_calls += 1
         return (value, grads[0]) if isinstance(argnums, int) else (value, grads)
@@ -504,13 +576,13 @@ def compiled_value_and_grad_tree(
         if isinstance(program, CompiledProgram):
             inputs = [np.asarray(asdata(l), dtype=np.float64) for l in leaves]
             value, grad_list = program.replay(inputs, prof)
-            counters["replays"] += 1
+            _bump(counters, "replays")
             return value, tree_unflatten(treedef, grad_list)
 
         t0 = time.perf_counter()
         value, grads, out_t, leaf_tensors, treedef = _eager(params, args, kwargs)
         if program is _MISSING:
-            counters["traces"] += 1
+            _bump(counters, "traces")
             prog = CompiledProgram(out_t, leaf_tensors)
             if prof is not None:
                 prof.n_traces += 1
@@ -531,7 +603,7 @@ def compiled_value_and_grad_tree(
                     )
                 cache[key] = None
         else:
-            counters["eager"] += 1
+            _bump(counters, "eager")
             if prof is not None:
                 prof.n_eager_calls += 1
         return value, tree_unflatten(treedef, grads)

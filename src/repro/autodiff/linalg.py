@@ -27,6 +27,7 @@ import scipy.linalg as sla
 
 from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
 from repro.autodiff import ops
+from repro.obs.metrics import get_registry
 
 
 def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
@@ -130,6 +131,7 @@ class LUSolver:
         self._lu = sla.lu_factor(A, check_finite=False)
         self.n_factorizations = 1
         self.n_solves = 0
+        get_registry().counter("linalg.dense.factorizations").inc()
         # Bind LAPACK ``getrs`` once: ``scipy.linalg.lu_solve`` dispatches
         # to the same routine but re-validates inputs on every call, which
         # dominates small solves in the replay hot loop.  Results are
@@ -140,6 +142,7 @@ class LUSolver:
 
     def _solve(self, b: np.ndarray, trans: int = 0) -> np.ndarray:
         self.n_solves += 1
+        get_registry().counter("linalg.dense.solves").inc()
         x, info = self._getrs(self._lu_f, self._piv, b, trans=trans)
         if info != 0:
             raise np.linalg.LinAlgError(f"getrs failed with info={info}")

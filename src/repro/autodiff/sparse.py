@@ -36,6 +36,7 @@ import scipy.sparse.linalg as spla
 
 from repro.autodiff.linalg import LUSolver
 from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
+from repro.obs.metrics import get_registry
 
 
 def _splu(A) -> spla.SuperLU:
@@ -195,9 +196,11 @@ class SparseLUSolver:
         self._lu = spla.splu(A.astype(np.float64))
         self.n_factorizations = 1
         self.n_solves = 0
+        get_registry().counter("linalg.sparse.factorizations").inc()
 
     def _solve(self, b: np.ndarray, trans: str = "N") -> np.ndarray:
         self.n_solves += 1
+        get_registry().counter("linalg.sparse.solves").inc()
         return self._lu.solve(np.ascontiguousarray(b), trans=trans)
 
     def __call__(self, b: ArrayLike) -> Tensor:

@@ -6,23 +6,35 @@ scale tier) and prints the paper's Tables 1–3 plus the headline series.
 
 Options
 -------
+``--methods dal,dp,pinn``
+    Comma-separated subset of methods to run (default: all three).
 ``--skip-pinn``
-    Skip the (slow) PINN line searches; DAL/DP rows only.
+    Skip the (slow) PINN line searches; equivalent to removing ``pinn``
+    from ``--methods``.
 ``--problem {laplace,ns,all}``
     Restrict to one benchmark problem.
 ``--trace-dir DIR``
     Attach a :class:`~repro.obs.recorder.TraceRecorder` to every run and
     write one ``<problem>_<method>.jsonl`` convergence trace per runner
-    into ``DIR`` (defaults to ``$REPRO_TRACE_DIR`` when set).
+    into ``DIR``.  Defaults to ``$REPRO_TRACE_DIR`` when set; the CLI
+    flag wins when both are given.
+``--profile-dir DIR``
+    Install a :class:`~repro.obs.profile.SpanProfiler` (and a fresh
+    metrics registry) around every run and write one
+    ``<problem>_<method>.trace.json`` Chrome trace plus one
+    ``<problem>_<method>.metrics.json`` snapshot per run into ``DIR``.
+    Defaults to ``$REPRO_PROFILE_DIR`` when set; the CLI flag wins.
+    Render the artifacts with ``python -m repro.obs report DIR/*.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
-from repro.bench.configs import get_scale, trace_dir
+from repro.bench.configs import get_scale, profile_dir, trace_dir
 from repro.bench.harness import (
     make_laplace_problem,
     make_ns_problem,
@@ -34,20 +46,75 @@ from repro.bench.harness import (
     run_ns_pinn,
 )
 from repro.bench.tables import render_performance_table
+from repro.obs.metrics import get_registry, use_registry
+from repro.obs.profile import SpanProfiler, profiling
 from repro.obs.recorder import TraceRecorder
 
+METHODS = ("dal", "dp", "pinn")
 
-def _traced(out_dir, runner, *args, **kwargs):
-    """Run ``runner``; when tracing, attach a recorder and export JSONL."""
-    if out_dir is None:
-        return runner(*args, **kwargs)
-    rec = TraceRecorder()
-    result = runner(*args, recorder=rec, **kwargs)
-    path = os.path.join(
-        out_dir, f"{result.problem}_{result.method.lower()}.jsonl"
-    )
-    rec.to_jsonl(path)
-    print(f"    trace -> {path}")
+
+def _parse_methods(spec: str) -> "tuple[str, ...]":
+    """Validate a ``--methods`` comma list into a subset of METHODS."""
+    chosen = tuple(m.strip().lower() for m in spec.split(",") if m.strip())
+    unknown = [m for m in chosen if m not in METHODS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown method(s) {', '.join(sorted(set(unknown)))!s}; "
+            f"choose from {', '.join(METHODS)}"
+        )
+    if not chosen:
+        raise argparse.ArgumentTypeError("--methods needs at least one method")
+    # Preserve canonical order, drop duplicates.
+    return tuple(m for m in METHODS if m in chosen)
+
+
+def _write_profile_artifacts(out_dir, profiler, result) -> None:
+    """Export one run's Chrome trace + metrics snapshot into ``out_dir``."""
+    stem = f"{result.problem}_{result.method.lower()}"
+    meta = {
+        "method": result.method,
+        "problem": result.problem,
+        "wall_time_s": result.wall_time_s,
+    }
+    trace_path = os.path.join(out_dir, f"{stem}.trace.json")
+    profiler.save_chrome_trace(trace_path, meta=meta)
+    metrics_path = os.path.join(out_dir, f"{stem}.metrics.json")
+    payload = {
+        "kind": "repro.profile.metrics",
+        "meta": meta,
+        "phase_seconds": profiler.phase_seconds(),
+        "spans": profiler.summary_rows(),
+        "metrics": get_registry().snapshot(),
+    }
+    with open(metrics_path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+    print(f"    profile -> {trace_path}")
+
+
+def _run(trace_out, profile_out, runner, *args, **kwargs):
+    """Run ``runner`` with whichever observability layers are requested.
+
+    Tracing attaches a recorder and exports convergence JSONL; profiling
+    installs a span profiler plus a fresh metrics registry (so per-run
+    counters don't bleed across runs) and exports Chrome-trace + metrics
+    JSON.  Both default off, leaving the hot loops on their no-op paths.
+    """
+    rec = TraceRecorder() if trace_out is not None else None
+    if rec is not None:
+        kwargs["recorder"] = rec
+    if profile_out is not None:
+        prof = SpanProfiler()
+        with use_registry(), profiling(prof):
+            result = runner(*args, **kwargs)
+            _write_profile_artifacts(profile_out, prof, result)
+    else:
+        result = runner(*args, **kwargs)
+    if rec is not None:
+        path = os.path.join(
+            trace_out, f"{result.problem}_{result.method.lower()}.jsonl"
+        )
+        rec.to_jsonl(path)
+        print(f"    trace -> {path}")
     return result
 
 
@@ -56,30 +123,44 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation tables.",
     )
+    parser.add_argument("--methods", type=_parse_methods, default=METHODS,
+                        metavar="LIST",
+                        help="comma-separated subset of dal,dp,pinn")
     parser.add_argument("--skip-pinn", action="store_true",
                         help="skip the slow PINN line searches")
     parser.add_argument("--problem", choices=("laplace", "ns", "all"),
                         default="all")
-    parser.add_argument("--trace-dir", default=trace_dir(), metavar="DIR",
-                        help="write per-run convergence traces (JSONL) here")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write per-run convergence traces (JSONL) here "
+                             "(overrides $REPRO_TRACE_DIR)")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="write per-run Chrome traces + metrics JSON here "
+                             "(overrides $REPRO_PROFILE_DIR)")
     args = parser.parse_args(argv)
+
+    methods = tuple(m for m in args.methods if not (args.skip_pinn and m == "pinn"))
+    trace_out = trace_dir(args.trace_dir)
+    profile_out = profile_dir(args.profile_dir)
 
     scale = get_scale()
     print(f"scale tier: {scale.name}  (set REPRO_FULL=1 for paper scale)\n")
-    if args.trace_dir:
-        os.makedirs(args.trace_dir, exist_ok=True)
+    for out in (trace_out, profile_out):
+        if out:
+            os.makedirs(out, exist_ok=True)
 
     results = []
     if args.problem in ("laplace", "all"):
         prob = make_laplace_problem(scale)
         print(f"Laplace problem: {prob.cloud.n} nodes, "
               f"{prob.n_control}-dimensional control")
-        for name, runner in (("DAL", run_laplace_dal), ("DP", run_laplace_dp)):
-            r = _traced(args.trace_dir, runner, prob, scale)
+        for name, runner in (("dal", run_laplace_dal), ("dp", run_laplace_dp)):
+            if name not in methods:
+                continue
+            r = _run(trace_out, profile_out, runner, prob, scale)
             results.append(r)
             print("  " + r.summary())
-        if not args.skip_pinn:
-            r = _traced(args.trace_dir, run_laplace_pinn, prob, scale)
+        if "pinn" in methods:
+            r = _run(trace_out, profile_out, run_laplace_pinn, prob, scale)
             results.append(r)
             print("  " + r.summary()
                   + f"  (omega* = {r.extra['best_omega']:g})")
@@ -88,12 +169,14 @@ def main(argv=None) -> int:
         prob = make_ns_problem(scale)
         print(f"\nNavier-Stokes channel: {prob.cloud.n} nodes, "
               f"Re = {scale.ns.reynolds:g}")
-        for name, runner in (("DAL", run_ns_dal), ("DP", run_ns_dp)):
-            r = _traced(args.trace_dir, runner, prob, scale)
+        for name, runner in (("dal", run_ns_dal), ("dp", run_ns_dp)):
+            if name not in methods:
+                continue
+            r = _run(trace_out, profile_out, runner, prob, scale)
             results.append(r)
             print("  " + r.summary())
-        if not args.skip_pinn:
-            r = _traced(args.trace_dir, run_ns_pinn, prob, scale)
+        if "pinn" in methods:
+            r = _run(trace_out, profile_out, run_ns_pinn, prob, scale)
             results.append(r)
             print("  " + r.summary()
                   + f"  (physical J = {r.extra['physical_cost']:.3e})")

@@ -40,17 +40,45 @@ def is_compile_enabled() -> bool:
     return os.environ.get("REPRO_COMPILE", "0") not in ("0", "", "false", "False")
 
 
-def trace_dir() -> "str | None":
+def artifact_dir(cli_value: "str | None", env_var: str) -> "str | None":
+    """Resolve an artifact output directory from CLI flag and environment.
+
+    Precedence: an explicit CLI value (``--trace-dir`` / ``--profile-dir``)
+    always wins; otherwise the environment variable is consulted; empty or
+    whitespace-only values in either place mean "disabled" and resolve to
+    ``None``.
+    """
+    if cli_value is not None:
+        return cli_value.strip() or None
+    d = os.environ.get(env_var, "").strip()
+    return d or None
+
+
+def trace_dir(cli_value: "str | None" = None) -> "str | None":
     """Directory for convergence-trace JSONL artifacts, if requested.
 
-    Set ``REPRO_TRACE_DIR=/some/dir`` (or pass ``--trace-dir`` to
-    ``python -m repro.bench``) to make every benchmark runner attach a
+    Pass ``--trace-dir`` to ``python -m repro.bench`` (or set
+    ``REPRO_TRACE_DIR=/some/dir``; the CLI flag wins when both are given)
+    to make every benchmark runner attach a
     :class:`~repro.obs.recorder.TraceRecorder` and write one
     ``<problem>_<method>.jsonl`` per run.  Unset (the default): telemetry
     stays disabled and the hot loops take the no-recorder fast path.
     """
-    d = os.environ.get("REPRO_TRACE_DIR", "").strip()
-    return d or None
+    return artifact_dir(cli_value, "REPRO_TRACE_DIR")
+
+
+def profile_dir(cli_value: "str | None" = None) -> "str | None":
+    """Directory for span-profile artifacts, if requested.
+
+    Pass ``--profile-dir`` to ``python -m repro.bench`` (or set
+    ``REPRO_PROFILE_DIR=/some/dir``; the CLI flag wins when both are
+    given) to install a :class:`~repro.obs.profile.SpanProfiler` around
+    every run and write one ``<problem>_<method>.trace.json`` Chrome
+    trace plus one ``<problem>_<method>.metrics.json`` snapshot per run.
+    Unset (the default): profiling stays disabled and ``span()`` costs a
+    single global read.
+    """
+    return artifact_dir(cli_value, "REPRO_PROFILE_DIR")
 
 
 @dataclass(frozen=True)

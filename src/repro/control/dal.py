@@ -60,6 +60,7 @@ import scipy.sparse.linalg as spla
 
 from repro.autodiff.sparse import make_linear_solver
 from repro.obs.hooks import record_solver_cache
+from repro.obs.profile import span as _span
 from repro.pde.discrete import row_selector
 from repro.pde.laplace import LaplaceControlProblem
 from repro.pde.navier_stokes import ChannelFlowProblem, NSConfig
@@ -96,7 +97,8 @@ class LaplaceDAL:
         """One direct + one adjoint solve, then the OTD gradient formula."""
         p = self.problem
         c = np.asarray(c, dtype=np.float64)
-        u = self.solver.solve_numpy(p.rhs(c))
+        with _span("dal.direct", "method"):
+            u = self.solver.solve_numpy(p.rhs(c))
         mismatch = p.flux_rows @ u - p.target
         cost = float(p.quad_w @ (mismatch * mismatch))
 
@@ -105,14 +107,16 @@ class LaplaceDAL:
         # entries are zeroed once at construction and never touched.
         b_adj = self._b_adj if self._b_adj is not None else np.zeros(p.cloud.n)
         b_adj[p.top] = 2.0 * mismatch
-        lam = self.solver.solve_numpy(b_adj)
+        with _span("dal.adjoint", "method"):
+            lam = self.solver.solve_numpy(b_adj)
 
         # Continuous gradient ∇J(x) = ∂λ/∂y(x, 1), discretised with the
         # nodal derivative rows (``flux_rows`` *is* ``dy[top]`` on both
         # backends).  (OTD: no knowledge of the discrete quadrature — its
         # small inconsistency with the discrete J is the hallmark of
         # optimise-then-discretise.)
-        grad = p.flux_rows @ lam
+        with _span("dal.gradient", "method"):
+            grad = p.flux_rows @ lam
         return cost, grad
 
     def initial_control(self) -> np.ndarray:
@@ -296,14 +300,17 @@ class NavierStokesDAL:
         """Direct solve, adjoint solve, continuous gradient formula."""
         pr = self.problem
         c = np.asarray(c, dtype=np.float64)
-        st = pr.solve(c, self.config)
+        with _span("dal.direct", "method"):
+            st = pr.solve(c, self.config)
         cost = pr.cost(st.u, st.v)
-        adj = self.solve_adjoint(st.u, st.v)
+        with _span("dal.adjoint", "method"):
+            adj = self.solve_adjoint(st.u, st.v)
         nd = pr.nodal
         inflow = pr.inflow
         # ∇J(y) = −(1/Re) ∂λx/∂x (0, y) − σ(0, y)
-        dlx_dx = nd.dx @ adj.lx
-        grad = -(1.0 / self.config.reynolds) * dlx_dx[inflow] - adj.sigma[inflow]
+        with _span("dal.gradient", "method"):
+            dlx_dx = nd.dx @ adj.lx
+            grad = -(1.0 / self.config.reynolds) * dlx_dx[inflow] - adj.sigma[inflow]
         return cost, grad
 
     def initial_control(self) -> np.ndarray:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.control.problem import CostOracle
 from repro.nn.optimizers import Adam
 from repro.nn.schedules import paper_schedule
+from repro.obs.profile import span as _span
 from repro.utils.timers import Timer
 
 
@@ -88,22 +89,25 @@ def optimize(
         for it in range(n_iterations):
             if trace is not None:
                 timer.mark()
-            j, g = oracle.value_and_grad(c)
+            with _span("grad", "phase"):
+                j, g = oracle.value_and_grad(c)
             if trace is not None:
                 t_grad = timer.lap("grad")
-            if grad_clip is not None:
-                norm = float(np.linalg.norm(g))
-                if norm > grad_clip:
-                    g = g * (grad_clip / norm)
-            lr = schedule(it, n_iterations)
-            history.costs.append(float(j))
-            history.grad_norms.append(float(np.linalg.norm(g)))
-            history.learning_rates.append(lr)
-            if np.isfinite(j) and j < best_j:
-                best_j, best_c = float(j), c.copy()
-            if callback is not None:
-                callback(it, c, float(j))
-            if not np.all(np.isfinite(g)):
+            with _span("eval", "phase"):
+                if grad_clip is not None:
+                    norm = float(np.linalg.norm(g))
+                    if norm > grad_clip:
+                        g = g * (grad_clip / norm)
+                lr = schedule(it, n_iterations)
+                history.costs.append(float(j))
+                history.grad_norms.append(float(np.linalg.norm(g)))
+                history.learning_rates.append(lr)
+                if np.isfinite(j) and j < best_j:
+                    best_j, best_c = float(j), c.copy()
+                if callback is not None:
+                    callback(it, c, float(j))
+                grad_finite = bool(np.all(np.isfinite(g)))
+            if not grad_finite:
                 # Divergence (the DAL-on-NS failure mode): stop updating
                 # but keep the record — the benchmark reports it.
                 if trace is not None:
@@ -112,7 +116,8 @@ def optimize(
                         phases={"grad": t_grad, "update": 0.0},
                     )
                 break
-            c, state = opt.step(c, g, state, lr=lr)
+            with _span("update", "phase"):
+                c, state = opt.step(c, g, state, lr=lr)
             if trace is not None:
                 trace.iteration(
                     it, history.costs[-1], history.grad_norms[-1], lr,

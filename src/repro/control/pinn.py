@@ -41,6 +41,7 @@ from repro.nn.optimizers import Adam
 from repro.nn.pytree import value_and_grad_tree
 from repro.nn.schedules import paper_schedule
 from repro.obs.hooks import record_compile_cache
+from repro.obs.profile import span as _span
 from repro.utils.timers import Timer
 from repro.pde.laplace import (
     LaplaceControlProblem,
@@ -134,19 +135,22 @@ def _train(
         for epoch in range(config.epochs):
             if trace is not None:
                 timer.mark()
-            val, grads = vg(params)
+            with _span("grad", "phase"):
+                val, grads = vg(params)
             if trace is not None:
                 t_grad = timer.lap("grad")
             history.append(val)
-            for name, fn in trackers:
-                tracked[name].append(fn(params))
+            with _span("eval", "phase"):
+                for name, fn in trackers:
+                    tracked[name].append(fn(params))
             lr = schedule(epoch, config.epochs)
-            if alternating_keys:
-                active = alternating_keys[epoch % len(alternating_keys)]
-                for k in params:
-                    if k != active:
-                        grads[k] = _zeros_like_tree(grads[k])
-            params, state = opt.step(params, grads, state, lr=lr)
+            with _span("update", "phase"):
+                if alternating_keys:
+                    active = alternating_keys[epoch % len(alternating_keys)]
+                    for k in params:
+                        if k != active:
+                            grads[k] = _zeros_like_tree(grads[k])
+                params, state = opt.step(params, grads, state, lr=lr)
             if trace is not None:
                 trace.iteration(
                     epoch, float(val), _tree_grad_norm(grads), lr,
@@ -563,10 +567,13 @@ def omega_line_search(
     best = None
 
     for omega in omegas:
-        run = pinn.train_pair(omega, cfg1, recorder=recorder)
+        with _span("pinn.train_pair", "method", {"omega": float(omega)}):
+            run = pinn.train_pair(omega, cfg1, recorder=recorder)
         step1.append(run)
-        pu_re, _ = pinn.retrain_state(run.params_c, cfg2)
-        cost = pinn.evaluate_cost(pu_re)
+        with _span("pinn.retrain_state", "method", {"omega": float(omega)}):
+            pu_re, _ = pinn.retrain_state(run.params_c, cfg2)
+        with _span("eval", "phase"):
+            cost = pinn.evaluate_cost(pu_re)
         step2_costs.append(cost)
         if best is None or cost < best[1]:
             best = (omega, cost, pu_re, run.params_c)

@@ -1,14 +1,23 @@
-"""Convergence telemetry: structured traces of the optimisation loops.
+"""Observability: convergence traces, span profiling, metrics.
 
 Public surface:
 
 - :class:`~repro.obs.recorder.TraceRecorder` / :data:`NULL_RECORDER` —
   collect typed per-iteration records; JSONL round-trip.
+- :class:`~repro.obs.profile.SpanProfiler` / :func:`span` /
+  :func:`profiling` — hierarchical wall-time spans, Chrome-trace and
+  HTML export; module-level :func:`span` is a shared no-op while no
+  profiler is installed.
+- :class:`~repro.obs.metrics.MetricsRegistry` / :func:`get_registry` —
+  process-wide counters, gauges and histograms (the cache counters of
+  the autodiff layer live here).
 - :class:`~repro.obs.compare.TolerancePolicy` / :func:`diff_traces` —
   golden-trace comparison with per-field tolerances.
 - :mod:`repro.obs.goldens` — tier-0 configs that produce the committed
   baseline traces (imported lazily; it pulls in the control stack).
-- ``python -m repro.obs`` — summary / diff / record CLI.
+- :mod:`repro.obs.report` — standalone HTML rendering of profile
+  artifacts (imported lazily by ``SpanProfiler.save_html``).
+- ``python -m repro.obs`` — summary / diff / record / report CLI.
 """
 
 from repro.obs.compare import Deviation, TolerancePolicy, diff_traces, format_diff
@@ -16,6 +25,27 @@ from repro.obs.hooks import (
     record_compile_cache,
     record_oracle_telemetry,
     record_solver_cache,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    ProfileError,
+    Span,
+    SpanProfiler,
+    current_profiler,
+    profiled,
+    profiling,
+    set_profiler,
+    span,
 )
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.obs.schema import (
@@ -28,16 +58,33 @@ from repro.obs.schema import (
 __all__ = [
     "SCHEMA_VERSION",
     "CacheRecord",
+    "Counter",
     "Deviation",
+    "Gauge",
+    "Histogram",
     "IterationRecord",
+    "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_RECORDER",
+    "NullProfiler",
     "NullRecorder",
+    "ProfileError",
     "SolverRecord",
+    "Span",
+    "SpanProfiler",
     "TolerancePolicy",
     "TraceRecorder",
+    "current_profiler",
     "diff_traces",
     "format_diff",
+    "get_registry",
+    "profiled",
+    "profiling",
     "record_compile_cache",
     "record_oracle_telemetry",
     "record_solver_cache",
+    "set_profiler",
+    "set_registry",
+    "span",
+    "use_registry",
 ]

@@ -10,7 +10,12 @@ Commands
     any field is out of tolerance.  Timings are never compared.
 ``record CONFIG``
     Run a tier-0 config under telemetry and write its trace (used to
-    bless golden baselines).
+    bless golden baselines).  ``--profile-dir DIR`` additionally installs
+    the span profiler and writes Chrome-trace + metrics JSON artifacts.
+``report FILES... [-o OUT]``
+    Render profile artifacts (``*.trace.json`` / ``*.metrics.json`` from
+    ``python -m repro.bench --profile-dir``) into one standalone HTML
+    comparison page.
 ``list``
     Show the available tier-0 configs.
 """
@@ -19,7 +24,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 
 from repro.obs.compare import TolerancePolicy, diff_traces, format_diff
 from repro.obs.recorder import TraceRecorder
@@ -47,7 +54,31 @@ def _cmd_diff(args) -> int:
 def _cmd_record(args) -> int:
     from repro.obs.goldens import run_tier0
 
-    trace = run_tier0(args.config)
+    if args.profile_dir:
+        from repro.obs.metrics import get_registry, use_registry
+        from repro.obs.profile import SpanProfiler, profiling
+
+        os.makedirs(args.profile_dir, exist_ok=True)
+        prof = SpanProfiler()
+        t0 = time.perf_counter()
+        with use_registry(), profiling(prof):
+            trace = run_tier0(args.config)
+            meta = {"label": args.config,
+                    "wall_time_s": time.perf_counter() - t0}
+            stem = os.path.join(args.profile_dir, args.config)
+            prof.save_chrome_trace(f"{stem}.trace.json", meta=meta)
+            payload = {
+                "kind": "repro.profile.metrics",
+                "meta": meta,
+                "phase_seconds": prof.phase_seconds(),
+                "spans": prof.summary_rows(),
+                "metrics": get_registry().snapshot(),
+            }
+            with open(f"{stem}.metrics.json", "w", encoding="utf-8") as f:
+                json.dump(payload, f, indent=1)
+        print(f"profile -> {stem}.trace.json / {stem}.metrics.json")
+    else:
+        trace = run_tier0(args.config)
     out = args.out or f"{args.config}.jsonl"
     trace.to_jsonl(out)
     summary = trace.summary()
@@ -55,6 +86,17 @@ def _cmd_record(args) -> int:
         f"wrote {out}: {summary['n_iterations']} iterations, "
         f"final J = {summary['final_cost']:.6e}"
     )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import load_artifact, render_report
+
+    docs = [load_artifact(p) for p in args.files]
+    page = render_report(docs, title=args.title)
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(page)
+    print(f"wrote {args.out} ({len(docs)} artifact(s))")
     return 0
 
 
@@ -91,7 +133,19 @@ def main(argv=None) -> int:
     p = sub.add_parser("record", help="run a tier-0 config and write its trace")
     p.add_argument("config")
     p.add_argument("--out", default=None, help="output path (default CONFIG.jsonl)")
+    p.add_argument("--profile-dir", default=None, metavar="DIR",
+                   help="also profile the run and write Chrome-trace + "
+                        "metrics JSON artifacts here")
     p.set_defaults(fn=_cmd_record)
+
+    p = sub.add_parser(
+        "report", help="render profile artifacts into a standalone HTML page"
+    )
+    p.add_argument("files", nargs="+",
+                   help="*.trace.json / *.metrics.json artifacts")
+    p.add_argument("-o", "--out", default="profile_report.html")
+    p.add_argument("--title", default="Performance report")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("list", help="list tier-0 configs")
     p.set_defaults(fn=_cmd_list)

@@ -6,11 +6,34 @@ over: LU-factorisation cache behaviour, compiled-replay program cache
 behaviour.  Everything is duck-typed so the collector works on any
 oracle that exposes the conventional attributes, and prefers an
 oracle-provided ``report_telemetry`` when one exists.
+
+Since PR 4 these hooks publish through the process-wide metrics registry
+(:mod:`repro.obs.metrics`): cache totals land as ``cache.<name>.hits`` /
+``cache.<name>.misses`` gauges first, and the trace's ``cache`` records
+are emitted *from the registry values*, keeping the PR-3
+:class:`~repro.obs.schema.CacheRecord` wire format while making the
+registry the single source of truth.  Publishing happens even with no
+recorder attached, so ``--profile-dir`` metrics artifacts carry cache
+stats without tracing enabled.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
+
+from repro.obs.metrics import get_registry
+
+
+def _publish(recorder, name: str, hits: int, misses: int) -> None:
+    """Registry first; then the trace record, read back off the registry."""
+    reg = get_registry()
+    reg.record_cache(name, hits, misses)
+    if recorder:
+        recorder.cache_stats(
+            name,
+            hits=int(reg.get(f"cache.{name}.hits").value),
+            misses=int(reg.get(f"cache.{name}.misses").value),
+        )
 
 
 def record_solver_cache(recorder, solver: Any, name: str = "lu-cache") -> None:
@@ -22,13 +45,13 @@ def record_solver_cache(recorder, solver: Any, name: str = "lu-cache") -> None:
     :mod:`repro.rbf.solver` classes all do).  A factorisation is a miss,
     every further solve a hit.
     """
-    if not recorder or solver is None:
+    if solver is None:
         return
     n_fact = getattr(solver, "n_factorizations", None)
     n_solves = getattr(solver, "n_solves", None)
     if n_fact is None or n_solves is None:
         return
-    recorder.cache_stats(name, hits=max(n_solves - n_fact, 0), misses=n_fact)
+    _publish(recorder, name, hits=max(n_solves - n_fact, 0), misses=n_fact)
 
 
 def record_compile_cache(recorder, vg: Any, name: str = "compiled-replay") -> None:
@@ -36,13 +59,14 @@ def record_compile_cache(recorder, vg: Any, name: str = "compiled-replay") -> No
 
     Replays are hits; traces and permanent-eager calls are misses.
     """
-    if not recorder or vg is None:
+    if vg is None:
         return
     cache_info = getattr(vg, "cache_info", None)
     if not callable(cache_info):
         return
     info = cache_info()
-    recorder.cache_stats(
+    _publish(
+        recorder,
         name,
         hits=int(info.get("replays", 0)),
         misses=int(info.get("traces", 0)) + int(info.get("eager", 0)),
@@ -56,7 +80,7 @@ def record_oracle_telemetry(recorder, oracle: Any) -> None:
     oracle in :mod:`repro.control` implements it); falls back to the
     conventional ``solver`` / ``_vg`` attributes otherwise.
     """
-    if not recorder or oracle is None:
+    if oracle is None:
         return
     report = getattr(oracle, "report_telemetry", None)
     if callable(report):

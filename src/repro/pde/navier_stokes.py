@@ -59,6 +59,7 @@ from repro.autodiff.sparse import (
 from repro.autodiff.tensor import Tensor, asdata, tensor
 from repro.cloud.base import Cloud
 from repro.cloud.channel import ChannelCloud, ChannelGeometry
+from repro.obs.profile import span as _span
 from repro.pde.discrete import (
     FieldBCs,
     boundary_rows,
@@ -339,28 +340,31 @@ class ChannelFlowProblem:
         state = NSState(u=u, v=v, p=p)
 
         for _ in range(config.refinements):
-            A = self.momentum_matrix_numpy(u, v, config.reynolds)
-            bu = mask * (-(nd.dx @ p)) + b_u_bc
-            bv = mask * (-(nd.dy @ p)) + self.b_v_fixed
-            if self.backend == "local":
-                lu = spla.splu(sp.csc_matrix(A))
-                u_star = lu.solve(bu)
-                v_star = lu.solve(bv)
-            else:
-                lu = sla.lu_factor(A, check_finite=False)
-                u_star = sla.lu_solve(lu, bu, check_finite=False)
-                v_star = sla.lu_solve(lu, bv, check_finite=False)
+            with _span("ns.momentum", "pde"):
+                A = self.momentum_matrix_numpy(u, v, config.reynolds)
+                bu = mask * (-(nd.dx @ p)) + b_u_bc
+                bv = mask * (-(nd.dy @ p)) + self.b_v_fixed
+                if self.backend == "local":
+                    lu = spla.splu(sp.csc_matrix(A))
+                    u_star = lu.solve(bu)
+                    v_star = lu.solve(bv)
+                else:
+                    lu = sla.lu_factor(A, check_finite=False)
+                    u_star = sla.lu_solve(lu, bu, check_finite=False)
+                    v_star = sla.lu_solve(lu, bv, check_finite=False)
 
-            div = nd.dx @ u_star + nd.dy @ v_star
-            phi = self.pressure_solver.solve_numpy(mask * div / dt)
+            with _span("ns.pressure", "pde"):
+                div = nd.dx @ u_star + nd.dy @ v_star
+                phi = self.pressure_solver.solve_numpy(mask * div / dt)
 
-            u_new = u_star - dt * self.free_uv * (nd.dx @ phi)
-            v_new = v_star - dt * self.free_uv * (nd.dy @ phi)
-            if config.relax != 1.0:
-                a = config.relax
-                u_new = (1 - a) * u + a * u_new
-                v_new = (1 - a) * v + a * v_new
-            p = p + phi
+            with _span("ns.projection", "pde"):
+                u_new = u_star - dt * self.free_uv * (nd.dx @ phi)
+                v_new = v_star - dt * self.free_uv * (nd.dy @ phi)
+                if config.relax != 1.0:
+                    a = config.relax
+                    u_new = (1 - a) * u + a * u_new
+                    v_new = (1 - a) * v + a * v_new
+                p = p + phi
 
             state.update_history.append(
                 float(max(np.max(np.abs(u_new - u)), np.max(np.abs(v_new - v))))
@@ -414,32 +418,35 @@ class ChannelFlowProblem:
                 return ops.matmul(nd.dy, t)
 
         for _ in range(config.refinements):
-            bu = mask * (-dxm(p)) + b_u_bc
-            bv = mask * (-dym(p)) + self.b_v_fixed
-            if local:
-                data = self.momentum_data_ad(u, v, config.reynolds)
-                u_star = sparse_pattern_solve(
-                    self._mom_rows, self._mom_cols, (n, n), data, bu
-                )
-                v_star = sparse_pattern_solve(
-                    self._mom_rows, self._mom_cols, (n, n), data, bv
-                )
-            else:
-                A = self.momentum_matrix_ad(u, v, config.reynolds)
-                u_star = ad_solve(A, bu)
-                v_star = ad_solve(A, bv)
+            with _span("ns.momentum", "pde"):
+                bu = mask * (-dxm(p)) + b_u_bc
+                bv = mask * (-dym(p)) + self.b_v_fixed
+                if local:
+                    data = self.momentum_data_ad(u, v, config.reynolds)
+                    u_star = sparse_pattern_solve(
+                        self._mom_rows, self._mom_cols, (n, n), data, bu
+                    )
+                    v_star = sparse_pattern_solve(
+                        self._mom_rows, self._mom_cols, (n, n), data, bv
+                    )
+                else:
+                    A = self.momentum_matrix_ad(u, v, config.reynolds)
+                    u_star = ad_solve(A, bu)
+                    v_star = ad_solve(A, bv)
 
-            div = dxm(u_star) + dym(v_star)
-            phi = self.pressure_solver(mask * div * (1.0 / dt))
+            with _span("ns.pressure", "pde"):
+                div = dxm(u_star) + dym(v_star)
+                phi = self.pressure_solver(mask * div * (1.0 / dt))
 
-            u_new = u_star - dt * (self.free_uv * dxm(phi))
-            v_new = v_star - dt * (self.free_uv * dym(phi))
-            if config.relax != 1.0:
-                a = config.relax
-                u_new = (1 - a) * u + a * u_new
-                v_new = (1 - a) * v + a * v_new
-            p = p + phi
-            u, v = u_new, v_new
+            with _span("ns.projection", "pde"):
+                u_new = u_star - dt * (self.free_uv * dxm(phi))
+                v_new = v_star - dt * (self.free_uv * dym(phi))
+                if config.relax != 1.0:
+                    a = config.relax
+                    u_new = (1 - a) * u + a * u_new
+                    v_new = (1 - a) * v + a * v_new
+                p = p + phi
+                u, v = u_new, v_new
 
         return u, v, p
 

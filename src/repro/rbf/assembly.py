@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.cloud.base import BoundaryKind, Cloud
+from repro.obs.profile import profiled
 from repro.rbf.kernels import Kernel
 from repro.rbf.polynomials import (
     n_poly_terms,
@@ -114,6 +115,7 @@ def operator_eval_matrix(
     return op.row_matrix(kernel, points, centers, degree)
 
 
+@profiled("rbf.assemble", "solver")
 def assemble_collocation_system(
     cloud: Cloud,
     kernel: Kernel,

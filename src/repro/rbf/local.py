@@ -29,6 +29,7 @@ import scipy.sparse.linalg as spla
 
 from repro.cloud.base import BoundaryKind, Cloud
 from repro.cloud.neighbors import nearest_neighbors
+from repro.obs.profile import profiled
 from repro.rbf.kernels import Kernel, polyharmonic
 from repro.rbf.polynomials import (
     n_poly_terms,
@@ -71,6 +72,7 @@ def default_stencil_size(degree: int) -> int:
     return max(2 * n_poly_terms(degree) + 1, 12)
 
 
+@profiled("rbf.build_operators", "solver")
 def build_local_operators(
     cloud: Cloud,
     kernel: Optional[Kernel] = None,

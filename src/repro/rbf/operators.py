@@ -26,6 +26,7 @@ import numpy as np
 import scipy.linalg as sla
 
 from repro.cloud.base import Cloud
+from repro.obs.profile import profiled
 from repro.rbf.assembly import LinearOperator2D, interpolation_matrix
 from repro.rbf.kernels import Kernel
 from repro.rbf.polynomials import n_poly_terms
@@ -76,6 +77,7 @@ class NodalOperators:
         return rows @ self._coeff_map
 
 
+@profiled("rbf.build_operators", "solver")
 def build_nodal_operators(
     cloud: Cloud, kernel: Kernel, degree: int = 1
 ) -> NodalOperators:

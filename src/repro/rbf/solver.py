@@ -26,6 +26,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.cloud.base import BoundaryKind, Cloud
+from repro.obs.profile import span as _span
 from repro.rbf.assembly import LinearOperator2D
 from repro.rbf.kernels import Kernel, polyharmonic
 from repro.rbf.local import LocalOperators, build_local_operators
@@ -234,8 +235,10 @@ class RBFSolver:
             lu, A_kept = self._lu_cache[key]
         else:
             t0 = time.perf_counter() if rec is not None else 0.0
-            A = self.assemble_system(problem)
-            lu = sla.lu_factor(A, check_finite=False)
+            with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
+                A = self.assemble_system(problem)
+            with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
+                lu = sla.lu_factor(A, check_finite=False)
             self.n_factorizations += 1
             if rec is not None:
                 rec.solver_event(
@@ -252,7 +255,8 @@ class RBFSolver:
                 self._lu_cache[key] = (lu, A_kept)
         b = self.assemble_rhs(problem)
         t0 = time.perf_counter() if rec is not None else 0.0
-        x = sla.lu_solve(lu, b, check_finite=False)
+        with _span("rbf.solve", "solver", {"n": self.cloud.n}):
+            x = sla.lu_solve(lu, b, check_finite=False)
         self.n_solves += 1
         if rec is not None:
             rec.solver_event(
@@ -383,8 +387,10 @@ class LocalRBFSolver:
             lu, A = self._lu_cache[key]
         else:
             t0 = time.perf_counter() if rec is not None else 0.0
-            A = self.assemble_system(problem)
-            lu = spla.splu(sp.csc_matrix(A))
+            with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
+                A = self.assemble_system(problem)
+            with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
+                lu = spla.splu(sp.csc_matrix(A))
             self.n_factorizations += 1
             if rec is not None:
                 rec.solver_event(
@@ -398,7 +404,8 @@ class LocalRBFSolver:
                 self._lu_cache[key] = (lu, A)
         b = self.assemble_rhs(problem)
         t0 = time.perf_counter() if rec is not None else 0.0
-        x = lu.solve(b)
+        with _span("rbf.solve", "solver", {"n": self.cloud.n}):
+            x = lu.solve(b)
         self.n_solves += 1
         if rec is not None:
             rec.solver_event(

@@ -35,17 +35,29 @@ class Timer:
     mark/lap under a name and returns that increment, and :meth:`laps`
     exposes the running totals.  Lap bookkeeping never affects
     ``elapsed``, which always measures the whole managed block.
+
+    Re-entrancy
+    -----------
+    The same instance may be re-entered while already active (a profiled
+    inner region reusing the loop's timer): each ``with`` pushes its own
+    frame, so ``mark``/``lap`` inside the nested block act on the inner
+    frame and *never reset the outer frame's lap clock*.  On exiting the
+    inner block, ``elapsed`` reflects the inner block and the outer
+    frame's lap state resumes untouched; the outer exit then overwrites
+    ``elapsed`` with the full outer duration.  Lap totals stay shared
+    across frames (one ``laps()`` namespace per Timer).
     """
 
     def __init__(self) -> None:
         self.elapsed: float = 0.0
-        self._t0: float = 0.0
-        self._lap_t: Optional[float] = None
+        # One [t0, lap_clock] frame per active ``with`` on this instance;
+        # mark/lap touch only the innermost frame.
+        self._frames: List[List[float]] = []
         self._laps: Dict[str, float] = {}
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
-        self._lap_t = self._t0
+        t0 = time.perf_counter()
+        self._frames.append([t0, t0])
         return self
 
     def __exit__(
@@ -54,13 +66,14 @@ class Timer:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
-        self.elapsed = time.perf_counter() - self._t0
+        frame = self._frames.pop()
+        self.elapsed = time.perf_counter() - frame[0]
 
     def mark(self) -> None:
-        """Reset the lap clock without recording a phase."""
-        if self._lap_t is None:
+        """Reset the innermost frame's lap clock without recording."""
+        if not self._frames:
             raise RuntimeError("Timer.mark() before entering the context")
-        self._lap_t = time.perf_counter()
+        self._frames[-1][1] = time.perf_counter()
 
     def lap(self, name: str) -> float:
         """Accumulate time since the last mark/lap under ``name``.
@@ -69,11 +82,12 @@ class Timer:
         per-iteration value to a trace record while the timer keeps the
         per-phase totals).
         """
-        if self._lap_t is None:
+        if not self._frames:
             raise RuntimeError("Timer.lap() before entering the context")
         now = time.perf_counter()
-        dt = now - self._lap_t
-        self._lap_t = now
+        frame = self._frames[-1]
+        dt = now - frame[1]
+        frame[1] = now
         self._laps[name] = self._laps.get(name, 0.0) + dt
         return dt
 

@@ -7,8 +7,11 @@ import pytest
 from repro.bench.configs import (
     DEFAULT_SCALE,
     FULL_SCALE,
+    artifact_dir,
     get_scale,
     is_full_scale,
+    profile_dir,
+    trace_dir,
 )
 
 
@@ -27,6 +30,43 @@ class TestScaleSelection:
         for v in ("0", "", "false", "False"):
             monkeypatch.setenv("REPRO_FULL", v)
             assert not is_full_scale()
+
+
+class TestArtifactDirPrecedence:
+    """CLI flag > environment variable > disabled, for both artifact kinds."""
+
+    def test_unset_everywhere_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_PROFILE_DIR", raising=False)
+        assert trace_dir() is None
+        assert profile_dir() is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", "/tmp/traces")
+        monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/profiles")
+        assert trace_dir() == "/tmp/traces"
+        assert profile_dir() == "/tmp/profiles"
+
+    def test_cli_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", "/tmp/from-env")
+        monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/from-env")
+        assert trace_dir("/tmp/from-cli") == "/tmp/from-cli"
+        assert profile_dir("/tmp/from-cli") == "/tmp/from-cli"
+
+    def test_blank_values_mean_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", "   ")
+        assert profile_dir() is None
+        # An explicit empty CLI value also disables (and masks the env).
+        monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/from-env")
+        assert profile_dir("") is None
+
+    def test_shared_helper_directly(self, monkeypatch):
+        monkeypatch.setenv("SOME_DIR", "/tmp/env")
+        assert artifact_dir(None, "SOME_DIR") == "/tmp/env"
+        assert artifact_dir("/tmp/cli", "SOME_DIR") == "/tmp/cli"
+        assert artifact_dir("", "SOME_DIR") is None
+        monkeypatch.delenv("SOME_DIR")
+        assert artifact_dir(None, "SOME_DIR") is None
 
 
 class TestPaperAlignment:

@@ -1,0 +1,245 @@
+"""Tests for the hierarchical span profiler."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    ProfileError,
+    SpanProfiler,
+    current_profiler,
+    profiled,
+    profiling,
+    set_profiler,
+    span,
+)
+
+
+class TestSpanTree:
+    def test_nesting_builds_tree(self):
+        prof = SpanProfiler()
+        with prof.span("outer", "phase"):
+            with prof.span("inner-a", "solver"):
+                pass
+            with prof.span("inner-b", "solver"):
+                pass
+        assert len(prof.roots) == 1
+        root = prof.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+
+    def test_seconds_and_self_seconds(self):
+        prof = SpanProfiler()
+        with prof.span("outer"):
+            time.sleep(0.005)
+            with prof.span("inner"):
+                time.sleep(0.01)
+        root = prof.roots[0]
+        inner = root.children[0]
+        assert root.seconds >= inner.seconds > 0.0
+        assert root.self_seconds == pytest.approx(
+            root.seconds - inner.seconds, abs=1e-12
+        )
+
+    def test_walk_is_depth_first(self):
+        prof = SpanProfiler()
+        with prof.span("a"):
+            with prof.span("b"):
+                with prof.span("c"):
+                    pass
+            with prof.span("d"):
+                pass
+        assert [s.name for s in prof.roots[0].walk()] == ["a", "b", "c", "d"]
+
+    def test_attrs_kept(self):
+        prof = SpanProfiler()
+        with prof.span("s", "solver", {"n": 42}):
+            pass
+        assert prof.roots[0].attrs == {"n": 42}
+
+    def test_phase_seconds_sums_per_name(self):
+        prof = SpanProfiler()
+        for _ in range(3):
+            with prof.span("grad", "phase"):
+                with prof.span("rbf.solve", "solver"):
+                    pass
+            with prof.span("update", "phase"):
+                pass
+        phases = prof.phase_seconds()
+        assert set(phases) == {"grad", "update"}
+        assert phases["grad"] > 0.0
+
+    def test_summary_rows_aggregate(self):
+        prof = SpanProfiler()
+        for _ in range(4):
+            with prof.span("grad", "phase"):
+                pass
+        rows = prof.summary_rows()
+        assert len(rows) == 1
+        assert rows[0]["name"] == "grad"
+        assert rows[0]["calls"] == 4
+        assert rows[0]["seconds"] >= rows[0]["self_seconds"] >= 0.0
+
+
+class TestEdgeCases:
+    def test_end_without_begin_raises(self):
+        prof = SpanProfiler()
+        with pytest.raises(ProfileError, match="no span is open"):
+            prof.end()
+
+    def test_non_lifo_close_raises(self):
+        prof = SpanProfiler()
+        outer = prof.begin("outer")
+        prof.begin("inner")
+        with pytest.raises(ProfileError, match="LIFO"):
+            prof.end(outer)
+
+    def test_exception_still_closes_span(self):
+        prof = SpanProfiler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with prof.span("failing"):
+                raise RuntimeError("boom")
+        assert prof.open_spans() == 0
+        assert prof.roots[0].name == "failing"
+        assert prof.roots[0].seconds >= 0.0
+
+    def test_worker_thread_spans_get_own_track(self):
+        prof = SpanProfiler()
+
+        def work():
+            with prof.span("worker-span"):
+                pass
+
+        with prof.span("main-span"):
+            pass
+        t = threading.Thread(target=work, name="rbf-worker")
+        t.start()
+        t.join()
+
+        trace = prof.to_chrome_trace()
+        thread_meta = {
+            ev["args"]["name"]: ev["tid"]
+            for ev in trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert "rbf-worker" in thread_meta
+        by_name = {
+            ev["name"]: ev for ev in trace["traceEvents"] if ev["ph"] == "X"
+        }
+        assert by_name["worker-span"]["tid"] == thread_meta["rbf-worker"]
+        assert by_name["main-span"]["tid"] != by_name["worker-span"]["tid"]
+
+    def test_track_rss_records_watermark_delta(self):
+        prof = SpanProfiler(track_rss=True)
+        with prof.span("alloc"):
+            _ = bytearray(32 * 1024 * 1024)
+        assert prof.roots[0].rss_delta_kb >= 0
+
+
+class TestChromeTrace:
+    def _check_schema(self, trace):
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["displayTimeUnit"] == "ms"
+        for ev in trace["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+                assert isinstance(ev["cat"], str) and ev["cat"]
+
+    def test_empty_profile_is_valid(self):
+        trace = SpanProfiler().to_chrome_trace()
+        self._check_schema(trace)
+        json.dumps(trace)  # must serialise
+
+    def test_events_in_microseconds(self):
+        prof = SpanProfiler()
+        with prof.span("timed", "phase"):
+            time.sleep(0.01)
+        trace = prof.to_chrome_trace(meta={"method": "DP"})
+        self._check_schema(trace)
+        ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert ev["dur"] >= 10_000  # >= 10 ms in µs
+        assert trace["metadata"] == {"method": "DP"}
+
+    def test_save_roundtrip(self, tmp_path):
+        prof = SpanProfiler()
+        with prof.span("s"):
+            pass
+        path = tmp_path / "out.trace.json"
+        prof.save_chrome_trace(path)
+        self._check_schema(json.loads(path.read_text()))
+
+    def test_save_html(self, tmp_path):
+        prof = SpanProfiler()
+        with prof.span("grad", "phase"):
+            pass
+        path = tmp_path / "report.html"
+        prof.save_html(path, title="smoke")
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "grad" in text
+
+
+class TestModuleLevelAPI:
+    def test_disabled_span_is_shared_noop(self):
+        assert current_profiler() is None
+        cm1 = span("anything", "phase")
+        cm2 = span("else")
+        assert cm1 is cm2  # the shared no-op instance
+        with cm1:
+            pass
+
+    def test_profiling_context_installs_and_restores(self):
+        assert current_profiler() is None
+        with profiling() as prof:
+            assert current_profiler() is prof
+            with span("live", "phase"):
+                pass
+        assert current_profiler() is None
+        assert prof.roots[0].name == "live"
+
+    def test_set_profiler_returns_previous(self):
+        prof = SpanProfiler()
+        assert set_profiler(prof) is None
+        try:
+            assert current_profiler() is prof
+        finally:
+            assert set_profiler(None) is prof
+        assert current_profiler() is None
+
+    def test_null_profiler_is_falsy_noop(self):
+        assert not NULL_PROFILER
+        with NULL_PROFILER.span("x"):
+            pass
+        assert NULL_PROFILER.spans() == []
+        assert NULL_PROFILER.phase_seconds() == {}
+        assert NULL_PROFILER.summary_rows() == []
+
+    def test_dynamic_decorator(self):
+        calls = []
+
+        @profiled("decorated.fn", "function")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6  # disabled: plain call
+        with profiling() as prof:
+            assert fn(4) == 8
+        assert calls == [3, 4]
+        assert [s.name for s in prof.roots] == ["decorated.fn"]
+        assert prof.roots[0].category == "function"
+
+    def test_instance_decorator(self):
+        prof = SpanProfiler()
+
+        @prof.profiled(category="solver")
+        def assemble():
+            return 1
+
+        assert assemble() == 1
+        assert prof.roots[0].category == "solver"
+        assert "assemble" in prof.roots[0].name

@@ -1,0 +1,105 @@
+"""Tests for the standalone HTML performance report."""
+
+import json
+
+from repro.obs.profile import SpanProfiler
+from repro.obs.report import load_artifact, render_report
+
+
+def _make_trace(method="DP", problem="laplace"):
+    prof = SpanProfiler()
+    with prof.span("grad", "phase"):
+        with prof.span("rbf.solve", "solver"):
+            pass
+    with prof.span("update", "phase"):
+        pass
+    return prof, prof.to_chrome_trace(
+        meta={"method": method, "problem": problem, "wall_time_s": 0.5}
+    )
+
+
+def _make_metrics(prof, method="DP", problem="laplace"):
+    return {
+        "kind": "repro.profile.metrics",
+        "meta": {"method": method, "problem": problem, "wall_time_s": 0.5},
+        "phase_seconds": prof.phase_seconds(),
+        "spans": prof.summary_rows(),
+        "metrics": {
+            "linalg.dense.solves": {"kind": "counter", "value": 3.0},
+            "compile.op.flops": {
+                "kind": "histogram",
+                "buckets": [1.0, 10.0],
+                "counts": [1, 0, 2],
+                "sum": 25.0,
+                "count": 3,
+            },
+        },
+    }
+
+
+class TestRenderReport:
+    def test_empty_input_renders(self):
+        page = render_report([])
+        assert page.startswith("<!DOCTYPE html>")
+        assert "No profile artifacts" in page
+
+    def test_single_trace_has_flamegraph_and_phases(self):
+        _, trace = _make_trace()
+        page = render_report([trace])
+        assert "laplace · DP" in page
+        assert 'class="flame"' in page
+        assert 'class="bar-row"' in page
+        assert "grad" in page and "update" in page
+
+    def test_trace_plus_metrics_merge_into_one_run(self):
+        prof, trace = _make_trace()
+        page = render_report([trace, _make_metrics(prof)])
+        # one run section, one bar row
+        assert page.count('class="bar-row"') == 1
+        assert "linalg.dense.solves" in page
+        assert "compile.op.flops" in page
+
+    def test_multiple_methods_compared(self):
+        _, t1 = _make_trace("DAL")
+        _, t2 = _make_trace("DP")
+        page = render_report([t1, t2])
+        assert "laplace · DAL" in page
+        assert "laplace · DP" in page
+        assert page.count('class="bar-row"') == 2
+        assert 'class="legend"' in page  # >= 2 series => legend present
+
+    def test_values_are_escaped(self):
+        prof = SpanProfiler()
+        with prof.span("<script>alert(1)</script>", "phase"):
+            pass
+        page = render_report([prof.to_chrome_trace()])
+        assert "<script>alert(1)" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_dark_mode_styles_present(self):
+        page = render_report([])
+        assert "prefers-color-scheme: dark" in page
+        assert 'data-theme="dark"' in page
+
+    def test_load_artifact_round_trip(self, tmp_path):
+        _, trace = _make_trace()
+        p = tmp_path / "x.trace.json"
+        p.write_text(json.dumps(trace))
+        assert load_artifact(str(p)) == trace
+
+
+class TestCLIReport:
+    def test_obs_report_subcommand(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        prof, trace = _make_trace()
+        t = tmp_path / "laplace_dp.trace.json"
+        t.write_text(json.dumps(trace))
+        m = tmp_path / "laplace_dp.metrics.json"
+        m.write_text(json.dumps(_make_metrics(prof)))
+        out = tmp_path / "report.html"
+        rc = main(["report", str(t), str(m), "-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "laplace · DP" in text

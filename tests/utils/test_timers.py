@@ -81,6 +81,55 @@ class TestTimerLaps:
         assert Timer().laps() == {}
 
 
+class TestTimerReentrancy:
+    """Nested ``with`` on one Timer: inner mark/lap must not reset the
+    outer frame's lap state (the PeakMemory/Timer composition bug)."""
+
+    def test_nested_mark_does_not_reset_outer_lap_clock(self):
+        t = Timer()
+        with t:
+            time.sleep(0.02)  # outer lap clock accumulates
+            with t:
+                t.mark()  # inner frame only
+                t.lap("inner")
+            outer_dt = t.lap("outer")
+        # Without frame isolation the inner mark() would have zeroed the
+        # outer lap clock and outer_dt would miss the 20 ms sleep.
+        assert outer_dt > 0.015
+
+    def test_nested_laps_share_the_namespace(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+            with t:
+                time.sleep(0.01)
+                t.lap("phase")
+            t.lap("phase")
+        # Inner lap measured from inner entry; outer lap from outer entry
+        # (never marked), so the total spans both sleeps.
+        assert t.laps()["phase"] > 0.025
+
+    def test_elapsed_tracks_most_recently_exited_frame(self):
+        t = Timer()
+        with t:
+            time.sleep(0.02)
+            with t:
+                time.sleep(0.005)
+            inner_elapsed = t.elapsed
+        assert 0.004 < inner_elapsed < 0.02
+        assert t.elapsed > 0.02  # outer exit overwrites
+
+    def test_inner_exception_keeps_outer_frame_usable(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+            with pytest.raises(RuntimeError, match="boom"):
+                with t:
+                    raise RuntimeError("boom")
+            dt = t.lap("outer")
+        assert dt > 0.005
+
+
 class TestPeakMemory:
     def test_detects_allocation(self):
         with PeakMemory() as m:
