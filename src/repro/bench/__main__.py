@@ -25,6 +25,13 @@ Options
     ``<problem>_<method>.metrics.json`` snapshot per run into ``DIR``.
     Defaults to ``$REPRO_PROFILE_DIR`` when set; the CLI flag wins.
     Render the artifacts with ``python -m repro.obs report DIR/*.json``.
+``--jobs N``
+    Fan the run matrix across ``N`` worker processes (default:
+    ``$REPRO_JOBS``, else serial).  With more than one matrix entry the
+    runs themselves parallelise (one worker per method × problem) and any
+    requested artifacts are additionally merged into a ``bench_merged.*``
+    set; with a single entry the PINN ω line search parallelises instead.
+    Results are bitwise-identical to a serial run either way.
 """
 
 from __future__ import annotations
@@ -49,8 +56,19 @@ from repro.bench.tables import render_performance_table
 from repro.obs.metrics import get_registry, use_registry
 from repro.obs.profile import SpanProfiler, profiling
 from repro.obs.recorder import TraceRecorder
+from repro.parallel import ParallelEngine, Task, resolve_jobs
 
 METHODS = ("dal", "dp", "pinn")
+
+#: The full run matrix, keyed ``(problem, method)`` in canonical order.
+RUNNERS = {
+    ("laplace", "dal"): run_laplace_dal,
+    ("laplace", "dp"): run_laplace_dp,
+    ("laplace", "pinn"): run_laplace_pinn,
+    ("ns", "dal"): run_ns_dal,
+    ("ns", "dp"): run_ns_dp,
+    ("ns", "pinn"): run_ns_pinn,
+}
 
 
 def _parse_methods(spec: str) -> "tuple[str, ...]":
@@ -118,6 +136,47 @@ def _run(trace_out, profile_out, runner, *args, **kwargs):
     return result
 
 
+def _matrix_task(problem_key, method, trace_out, profile_out):
+    """One matrix entry, run inside a parallel worker.
+
+    The worker rebuilds the problem from the (environment-derived) scale
+    rather than receiving it pickled, so fork and spawn start methods
+    behave identically.  Per-run artifacts land in the shared output
+    directories under the same stems a serial run uses.
+    """
+    runner = RUNNERS[(problem_key, method)]
+    return _run(trace_out, profile_out, runner, scale=get_scale())
+
+
+def _merge_matrix_artifacts(trace_out, profile_out, results) -> None:
+    """Fold per-run artifact files into one ``bench_merged.*`` set."""
+    from repro.obs.merge import merge_profile_artifacts, merge_trace_jsonl
+
+    stems = sorted(f"{r.problem}_{r.method.lower()}" for r in results)
+    meta = {"merged": "bench matrix", "runs": stems}
+    if profile_out is not None:
+        traces = [os.path.join(profile_out, f"{s}.trace.json") for s in stems]
+        metrics = [os.path.join(profile_out, f"{s}.metrics.json") for s in stems]
+        written = merge_profile_artifacts(
+            [p for p in traces if os.path.exists(p)],
+            [p for p in metrics if os.path.exists(p)],
+            os.path.join(profile_out, "bench_merged"),
+            meta=meta,
+        )
+        for path in written:
+            print(f"    merged -> {path}")
+    if trace_out is not None:
+        shards = [
+            os.path.join(trace_out, f"{s}.jsonl")
+            for s in stems
+            if os.path.exists(os.path.join(trace_out, f"{s}.jsonl"))
+        ]
+        if shards:
+            path = os.path.join(trace_out, "bench_merged.jsonl")
+            merge_trace_jsonl(shards, path, meta=meta)
+            print(f"    merged -> {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -136,50 +195,83 @@ def main(argv=None) -> int:
     parser.add_argument("--profile-dir", default=None, metavar="DIR",
                         help="write per-run Chrome traces + metrics JSON here "
                              "(overrides $REPRO_PROFILE_DIR)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the run matrix / PINN "
+                             "line search (overrides $REPRO_JOBS)")
     args = parser.parse_args(argv)
 
     methods = tuple(m for m in args.methods if not (args.skip_pinn and m == "pinn"))
     trace_out = trace_dir(args.trace_dir)
     profile_out = profile_dir(args.profile_dir)
+    jobs = resolve_jobs(args.jobs)
 
     scale = get_scale()
-    print(f"scale tier: {scale.name}  (set REPRO_FULL=1 for paper scale)\n")
+    print(f"scale tier: {scale.name}  (set REPRO_FULL=1 for paper scale)")
+    print(f"jobs: {jobs}\n" if jobs > 1 else "")
     for out in (trace_out, profile_out):
         if out:
             os.makedirs(out, exist_ok=True)
 
-    results = []
-    if args.problem in ("laplace", "all"):
-        prob = make_laplace_problem(scale)
-        print(f"Laplace problem: {prob.cloud.n} nodes, "
-              f"{prob.n_control}-dimensional control")
-        for name, runner in (("dal", run_laplace_dal), ("dp", run_laplace_dp)):
-            if name not in methods:
-                continue
-            r = _run(trace_out, profile_out, runner, prob, scale)
-            results.append(r)
-            print("  " + r.summary())
-        if "pinn" in methods:
-            r = _run(trace_out, profile_out, run_laplace_pinn, prob, scale)
-            results.append(r)
-            print("  " + r.summary()
-                  + f"  (omega* = {r.extra['best_omega']:g})")
+    problems = tuple(
+        p for p in ("laplace", "ns") if args.problem in (p, "all")
+    )
+    matrix = [(p, m) for p in problems for m in methods]
+    fan_matrix = jobs > 1 and len(matrix) > 1
 
-    if args.problem in ("ns", "all"):
-        prob = make_ns_problem(scale)
-        print(f"\nNavier-Stokes channel: {prob.cloud.n} nodes, "
-              f"Re = {scale.ns.reynolds:g}")
-        for name, runner in (("dal", run_ns_dal), ("dp", run_ns_dp)):
-            if name not in methods:
-                continue
-            r = _run(trace_out, profile_out, runner, prob, scale)
-            results.append(r)
-            print("  " + r.summary())
-        if "pinn" in methods:
-            r = _run(trace_out, profile_out, run_ns_pinn, prob, scale)
-            results.append(r)
-            print("  " + r.summary()
-                  + f"  (physical J = {r.extra['physical_cost']:.3e})")
+    results = []
+    if fan_matrix:
+        # One worker per matrix entry; inside a worker the nested-fan-out
+        # guard resolves the PINN line search back to serial.  A failed
+        # entry loses only its own row of the table.
+        engine = ParallelEngine(jobs=jobs, root_seed=0)
+        tasks = [
+            Task(key=f"{p}_{m}", fn=_matrix_task,
+                 args=(p, m, trace_out, profile_out))
+            for p, m in matrix
+        ]
+        for (p, m), res in zip(matrix, engine.run(tasks)):
+            if res.ok:
+                results.append(res.value)
+                print("  " + res.value.summary())
+            else:
+                detail = (res.error or {}).get("message", res.status)
+                print(f"  {p}/{m}: FAILED ({res.status}: {detail})",
+                      file=sys.stderr)
+        _merge_matrix_artifacts(trace_out, profile_out, results)
+    else:
+        if "laplace" in problems:
+            prob = make_laplace_problem(scale)
+            print(f"Laplace problem: {prob.cloud.n} nodes, "
+                  f"{prob.n_control}-dimensional control")
+            for name, runner in (("dal", run_laplace_dal), ("dp", run_laplace_dp)):
+                if name not in methods:
+                    continue
+                r = _run(trace_out, profile_out, runner, prob, scale)
+                results.append(r)
+                print("  " + r.summary())
+            if "pinn" in methods:
+                r = _run(trace_out, profile_out, run_laplace_pinn, prob, scale,
+                         jobs=jobs)
+                results.append(r)
+                print("  " + r.summary()
+                      + f"  (omega* = {r.extra['best_omega']:g})")
+
+        if "ns" in problems:
+            prob = make_ns_problem(scale)
+            print(f"\nNavier-Stokes channel: {prob.cloud.n} nodes, "
+                  f"Re = {scale.ns.reynolds:g}")
+            for name, runner in (("dal", run_ns_dal), ("dp", run_ns_dp)):
+                if name not in methods:
+                    continue
+                r = _run(trace_out, profile_out, runner, prob, scale)
+                results.append(r)
+                print("  " + r.summary())
+            if "pinn" in methods:
+                r = _run(trace_out, profile_out, run_ns_pinn, prob, scale,
+                         jobs=jobs)
+                results.append(r)
+                print("  " + r.summary()
+                      + f"  (physical J = {r.extra['physical_cost']:.3e})")
 
     print()
     print(render_performance_table(

@@ -193,8 +193,14 @@ def run_laplace_pinn(
     problem: Optional[LaplaceControlProblem] = None,
     scale: Optional[ExperimentScale] = None,
     recorder=None,
+    jobs: Optional[int] = None,
 ) -> ControlResult:
-    """PINN with the two-step ω line search on Laplace (Fig. 3c–e)."""
+    """PINN with the two-step ω line search on Laplace (Fig. 3c–e).
+
+    ``jobs`` fans the ω candidates across worker processes (default: the
+    ``$REPRO_JOBS`` resolution of :func:`repro.parallel.resolve_jobs`);
+    results are bitwise-identical to the serial search.
+    """
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
     cfg = PINNTrainConfig(
@@ -208,7 +214,9 @@ def run_laplace_pinn(
     _tag_trace(recorder, "PINN", "laplace", s, prob.backend)
 
     def run():
-        return omega_line_search(pinn, s.pinn.laplace_omegas, recorder=recorder)
+        return omega_line_search(
+            pinn, s.pinn.laplace_omegas, recorder=recorder, jobs=jobs
+        )
 
     ls, t, mem = measure_run(run, recorder)
     c = pinn.control_values(ls.params_c)
@@ -229,14 +237,17 @@ def run_laplace_pinn(
         extra={
             "surrogate_cost": ls.best_cost,
             "physical_cost": physical_cost,
-            "omegas": list(s.pinn.laplace_omegas),
+            "omegas": list(ls.omegas),
             "best_omega": ls.best_omega,
             "step1_final_losses": [r.loss_history[-1] for r in ls.step1],
             "step1_final_costs": [r.cost_history[-1] for r in ls.step1],
             "step1_final_residuals": [r.residual_history[-1] for r in ls.step1],
             "step2_costs": ls.step2_costs,
+            # Index into the ω values that actually ran (ls.omegas), not
+            # the requested list — a failed parallel candidate drops out
+            # of both ls.omegas and ls.step1, keeping them aligned.
             "epoch_cost_history": ls.step1[
-                list(s.pinn.laplace_omegas).index(ls.best_omega)
+                ls.omegas.index(float(ls.best_omega))
             ].cost_history,
         },
     )
@@ -327,8 +338,13 @@ def run_ns_pinn(
     problem: Optional[ChannelFlowProblem] = None,
     scale: Optional[ExperimentScale] = None,
     recorder=None,
+    jobs: Optional[int] = None,
 ) -> ControlResult:
-    """PINN with the two-step ω line search on the channel problem."""
+    """PINN with the two-step ω line search on the channel problem.
+
+    ``jobs`` fans the ω candidates across worker processes; results are
+    bitwise-identical to the serial search.
+    """
     s = scale or get_scale()
     prob = problem or make_ns_problem(s)
     cfg = PINNTrainConfig(
@@ -345,7 +361,9 @@ def run_ns_pinn(
     _tag_trace(recorder, "PINN", "navier-stokes", s, prob.backend)
 
     def run():
-        return omega_line_search(pinn, s.pinn.ns_omegas, recorder=recorder)
+        return omega_line_search(
+            pinn, s.pinn.ns_omegas, recorder=recorder, jobs=jobs
+        )
 
     ls, t, mem = measure_run(run, recorder)
     c = pinn.control_values(ls.params_c)
@@ -365,7 +383,7 @@ def run_ns_pinn(
         peak_mem_bytes=mem,
         cost_history=[r.cost_history[-1] for r in ls.step1],
         extra={
-            "omegas": list(s.pinn.ns_omegas),
+            "omegas": list(ls.omegas),
             "best_omega": ls.best_omega,
             "step2_costs": ls.step2_costs,
             "surrogate_cost": ls.best_cost,

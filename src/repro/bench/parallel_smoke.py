@@ -1,0 +1,185 @@
+"""CI smoke gate: parallel execution must be bitwise-faithful (and fast).
+
+Runs the Laplace PINN two-step ω line search twice — serial and fanned
+across ``--jobs`` worker processes — and fails unless both runs select
+the same ω*, report bit-identical costs, and emit identical convergence
+traces (modulo timing fields, via the standard
+:class:`~repro.obs.compare.TolerancePolicy`).  Wall times and the
+measured speedup are written to a JSON artifact, together with the merged
+worker observability set (one Chrome trace with per-worker tracks, one
+summed metrics snapshot).
+
+The speedup *gate* adapts to the machine: parallel speedup is physically
+impossible on a single hardware thread, so the threshold defaults to
+2.0× only when at least four CPUs are available, 1.2× on two to three,
+and correctness-only below that.  The measured number is always recorded
+in the artifact — honestly, including slowdowns.
+
+Usage::
+
+    python -m repro.bench.parallel_smoke [--jobs 4] [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.cloud.square import SquareCloud
+from repro.control.pinn import LaplacePINN, PINNTrainConfig, omega_line_search
+from repro.obs.compare import TolerancePolicy, diff_traces, format_diff
+from repro.obs.metrics import use_registry
+from repro.obs.profile import SpanProfiler, profiling
+from repro.obs.recorder import TraceRecorder
+from repro.pde.laplace import LaplaceControlProblem
+
+#: Four candidates spanning the paper's decisive decades (ω* = 1e-1).
+DEFAULT_OMEGAS = (1e-2, 1e-1, 1.0, 1e1)
+
+
+def _default_min_speedup() -> float:
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        return 2.0
+    if cpus >= 2:
+        return 1.2
+    return 0.0  # single hardware thread: gate correctness only
+
+
+def _flat(params) -> np.ndarray:
+    out = []
+    for layer in params:
+        out.append(layer["W"].ravel())
+        out.append(layer["b"].ravel())
+    return np.concatenate(out)
+
+
+def _run_once(problem, cfg, omegas, hidden, jobs, profiler=None):
+    """One full line search; returns (result, recorder, wall seconds)."""
+    pinn = LaplacePINN(problem, state_hidden=hidden, control_hidden=(8,),
+                       config=cfg)
+    recorder = TraceRecorder(mode="serial" if jobs <= 1 else f"jobs={jobs}")
+    t0 = time.perf_counter()
+    if profiler is not None:
+        with use_registry(), profiling(profiler):
+            ls = omega_line_search(pinn, omegas, recorder=recorder, jobs=jobs)
+    else:
+        ls = omega_line_search(pinn, omegas, recorder=recorder, jobs=jobs)
+    return ls, recorder, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="worker processes for the parallel run")
+    ap.add_argument("--nx", type=int, default=12, help="cloud resolution")
+    ap.add_argument("--epochs", type=int, default=120,
+                    help="step-1/2 training epochs per candidate")
+    ap.add_argument("--omegas", type=float, nargs="+",
+                    default=list(DEFAULT_OMEGAS),
+                    help="candidate omegas (>= 4 for the acceptance run)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail below this parallel speedup "
+                         "(default: 2.0 with >=4 CPUs, 1.2 with 2-3, "
+                         "0 on a single CPU)")
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="write speedup JSON + merged obs artifacts here")
+    args = ap.parse_args(argv)
+    if args.jobs < 2:
+        ap.error("--jobs must be >= 2 (the point is to exercise the pool)")
+    min_speedup = (
+        _default_min_speedup() if args.min_speedup is None else args.min_speedup
+    )
+
+    problem = LaplaceControlProblem(SquareCloud(args.nx))
+    cfg = PINNTrainConfig(epochs=args.epochs, lr=2e-3, n_interior=80,
+                          n_boundary=12, seed=0)
+    hidden = (12, 12)
+
+    ls_s, rec_s, t_serial = _run_once(
+        problem, cfg, args.omegas, hidden, jobs=1
+    )
+    profiler = SpanProfiler()
+    ls_p, rec_p, t_parallel = _run_once(
+        problem, cfg, args.omegas, hidden, jobs=args.jobs, profiler=profiler
+    )
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    print(
+        f"laplace-pinn line search, {len(args.omegas)} omegas x "
+        f"{args.epochs} epochs (nx={args.nx}, {cpus} CPUs):\n"
+        f"  serial        {t_serial:8.2f} s\n"
+        f"  --jobs {args.jobs}      {t_parallel:8.2f} s   "
+        f"speedup {speedup:.2f}x\n"
+        f"  omega*: serial {ls_s.best_omega:g}  parallel {ls_p.best_omega:g}\n"
+        f"  J:      serial {ls_s.best_cost!r}  parallel {ls_p.best_cost!r}"
+    )
+
+    failures = []
+    if ls_p.best_omega != ls_s.best_omega:
+        failures.append("parallel selected a different omega*")
+    if ls_p.best_cost != ls_s.best_cost:
+        failures.append("parallel best cost is not bit-identical to serial")
+    if ls_p.step2_costs != ls_s.step2_costs:
+        failures.append("step-2 costs differ between serial and parallel")
+    if not np.array_equal(_flat(ls_p.params_u_retrained),
+                          _flat(ls_s.params_u_retrained)):
+        failures.append("retrained state parameters differ")
+    deviations = diff_traces(rec_s, rec_p, TolerancePolicy())
+    if deviations:
+        failures.append(
+            f"convergence traces deviate:\n{format_diff(deviations[:10])}"
+        )
+    if ls_p.failures or ls_s.failures:
+        failures.append("a line-search candidate failed during the smoke run")
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        artifact = {
+            "kind": "repro.parallel.smoke",
+            "problem": "laplace-pinn-line-search",
+            "omegas": [float(o) for o in args.omegas],
+            "epochs": args.epochs,
+            "nx": args.nx,
+            "jobs": args.jobs,
+            "cpu_count": cpus,
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "speedup": speedup,
+            "min_speedup_gate": min_speedup,
+            "best_omega": float(ls_s.best_omega),
+            "best_cost": float(ls_s.best_cost),
+            "bitwise_identical": not failures,
+        }
+        path = os.path.join(args.out_dir, "parallel_speedup.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=1)
+        print(f"  artifact -> {path}")
+        trace_path = os.path.join(args.out_dir, "parallel_smoke.trace.json")
+        profiler.save_chrome_trace(trace_path, meta={"jobs": args.jobs})
+        rec_p.to_jsonl(os.path.join(args.out_dir, "parallel_smoke.jsonl"))
+        print(f"  merged trace -> {trace_path}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    if speedup < min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the {min_speedup:.1f}x gate "
+            f"({cpus} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

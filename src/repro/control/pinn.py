@@ -89,7 +89,14 @@ class PINNRunResult:
 
 @dataclass
 class LineSearchResult:
-    """Outcome of the two-step ω line search."""
+    """Outcome of the two-step ω line search.
+
+    ``omegas`` lists the ω values that completed, aligned with ``step1``
+    and ``step2_costs``.  Under parallel execution a crashed or failed ω
+    task is excluded from the candidate set instead of aborting the
+    search; its structured :class:`~repro.parallel.task.TaskResult` is
+    kept in ``failures``.
+    """
 
     best_omega: float
     best_cost: float
@@ -97,6 +104,8 @@ class LineSearchResult:
     step2_costs: List[float]
     params_u_retrained: Any
     params_c: Any
+    omegas: List[float] = field(default_factory=list)
+    failures: List[Any] = field(default_factory=list)
 
 
 def _train(
@@ -307,7 +316,11 @@ class LaplacePINN:
     ):
         """Line-search step 2: fresh state net, frozen control, no ωJ."""
         cfg = config or self.config
-        params = {"u": self.net_u.init_params((seed or cfg.seed) + 7)}
+        # ``seed=0`` must mean seed 0, not "fall back to the config seed"
+        # — the parallel line search derives per-task seeds that can
+        # legitimately be any integer.
+        base_seed = cfg.seed if seed is None else seed
+        params = {"u": self.net_u.init_params(base_seed + 7)}
 
         def forward_loss(p):
             return self.residual_loss(p["u"]) + self.boundary_loss(
@@ -500,7 +513,8 @@ class NavierStokesPINN:
     ):
         """Line-search step 2 for the channel problem."""
         cfg = config or self.config
-        params = {"u": self.net_u.init_params((seed or cfg.seed) + 7)}
+        base_seed = cfg.seed if seed is None else seed  # 0 is a valid seed
+        params = {"u": self.net_u.init_params(base_seed + 7)}
 
         def forward_loss(p):
             return self.residual_loss(p["u"]) + self.boundary_loss(p["u"], params_c)
@@ -541,12 +555,39 @@ class NavierStokesPINN:
 # ======================================================================
 # Two-step line search (shared)
 # ======================================================================
+def _omega_task_key(omega: float) -> str:
+    """Stable task identity for one ω candidate (drives seed derivation)."""
+    return f"omega={float(omega):.17g}"
+
+
+def _omega_task(pinn, omega, cfg1, cfg2, seed, want_trace):
+    """One ω candidate, end to end: step-1 pair, step-2 retrain, eval.
+
+    Module-level so the parallel engine can ship it to workers under any
+    start method.  Identical code runs on the serial path — per-ω results
+    are bitwise equal between serial and parallel execution because the
+    seed is an explicit argument, not ambient state.
+    """
+    from repro.obs.recorder import TraceRecorder
+
+    recorder = TraceRecorder() if want_trace else None
+    with _span("pinn.train_pair", "method", {"omega": float(omega)}):
+        run = pinn.train_pair(omega, cfg1, seed=seed, recorder=recorder)
+    with _span("pinn.retrain_state", "method", {"omega": float(omega)}):
+        pu_re, _ = pinn.retrain_state(run.params_c, cfg2, seed=seed)
+    with _span("eval", "phase"):
+        cost = pinn.evaluate_cost(pu_re)
+    return {"run": run, "cost": float(cost), "params_u": pu_re, "trace": recorder}
+
+
 def omega_line_search(
     pinn,
     omegas: Sequence[float],
     config_step1: Optional[PINNTrainConfig] = None,
     config_step2: Optional[PINNTrainConfig] = None,
     recorder=None,
+    jobs: Optional[int] = None,
+    engine=None,
 ) -> LineSearchResult:
     """Run the Mowlavi & Nabi two-step strategy over an ω range.
 
@@ -554,27 +595,89 @@ def omega_line_search(
     ω* = 1e-1, and 9 values (1e-3 … 1e+5) for Navier–Stokes, settling on
     ω* = 1.
 
+    Every ω trains from a seed derived from ``(cfg1.seed, ω)`` — never
+    from shared RNG state — so the search is embarrassingly parallel and
+    its outcome is independent of execution order.  With ``jobs > 1``
+    (or ``$REPRO_JOBS``) the candidates fan out across worker processes
+    via :mod:`repro.parallel`; step 2 retrains only the candidates whose
+    step-1 worker survived (a crashed or failed ω is dropped from the
+    search, recorded in ``LineSearchResult.failures``).  Serial and
+    parallel runs produce bitwise-identical ``best_omega`` / costs.
+
     ``recorder`` receives the step-1 training epochs of every ω in
     sequence (epoch indices restart per ω; the ``omega`` metadata key
     reflects the most recent run) plus the line-search verdict.
     """
+    from repro.parallel import ParallelEngine, TaskError, resolve_jobs
+    from repro.parallel.seeding import derive_seed
+
     if not omegas:
         raise ValueError("need at least one omega")
     cfg1 = config_step1 or pinn.config
     cfg2 = config_step2 or cfg1
+    seeds = [derive_seed(cfg1.seed, _omega_task_key(o)) for o in omegas]
+    n_jobs = engine.jobs if engine is not None else resolve_jobs(jobs)
+
     step1: List[PINNRunResult] = []
     step2_costs: List[float] = []
+    omegas_run: List[float] = []
+    failures: List[Any] = []
     best = None
 
-    for omega in omegas:
-        with _span("pinn.train_pair", "method", {"omega": float(omega)}):
-            run = pinn.train_pair(omega, cfg1, recorder=recorder)
+    if n_jobs > 1 and len(omegas) > 1:
+        from repro.parallel.task import Task
+
+        eng = engine or ParallelEngine(jobs=n_jobs, root_seed=cfg1.seed)
+        tasks = [
+            Task(
+                key=_omega_task_key(o),
+                fn=_omega_task,
+                args=(pinn, o, cfg1, cfg2, s, recorder is not None),
+            )
+            for o, s in zip(omegas, seeds)
+        ]
+        with _span("pinn.line_search", "method", {"jobs": eng.jobs}):
+            task_results = eng.run(tasks)
+        outcomes = []
+        for omega, res in zip(omegas, task_results):
+            if res.ok:
+                outcomes.append((omega, res.value))
+            else:
+                failures.append(res)
+        if not outcomes:
+            first = failures[0]
+            raise TaskError(
+                f"all {len(omegas)} omega tasks failed; first: "
+                f"{first.key} -> {first.status} "
+                f"({(first.error or {}).get('message', 'no detail')})"
+            )
+    else:
+        # Serial path: stream every ω's epochs straight into the shared
+        # recorder (same record stream a parallel run reassembles from
+        # worker shards, modulo timing fields).
+        outcomes = []
+        for omega, seed in zip(omegas, seeds):
+            with _span("pinn.train_pair", "method", {"omega": float(omega)}):
+                run = pinn.train_pair(omega, cfg1, seed=seed, recorder=recorder)
+            with _span("pinn.retrain_state", "method", {"omega": float(omega)}):
+                pu_re, _ = pinn.retrain_state(run.params_c, cfg2, seed=seed)
+            with _span("eval", "phase"):
+                cost = pinn.evaluate_cost(pu_re)
+            value = {
+                "run": run,
+                "cost": float(cost),
+                "params_u": pu_re,
+                "trace": None,
+            }
+            outcomes.append((omega, value))
+
+    for omega, value in outcomes:
+        run, cost, pu_re = value["run"], value["cost"], value["params_u"]
+        if recorder and value["trace"] is not None:
+            recorder.absorb(value["trace"])
         step1.append(run)
-        with _span("pinn.retrain_state", "method", {"omega": float(omega)}):
-            pu_re, _ = pinn.retrain_state(run.params_c, cfg2)
-        with _span("eval", "phase"):
-            cost = pinn.evaluate_cost(pu_re)
         step2_costs.append(cost)
+        omegas_run.append(float(omega))
         if best is None or cost < best[1]:
             best = (omega, cost, pu_re, run.params_c)
 
@@ -584,6 +687,8 @@ def omega_line_search(
             best_omega=float(best[0]),
             step2_costs=[float(c) for c in step2_costs],
         )
+        if failures:
+            recorder.set_meta(failed_tasks=[f.to_dict() for f in failures])
 
     return LineSearchResult(
         best_omega=best[0],
@@ -592,4 +697,6 @@ def omega_line_search(
         step2_costs=step2_costs,
         params_u_retrained=best[2],
         params_c=best[3],
+        omegas=omegas_run,
+        failures=failures,
     )

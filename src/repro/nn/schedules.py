@@ -42,15 +42,46 @@ class PiecewiseConstantSchedule:
                 raise ValueError("milestone fractions must be in (0, 1)")
         self.base_lr = float(base_lr)
         self.milestones = dict(sorted(milestones.items()))
+        # Exact rational value of each milestone's stored double — the
+        # threshold comparison below runs in integer arithmetic, so the
+        # firing step never depends on how ``step / total`` happens to
+        # round.  Thresholds are cached per ``total`` (schedules are
+        # called once per optimiser iteration with a fixed total).
+        self._ratios = [
+            (float(m).as_integer_ratio(), mult)
+            for m, mult in self.milestones.items()
+        ]
+        self._threshold_cache: Dict[int, list] = {}
+
+    def _thresholds(self, total: int) -> list:
+        """``[(first_firing_step, multiplier), …]`` for a given total.
+
+        A milestone ``m`` fires at the smallest integer step with
+        ``step / total >= m`` (evaluated exactly): ``ceil(m * total)``.
+        Consequences worth pinning: with odd ``total`` the 50 % milestone
+        fires at ``(total + 1) // 2`` (the first step past the midpoint);
+        with ``total == 1`` no milestone in (0, 1) ever fires and the
+        single step runs at the base rate; with ``total == 2`` the paper
+        schedule yields ``[base, base / 10]`` (75 % fires at step 2,
+        which is out of range).
+        """
+        cached = self._threshold_cache.get(total)
+        if cached is None:
+            cached = self._threshold_cache[total] = [
+                (-(-num * total // den), mult)  # ceil(num * total / den)
+                for (num, den), mult in self._ratios
+            ]
+        return cached
 
     def __call__(self, step: int, total: int) -> float:
         """Learning rate at ``step`` (0-based) of a ``total``-step run."""
         if total <= 0:
             raise ValueError("total must be positive")
-        frac = step / total
+        if step < 0:
+            raise ValueError("step must be non-negative")
         factor = 1.0
-        for milestone, mult in self.milestones.items():
-            if frac >= milestone:
+        for threshold, mult in self._thresholds(total):
+            if step >= threshold:
                 factor = mult
         return self.base_lr * factor
 

@@ -21,6 +21,13 @@ Public surface:
 """
 
 from repro.obs.compare import Deviation, TolerancePolicy, diff_traces, format_diff
+from repro.obs.merge import (
+    merge_chrome_traces,
+    merge_metrics_payloads,
+    merge_profile_artifacts,
+    merge_snapshots,
+    merge_trace_jsonl,
+)
 from repro.obs.hooks import (
     record_compile_cache,
     record_oracle_telemetry,
@@ -78,6 +85,11 @@ __all__ = [
     "diff_traces",
     "format_diff",
     "get_registry",
+    "merge_chrome_traces",
+    "merge_metrics_payloads",
+    "merge_profile_artifacts",
+    "merge_snapshots",
+    "merge_trace_jsonl",
     "profiled",
     "profiling",
     "record_compile_cache",

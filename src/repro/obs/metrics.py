@@ -236,6 +236,42 @@ class MetricsRegistry:
             for name, v in sorted(caches.items())
         ]
 
+    # -- merge (parallel worker shards) --------------------------------
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The parallel engine gives every worker process a *fresh* registry
+        and ships its snapshot back as a shard; merging sums them into
+        the parent so artifacts look like one run.  Because each shard
+        starts from zero, summation is the correct combination for every
+        instrument kind — including gauges: a worker's ``cache.*`` gauge
+        holds that task's cumulative totals and the tasks are disjoint.
+        Histogram bucket boundaries must match (they are fixed at
+        construction precisely so snapshots stay mergeable).
+        """
+        for name in sorted(snapshot):
+            spec = snapshot[name]
+            kind = spec.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(spec.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).inc(float(spec.get("value", 0.0)))
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in spec.get("buckets", ()))
+                h = self.histogram(name, bounds or TIME_BUCKETS)
+                if bounds and bounds != h.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket boundaries differ between "
+                        f"shards ({bounds} vs {h.buckets}); snapshots are only "
+                        "mergeable across identical boundaries"
+                    )
+                for i, c in enumerate(spec.get("counts", ())):
+                    h.counts[i] += int(c)
+                h.sum += float(spec.get("sum", 0.0))
+                h.count += int(spec.get("count", 0))
+            else:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict snapshot of every instrument (JSON-ready)."""
@@ -264,6 +300,13 @@ class MetricsRegistry:
 _DEFAULT = MetricsRegistry()
 _registry = _DEFAULT
 
+# Guards installation/restoration of the process-wide registry.  Reads
+# (``get_registry``) stay lock-free — a single global load — because the
+# hot loops call it per event; only the rare install path pays for the
+# lock.  An RLock so an installer may re-enter (e.g. a hook that swaps
+# registries while already holding the lock via ``use_registry``).
+_INSTALL_LOCK = threading.RLock()
+
 
 def get_registry() -> MetricsRegistry:
     """The active process-wide registry."""
@@ -271,11 +314,18 @@ def get_registry() -> MetricsRegistry:
 
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
-    """Install ``registry`` process-wide; returns the previous one."""
+    """Install ``registry`` process-wide; returns the previous one.
+
+    Install and read-of-previous happen atomically under a module lock,
+    so concurrent installers (e.g. task-completion callbacks on different
+    threads) cannot interleave and observe each other's half-applied
+    swap.
+    """
     global _registry
-    previous = _registry
-    _registry = registry
-    return previous
+    with _INSTALL_LOCK:
+        previous = _registry
+        _registry = registry
+        return previous
 
 
 class _UseRegistry:
@@ -290,10 +340,25 @@ class _UseRegistry:
         return self._registry
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        set_registry(self._previous)
+        # Restore only if our install is still the active one.  If a
+        # concurrent ``set_registry``/``use_registry`` replaced it while
+        # this block ran, blindly restoring ``_previous`` would clobber
+        # that installer's registry with a stale one — exactly the
+        # interleaving bug concurrent task callbacks used to hit.  The
+        # check-and-restore is atomic under the install lock.
+        global _registry
+        with _INSTALL_LOCK:
+            if _registry is self._registry:
+                _registry = self._previous
         return False
 
 
 def use_registry(registry: Optional[MetricsRegistry] = None) -> _UseRegistry:
-    """``with use_registry() as reg:`` — scoped (fresh) registry install."""
+    """``with use_registry() as reg:`` — scoped (fresh) registry install.
+
+    Reentrant: blocks may nest (each restores its own predecessor), and
+    the context is safe against concurrent installs — on exit the
+    previous registry is restored only if this block's registry is still
+    the active one, so a stale restore can never clobber a newer install.
+    """
     return _UseRegistry(registry)

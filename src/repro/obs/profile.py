@@ -179,6 +179,9 @@ class SpanProfiler:
         self._local = threading.local()
         # Thread registration order -> stable small track ids.
         self._threads: Dict[int, str] = {}
+        # Chrome-trace events absorbed from worker-process shards; they
+        # carry their own (real) pid/tid and are re-emitted verbatim.
+        self._external: List[Dict[str, Any]] = []
 
     def __bool__(self) -> bool:
         return True
@@ -279,6 +282,27 @@ class SpanProfiler:
         """Number of spans still open on the calling thread."""
         return len(self._stack())
 
+    # -- worker shards -------------------------------------------------
+    def absorb_chrome_trace(self, doc: Dict[str, Any]) -> None:
+        """Merge a worker shard's Chrome trace into this profiler.
+
+        The parallel engine hands over the ``to_chrome_trace`` document a
+        worker process exported; its events keep their real pid/tid, so
+        each worker appears as its own process track next to the parent's
+        spans in Perfetto.  Absorbed events also contribute to
+        :meth:`phase_seconds` and :meth:`summary_rows` (total seconds and
+        call counts; self-time attribution stays in the worker's own
+        metrics shard, where the span tree lived).
+        """
+        events = [e for e in doc.get("traceEvents", []) if isinstance(e, dict)]
+        with self._lock:
+            self._external.extend(events)
+
+    def external_events(self) -> List[Dict[str, Any]]:
+        """Absorbed worker-shard events (verbatim Chrome-trace dicts)."""
+        with self._lock:
+            return list(self._external)
+
     # -- views ---------------------------------------------------------
     def spans(self) -> List[Span]:
         """All *finished* spans, depth-first from each root, all threads."""
@@ -301,6 +325,10 @@ class SpanProfiler:
         for sp in self.spans():
             if sp.category == category:
                 totals[sp.name] = totals.get(sp.name, 0.0) + sp.seconds
+        for ev in self.external_events():
+            if ev.get("ph") == "X" and ev.get("cat") == category:
+                name = str(ev.get("name", ""))
+                totals[name] = totals.get(name, 0.0) + float(ev.get("dur", 0.0)) / 1e6
         return totals
 
     def summary_rows(self) -> List[Dict[str, Any]]:
@@ -321,6 +349,25 @@ class SpanProfiler:
             row["seconds"] += sp.seconds
             row["self_seconds"] += sp.self_seconds
             row["rss_delta_kb"] += sp.rss_delta_kb
+        for ev in self.external_events():
+            if ev.get("ph") != "X":
+                continue
+            name = str(ev.get("name", ""))
+            category = str(ev.get("cat", "") or "")
+            row = rows.get((name, category))
+            if row is None:
+                row = rows[(name, category)] = {
+                    "name": name,
+                    "category": category,
+                    "calls": 0,
+                    "seconds": 0.0,
+                    # Absorbed events are flat (no tree): self time is
+                    # attributed in the worker's own metrics shard.
+                    "self_seconds": 0.0,
+                    "rss_delta_kb": 0,
+                }
+            row["calls"] += 1
+            row["seconds"] += float(ev.get("dur", 0.0)) / 1e6
         return sorted(rows.values(), key=lambda r: r["seconds"], reverse=True)
 
     # -- export --------------------------------------------------------
@@ -374,6 +421,9 @@ class SpanProfiler:
                         "args": args,
                     }
                 )
+        # Worker-shard events ride along verbatim: their pid/tid are the
+        # worker's real ones, so each worker gets its own process track.
+        events.extend(self.external_events())
         out: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
         if meta:
             out["metadata"] = dict(meta)
@@ -421,6 +471,12 @@ class NullProfiler:
         return {}
 
     def summary_rows(self):
+        return []
+
+    def absorb_chrome_trace(self, doc):
+        return None
+
+    def external_events(self):
         return []
 
 

@@ -125,6 +125,17 @@ class TraceRecorder:
             CacheRecord(cache=cache, hits=int(hits), misses=int(misses))
         )
 
+    def absorb(self, other: "TraceRecorder") -> None:
+        """Append another recorder's records and merge its metadata.
+
+        Used to fold per-task recorders from parallel workers back into
+        the parent's trace in task order — the merged record stream (and
+        the last-write-wins metadata) matches what the serial run would
+        have emitted into one shared recorder.
+        """
+        self.meta.update(other.meta)
+        self._records.extend(other.records)
+
     # -- views ---------------------------------------------------------
     @property
     def iterations(self) -> List[IterationRecord]:

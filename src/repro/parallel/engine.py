@@ -1,0 +1,425 @@
+"""The process-pool task engine.
+
+One process per task *attempt*: perfect fault isolation (a SIGKILLed or
+hung worker takes down nothing but its own attempt) at a per-task cost of
+one ``fork``/``spawn`` — negligible against the seconds-to-hours tasks
+this repo fans out (PINN trainings, benchmark runs).  The scheduler keeps
+at most ``jobs`` workers alive, enforces per-task deadlines, retries
+failures with exponential backoff, and returns structured
+:class:`~repro.parallel.task.TaskResult` records in submission order.
+
+Determinism: every attempt of task ``key`` is seeded with
+``derive_seed(root_seed, key)`` — results never depend on scheduling
+order, worker count, or which attempt finally succeeded.
+
+Observability: workers run with a fresh per-process metrics registry
+(and, when the parent has a profiler installed, a fresh span profiler),
+export both as artifact shards, and the engine merges the shards back
+into the parent's registry/profiler after each task completes — spans
+keep the worker's real pid, registry snapshots are summed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.parallel.seeding import derive_seed, seed_everything
+from repro.parallel.task import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Task,
+    TaskResult,
+    exception_payload,
+    record_task_metrics,
+)
+from repro.parallel.worker import WORKER_ENV, worker_main
+
+__all__ = ["ParallelEngine", "resolve_jobs", "run_tasks"]
+
+
+def resolve_jobs(cli_value: Optional[int] = None, env_var: str = "REPRO_JOBS") -> int:
+    """Resolve a worker count from CLI flag and environment.
+
+    Precedence mirrors the artifact-dir helpers: an explicit CLI value
+    wins, else ``$REPRO_JOBS``, else 1 (serial).  Inside an engine worker
+    the environment resolves to 1 regardless, so nested fan-outs (a PINN
+    line search inside a bench-matrix worker) do not oversubscribe —
+    only an explicit ``cli_value`` can override that.
+    """
+    if cli_value is not None:
+        return max(1, int(cli_value))
+    if os.environ.get(WORKER_ENV):
+        return 1
+    raw = os.environ.get(env_var, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"${env_var} must be an integer, got {raw!r}") from None
+
+
+def _sanitize(key: str) -> str:
+    """A filesystem-safe shard stem for a task key."""
+    return "".join(c if (c.isalnum() or c in "-_.") else "-" for c in key)
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    proc: Any
+    conn: Any
+    t0: float
+    deadline: Optional[float]
+
+
+class ParallelEngine:
+    """Schedules tasks over a bounded pool of single-task worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum concurrent workers.  ``None`` resolves via
+        :func:`resolve_jobs`; ``jobs <= 1`` executes inline (same
+        seeding, same result records, no subprocesses — timeouts are not
+        enforced inline).
+    timeout:
+        Default per-attempt deadline in seconds (``None`` = unbounded).
+        A task past its deadline is killed and reported ``timeout``.
+    retries:
+        Default extra attempts after a failed one (error/timeout/crash).
+    backoff:
+        Base of the exponential retry backoff: attempt ``k`` is delayed
+        ``backoff * 2**(k-1)`` seconds.  The delay never blocks sibling
+        tasks — the scheduler keeps the pool busy while one task waits.
+    root_seed:
+        Root of the per-task seed derivation.
+    shard_dir:
+        Where workers write their obs shards.  ``None`` uses a temporary
+        directory that is merged and removed; an explicit directory is
+        kept (one ``<key>.metrics.json`` / ``<key>.trace.json`` pair per
+        task) for artifact upload.
+    mp_start:
+        Multiprocessing start method (default ``$REPRO_MP_START``, else
+        ``fork`` where available — task functions then need not be
+        picklable — else the platform default).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        root_seed: int = 0,
+        shard_dir: Optional[str] = None,
+        mp_start: Optional[str] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.root_seed = int(root_seed)
+        self.shard_dir = shard_dir
+        if mp_start is None:
+            mp_start = os.environ.get("REPRO_MP_START") or None
+        if mp_start is None:
+            mp_start = "fork" if "fork" in mp.get_all_start_methods() else None
+        self._ctx = mp.get_context(mp_start)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        """Execute ``tasks``; return one result per task, in input order."""
+        tasks = list(tasks)
+        keys = [t.key for t in tasks]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"task keys must be unique; duplicated: {dupes}")
+        seeds = [derive_seed(self.root_seed, t.key) for t in tasks]
+        if not tasks:
+            return []
+        if self.jobs <= 1:
+            return [self._run_inline(t, s) for t, s in zip(tasks, seeds)]
+        return self._run_pool(tasks, seeds)
+
+    # -- serial fallback ----------------------------------------------
+    def _run_inline(self, task: Task, seed: int) -> TaskResult:
+        """Run one task in-process (identical seeding, no isolation)."""
+        max_attempts = 1 + (self.retries if task.retries is None else task.retries)
+        attempt = 0
+        while True:
+            attempt += 1
+            seed_everything(seed)
+            t0 = time.perf_counter()
+            try:
+                value = task.fn(*task.args, **task.kwargs)
+                result = TaskResult(
+                    key=task.key,
+                    status=STATUS_OK,
+                    value=value,
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - t0,
+                    worker_pid=os.getpid(),
+                    seed=seed,
+                )
+            except Exception as exc:
+                result = TaskResult(
+                    key=task.key,
+                    status=STATUS_ERROR,
+                    error=exception_payload(exc),
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - t0,
+                    worker_pid=os.getpid(),
+                    seed=seed,
+                )
+            if result.ok or attempt >= max_attempts:
+                record_task_metrics(result)
+                return result
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    # -- pool ----------------------------------------------------------
+    def _run_pool(self, tasks: List[Task], seeds: List[int]) -> List[TaskResult]:
+        from repro.obs.profile import current_profiler
+
+        want_trace = current_profiler() is not None
+        shard_dir = self.shard_dir
+        shard_tmp = shard_dir is None
+        if shard_tmp:
+            shard_dir = tempfile.mkdtemp(prefix="repro-parallel-obs-")
+
+        from collections import deque
+
+        n = len(tasks)
+        results: List[Optional[TaskResult]] = [None] * n
+        ready = deque((i, 1) for i in range(n))  # (index, attempt) FIFO
+        sleeping: List[tuple] = []  # (not_before, index, attempt)
+        running: Dict[Any, _Running] = {}
+
+        def launch(index: int, attempt: int) -> None:
+            task = tasks[index]
+            shard = {
+                "dir": shard_dir,
+                "stem": _sanitize(task.key),
+                "trace": want_trace,
+            }
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    task.fn,
+                    task.args,
+                    task.kwargs,
+                    task.key,
+                    seeds[index],
+                    shard,
+                ),
+                name=f"repro-parallel:{task.key}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            t0 = time.monotonic()
+            timeout = self.timeout if task.timeout is None else task.timeout
+            running[parent_conn] = _Running(
+                index=index,
+                attempt=attempt,
+                proc=proc,
+                conn=parent_conn,
+                t0=t0,
+                deadline=None if timeout is None else t0 + timeout,
+            )
+
+        def settle(info: _Running, status: str, payload=None, error=None) -> None:
+            """Classify one finished attempt: finalize, or schedule a retry."""
+            task = tasks[info.index]
+            duration = time.monotonic() - info.t0
+            shards = (payload or {}).get("shards")
+            max_attempts = 1 + (
+                self.retries if task.retries is None else task.retries
+            )
+            if status != STATUS_OK and info.attempt < max_attempts:
+                self._discard_shards(shards)
+                delay = self.backoff * (2 ** (info.attempt - 1))
+                sleeping.append((time.monotonic() + delay, info.index, info.attempt + 1))
+                return
+            result = TaskResult(
+                key=task.key,
+                status=status,
+                value=(payload or {}).get("value"),
+                error=error,
+                attempts=info.attempt,
+                duration_s=duration,
+                worker_pid=(payload or {}).get("pid", info.proc.pid),
+                seed=seeds[info.index],
+            )
+            results[info.index] = result
+            record_task_metrics(result)
+            self._absorb_shards(shards, keep=not shard_tmp)
+
+        try:
+            while ready or sleeping or running:
+                now = time.monotonic()
+                # Wake retries whose backoff has elapsed.
+                due = [s for s in sleeping if s[0] <= now]
+                if due:
+                    sleeping[:] = [s for s in sleeping if s[0] > now]
+                    for _, index, attempt in sorted(due):
+                        ready.append((index, attempt))
+                while ready and len(running) < self.jobs:
+                    index, attempt = ready.popleft()
+                    launch(index, attempt)
+                if not running:
+                    # Pool idle but retries pending: sleep until the next one.
+                    if sleeping:
+                        time.sleep(max(0.0, min(s[0] for s in sleeping) - now))
+                    continue
+                # Wait for a result, a death, or the nearest deadline.
+                wait_until = [
+                    r.deadline for r in running.values() if r.deadline is not None
+                ] + [s[0] for s in sleeping]
+                timeout = 0.5
+                if wait_until:
+                    timeout = max(0.0, min(min(wait_until) - time.monotonic(), 0.5))
+                done = mp_connection.wait(list(running), timeout=timeout)
+                for conn in done:
+                    info = running.pop(conn)
+                    try:
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        payload = None  # died before reporting (e.g. SIGKILL)
+                    conn.close()
+                    info.proc.join(timeout=5.0)
+                    if payload is None:
+                        settle(
+                            info,
+                            STATUS_CRASHED,
+                            error={
+                                "type": "WorkerCrashed",
+                                "message": (
+                                    f"worker pid {info.proc.pid} exited with code "
+                                    f"{info.proc.exitcode} before returning a result"
+                                ),
+                                "traceback": "",
+                            },
+                        )
+                    elif payload.get("status") == "ok":
+                        settle(info, STATUS_OK, payload=payload)
+                    else:
+                        settle(
+                            info, STATUS_ERROR, payload=payload,
+                            error=payload.get("error"),
+                        )
+                # Deadline enforcement for still-running workers.
+                now = time.monotonic()
+                for conn in [
+                    c for c, r in running.items()
+                    if r.deadline is not None and now >= r.deadline
+                ]:
+                    info = running.pop(conn)
+                    self._kill(info.proc)
+                    conn.close()
+                    settle(
+                        info,
+                        STATUS_TIMEOUT,
+                        error={
+                            "type": "TaskTimeout",
+                            "message": (
+                                f"task {tasks[info.index].key!r} exceeded its "
+                                f"{info.deadline - info.t0:.3g}s deadline and was killed"
+                            ),
+                            "traceback": "",
+                        },
+                    )
+        finally:
+            for info in running.values():
+                self._kill(info.proc)
+                info.conn.close()
+            if shard_tmp:
+                shutil.rmtree(shard_dir, ignore_errors=True)
+
+        missing = [tasks[i].key for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - scheduler invariant
+            raise RuntimeError(f"tasks never settled: {missing}")
+        return results  # type: ignore[return-value]
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _kill(proc) -> None:
+        """Terminate, then SIGKILL, a worker; never raises."""
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+    @staticmethod
+    def _discard_shards(shards: Optional[Dict[str, str]]) -> None:
+        """Drop the shards of a *retried* attempt (never double-merged)."""
+        for path in (shards or {}).values():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _absorb_shards(shards: Optional[Dict[str, str]], keep: bool) -> None:
+        """Merge one task's obs shards into the parent registry/profiler."""
+        if not shards:
+            return
+        from repro.obs.metrics import get_registry
+        from repro.obs.profile import current_profiler
+
+        metrics_path = shards.get("metrics")
+        if metrics_path and os.path.exists(metrics_path):
+            try:
+                with open(metrics_path, "r", encoding="utf-8") as f:
+                    doc = json.load(f)
+                get_registry().merge_snapshot(doc.get("metrics", {}))
+            except (OSError, ValueError):
+                pass
+        trace_path = shards.get("trace")
+        prof = current_profiler()
+        if prof is not None and trace_path and os.path.exists(trace_path):
+            try:
+                with open(trace_path, "r", encoding="utf-8") as f:
+                    prof.absorb_chrome_trace(json.load(f))
+            except (OSError, ValueError):
+                pass
+        if not keep:
+            ParallelEngine._discard_shards(shards)
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    root_seed: int = 0,
+    shard_dir: Optional[str] = None,
+) -> List[TaskResult]:
+    """One-shot convenience: build a :class:`ParallelEngine` and run."""
+    return ParallelEngine(
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        root_seed=root_seed,
+        shard_dir=shard_dir,
+    ).run(tasks)

@@ -1,0 +1,116 @@
+"""Worker-process entry point for the parallel engine.
+
+Runs exactly one task attempt: seed the process, install per-process
+observability, call the function, ship a picklable payload back through
+the pipe.  Everything defensive lives here — a task may raise anything,
+return anything, or die outright, and the parent must still get (at
+worst) an EOF it can classify.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.parallel.seeding import seed_everything
+from repro.parallel.task import exception_payload
+
+#: Set in every worker process; ``resolve_jobs`` reads it to keep nested
+#: fan-outs (a PINN line search inside a bench-matrix worker) serial.
+WORKER_ENV = "REPRO_PARALLEL_WORKER"
+
+
+def _write_shards(shard: Dict[str, Any], profiler, task_key: str) -> Dict[str, str]:
+    """Export this worker's obs state as artifact shards; return the paths."""
+    from repro.obs.metrics import get_registry
+
+    os.makedirs(shard["dir"], exist_ok=True)
+    stem = os.path.join(shard["dir"], shard["stem"])
+    meta = {"task": task_key, "pid": os.getpid()}
+    paths: Dict[str, str] = {}
+
+    metrics_path = f"{stem}.metrics.json"
+    payload = {
+        "kind": "repro.profile.metrics",
+        "meta": meta,
+        "phase_seconds": profiler.phase_seconds() if profiler else {},
+        "spans": profiler.summary_rows() if profiler else [],
+        "metrics": get_registry().snapshot(),
+    }
+    with open(metrics_path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    paths["metrics"] = metrics_path
+
+    if profiler is not None:
+        trace_path = f"{stem}.trace.json"
+        profiler.save_chrome_trace(trace_path, meta=meta)
+        paths["trace"] = trace_path
+    return paths
+
+
+def worker_main(
+    conn,
+    fn,
+    args,
+    kwargs,
+    key: str,
+    seed: int,
+    shard: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Execute one task attempt and send the outcome through ``conn``.
+
+    The payload is always a plain dict of picklable values.  If the
+    task's *return value* fails to pickle, a structured error payload is
+    sent instead — the parent never hangs on a poisoned channel.
+    """
+    os.environ[WORKER_ENV] = "1"
+    seed_everything(seed)
+
+    from repro.obs.metrics import MetricsRegistry, set_registry
+    from repro.obs.profile import SpanProfiler, set_profiler
+
+    # Fresh per-process obs state: under the fork start method the child
+    # inherits the parent's registry/profiler objects, and writing into
+    # those copies would silently drop data (nothing flows back through
+    # fork).  Install clean instances and ship their contents as shards.
+    set_registry(MetricsRegistry())
+    profiler = SpanProfiler() if shard and shard.get("trace") else None
+    if profiler is not None:
+        set_profiler(profiler)
+
+    out: Dict[str, Any] = {"pid": os.getpid(), "shards": None}
+    try:
+        value = fn(*args, **kwargs)
+        out["status"] = "ok"
+        out["value"] = value
+    except BaseException as exc:  # report *everything*; isolation is the point
+        out["status"] = "error"
+        out["error"] = exception_payload(exc)
+    finally:
+        if shard is not None:
+            try:
+                out["shards"] = _write_shards(shard, profiler, key)
+            except Exception:
+                pass  # shard export must never mask the task outcome
+
+    try:
+        conn.send(out)
+    except Exception as exc:  # unpicklable return value
+        conn.send(
+            {
+                "pid": out["pid"],
+                "shards": out["shards"],
+                "status": "error",
+                "error": {
+                    "type": "UnpicklableResultError",
+                    "message": (
+                        f"task {key!r} returned a value that could not be "
+                        f"pickled back to the parent: {exc}"
+                    ),
+                    "traceback": "",
+                },
+            }
+        )
+    finally:
+        conn.close()

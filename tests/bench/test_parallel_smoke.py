@@ -1,0 +1,45 @@
+"""Tests for the parallel-execution smoke gate."""
+
+import json
+
+import pytest
+
+from repro.bench.parallel_smoke import _default_min_speedup, main
+
+
+class TestParallelSmoke:
+    @pytest.mark.slow
+    def test_gate_passes_and_writes_artifacts(self, tmp_path, capsys):
+        rc = main([
+            "--jobs", "2", "--nx", "10", "--epochs", "30",
+            "--omegas", "0.01", "1.0",
+            "--min-speedup", "0",
+            "--out-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "OK" in out
+
+        artifact = json.loads((tmp_path / "parallel_speedup.json").read_text())
+        assert artifact["kind"] == "repro.parallel.smoke"
+        assert artifact["bitwise_identical"] is True
+        assert artifact["jobs"] == 2
+        assert artifact["serial_seconds"] > 0
+        assert artifact["parallel_seconds"] > 0
+        trace = json.loads((tmp_path / "parallel_smoke.trace.json").read_text())
+        assert trace["traceEvents"]
+        assert (tmp_path / "parallel_smoke.jsonl").exists()
+
+    def test_jobs_must_exercise_pool(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "1"])
+
+    def test_default_gate_scales_with_cpus(self, monkeypatch):
+        import repro.bench.parallel_smoke as ps
+
+        monkeypatch.setattr(ps.os, "cpu_count", lambda: 8)
+        assert _default_min_speedup() == 2.0
+        monkeypatch.setattr(ps.os, "cpu_count", lambda: 2)
+        assert _default_min_speedup() == 1.2
+        monkeypatch.setattr(ps.os, "cpu_count", lambda: 1)
+        assert _default_min_speedup() == 0.0

@@ -105,10 +105,117 @@ class TestLineSearch:
         assert len(ls.step1) == 2
         assert len(ls.step2_costs) == 2
         assert ls.best_cost == pytest.approx(min(ls.step2_costs))
+        assert ls.omegas == [1e-2, 1.0]
+        assert ls.failures == []
 
     def test_empty_omegas_raises(self, lap_pinn):
         with pytest.raises(ValueError):
             omega_line_search(lap_pinn, [])
+
+
+# Module-level so worker processes resolve it under any start method.
+class _FailingPINN(LaplacePINN):
+    """Raises during step-1 training for one poisoned ω."""
+
+    poisoned_omega = 1.0
+
+    def train_pair(self, omega, config=None, seed=None, recorder=None):
+        if omega == self.poisoned_omega:
+            raise RuntimeError(f"poisoned omega {omega}")
+        return super().train_pair(omega, config, seed=seed, recorder=recorder)
+
+
+class _AllFailPINN(LaplacePINN):
+    def train_pair(self, omega, config=None, seed=None, recorder=None):
+        raise RuntimeError(f"poisoned omega {omega}")
+
+
+class TestLineSearchParallel:
+    """Serial/parallel equivalence of the ω line search (the determinism
+    bugfix: per-ω seeds derived from (cfg.seed, ω), never shared RNG)."""
+
+    CFG = PINNTrainConfig(epochs=40, lr=2e-3, n_interior=60, n_boundary=10, seed=0)
+    OMEGAS = [1e-2, 1e-1, 1.0]
+
+    def _pinn(self, laplace_problem, cls=LaplacePINN):
+        return cls(
+            laplace_problem, state_hidden=(8,), control_hidden=(6,),
+            config=self.CFG,
+        )
+
+    @staticmethod
+    def _flat(params):
+        out = []
+        for layer in params:
+            out.append(layer["W"].ravel())
+            out.append(layer["b"].ravel())
+        return np.concatenate(out)
+
+    def test_parallel_bitwise_identical_to_serial(self, laplace_problem):
+        serial = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, jobs=1
+        )
+        pooled = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, jobs=2
+        )
+        assert pooled.best_omega == serial.best_omega
+        assert pooled.best_cost == serial.best_cost
+        assert pooled.step2_costs == serial.step2_costs
+        assert np.array_equal(
+            self._flat(pooled.params_u_retrained),
+            self._flat(serial.params_u_retrained),
+        )
+        assert np.array_equal(
+            self._flat(pooled.params_c), self._flat(serial.params_c)
+        )
+        for a, b in zip(serial.step1, pooled.step1):
+            assert a.loss_history == b.loss_history
+            assert a.cost_history == b.cost_history
+
+    def test_omega_order_permutation_invariant(self, laplace_problem):
+        """Regression: with sequential shared-RNG training, each ω's result
+        depended on its position in the list.  Derived per-ω seeds make the
+        per-candidate outcome a function of ω alone."""
+        fwd = omega_line_search(self._pinn(laplace_problem), self.OMEGAS, jobs=1)
+        rev = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS[::-1], jobs=2
+        )
+        assert dict(zip(fwd.omegas, fwd.step2_costs)) == dict(
+            zip(rev.omegas, rev.step2_costs)
+        )
+        assert rev.best_omega == fwd.best_omega
+        assert rev.best_cost == fwd.best_cost
+
+    def test_recorder_stream_matches_serial(self, laplace_problem):
+        from repro.obs import TolerancePolicy, TraceRecorder, diff_traces
+
+        rec_s, rec_p = TraceRecorder(), TraceRecorder()
+        omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, recorder=rec_s, jobs=1
+        )
+        omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, recorder=rec_p, jobs=2
+        )
+        assert len(rec_s.records) == len(rec_p.records)
+        assert diff_traces(rec_s, rec_p, TolerancePolicy()) == []
+
+    def test_failed_candidate_dropped_not_fatal(self, laplace_problem):
+        ls = omega_line_search(self._pinn(laplace_problem, _FailingPINN),
+                               self.OMEGAS, jobs=2)
+        assert ls.omegas == [1e-2, 1e-1]
+        assert len(ls.step1) == len(ls.step2_costs) == 2
+        (failure,) = ls.failures
+        assert failure.key == "omega=1"
+        assert failure.error["type"] == "RuntimeError"
+        assert ls.best_omega in ls.omegas
+
+    def test_all_candidates_failing_raises(self, laplace_problem):
+        from repro.parallel import TaskError
+
+        pinn = self._pinn(laplace_problem, _AllFailPINN)
+        with pytest.raises(TaskError, match="omega"):
+            omega_line_search(pinn, [1e-2, 1.0], jobs=2)
+
 
 
 class TestNavierStokesPINN:

@@ -48,3 +48,62 @@ class TestPiecewise:
         s = paper_schedule(1.0)
         with pytest.raises(ValueError):
             s(0, 0)
+
+    def test_invalid_step(self):
+        s = paper_schedule(1.0)
+        with pytest.raises(ValueError):
+            s(-1, 100)
+
+
+class TestBoundarySemantics:
+    """Pin the milestone-firing rule: the first step with step/total >= m,
+    evaluated exactly (integer arithmetic, no float-division rounding)."""
+
+    def test_total_one_runs_at_base_rate(self):
+        s = paper_schedule(1e-2)
+        assert s(0, 1) == pytest.approx(1e-2)
+
+    def test_total_two(self):
+        s = paper_schedule(1e-2)
+        assert s(0, 2) == pytest.approx(1e-2)
+        assert s(1, 2) == pytest.approx(1e-3)  # 50 % fires; 75 % never does
+
+    def test_odd_total_three(self):
+        s = paper_schedule(1e-2)
+        # 50 % fires at ceil(1.5) = 2; 75 % at ceil(2.25) = 3, out of range.
+        assert [s(i, 3) for i in range(3)] == pytest.approx([1e-2, 1e-2, 1e-3])
+
+    def test_odd_total_five(self):
+        s = paper_schedule(1.0)
+        # Thresholds: ceil(2.5) = 3 and ceil(3.75) = 4.
+        assert [s(i, 5) for i in range(5)] == pytest.approx(
+            [1.0, 1.0, 1.0, 0.1, 0.01]
+        )
+
+    def test_odd_total_101(self):
+        s = paper_schedule(1.0)
+        assert s(50, 101) == pytest.approx(1.0)   # 50/101 < 0.5
+        assert s(51, 101) == pytest.approx(0.1)   # ceil(50.5) = 51
+        assert s(75, 101) == pytest.approx(0.1)   # 75/101 < 0.75
+        assert s(76, 101) == pytest.approx(0.01)  # ceil(75.75) = 76
+
+    def test_exact_milestone_step_fires(self):
+        # 0.75 is binary-exact: step 6 of 8 is exactly 75 % and must fire.
+        s = PiecewiseConstantSchedule(1.0, {0.75: 0.5})
+        assert s(5, 8) == pytest.approx(1.0)
+        assert s(6, 8) == pytest.approx(0.5)
+
+    def test_no_float_rounding_flips(self):
+        # The firing step equals ceil(m * total) under exact rational
+        # arithmetic for every milestone/total pair, including pairs where
+        # float division of step/total would round unpredictably.
+        from fractions import Fraction
+
+        for m in (0.1, 0.3, 1 / 3, 0.5, 0.7, 0.75, 0.9):
+            s = PiecewiseConstantSchedule(1.0, {m: 0.5})
+            for total in (1, 2, 3, 7, 10, 49, 100, 490):
+                exact = Fraction(m)  # exact value of the stored double
+                expected_first = -(-exact.numerator * total // exact.denominator)
+                fired = [i for i in range(total) if s(i, total) == 0.5]
+                first = fired[0] if fired else total
+                assert first == min(expected_first, total), (m, total)

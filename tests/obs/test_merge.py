@@ -1,0 +1,154 @@
+"""Tests for merging per-worker observability shards."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.merge import (
+    merge_chrome_traces,
+    merge_metrics_payloads,
+    merge_profile_artifacts,
+    merge_snapshots,
+    merge_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SpanProfiler
+from repro.obs.recorder import TraceRecorder
+
+
+def _trace_doc(pid, name, dur=1000.0, cat="phase", meta=None):
+    return {
+        "traceEvents": [
+            {"ph": "X", "pid": pid, "tid": pid, "name": name,
+             "cat": cat, "ts": 0.0, "dur": dur},
+        ],
+        "displayTimeUnit": "ms",
+        "metadata": meta or {"pid": pid},
+    }
+
+
+class TestChromeTraceMerge:
+    def test_events_concatenated_pids_kept(self):
+        merged = merge_chrome_traces(
+            [_trace_doc(100, "a"), _trace_doc(200, "b")], meta={"run": "x"}
+        )
+        events = merged["traceEvents"]
+        assert [e["pid"] for e in events] == [100, 200]
+        assert merged["metadata"]["run"] == "x"
+        assert [m["pid"] for m in merged["metadata"]["merged_from"]] == [100, 200]
+
+
+class TestMetricsPayloadMerge:
+    def _payload(self, pid, n, phase=1.0):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(n)
+        return {
+            "kind": "repro.profile.metrics",
+            "meta": {"pid": pid},
+            "phase_seconds": {"train": phase},
+            "spans": [{"name": "s", "category": "phase", "calls": 1,
+                       "seconds": phase, "self_seconds": phase,
+                       "rss_delta_kb": 4}],
+            "metrics": reg.snapshot(),
+        }
+
+    def test_sums_phases_spans_metrics(self):
+        merged = merge_metrics_payloads(
+            [self._payload(1, 3, 1.0), self._payload(2, 4, 2.5)],
+            meta={"run": "x"},
+        )
+        assert merged["kind"] == "repro.profile.metrics"
+        assert merged["phase_seconds"]["train"] == pytest.approx(3.5)
+        (row,) = merged["spans"]
+        assert row["calls"] == 2
+        assert row["seconds"] == pytest.approx(3.5)
+        assert merged["metrics"]["events"]["value"] == 7
+        assert [m["pid"] for m in merged["meta"]["merged_from"]] == [1, 2]
+
+    def test_merge_snapshots_helper(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        assert merge_snapshots([a.snapshot(), b.snapshot()])["n"]["value"] == 3
+
+
+class TestProfileArtifactFiles:
+    def test_merge_profile_artifacts_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(1)
+        for i in (1, 2):
+            with open(tmp_path / f"s{i}.trace.json", "w") as f:
+                json.dump(_trace_doc(i, f"t{i}"), f)
+            with open(tmp_path / f"s{i}.metrics.json", "w") as f:
+                json.dump({"kind": "repro.profile.metrics", "meta": {},
+                           "phase_seconds": {}, "spans": [],
+                           "metrics": reg.snapshot()}, f)
+        out = merge_profile_artifacts(
+            [str(tmp_path / "s1.trace.json"), str(tmp_path / "s2.trace.json")],
+            [str(tmp_path / "s1.metrics.json"), str(tmp_path / "s2.metrics.json")],
+            str(tmp_path / "merged"),
+        )
+        assert sorted(os.path.basename(p) for p in out) == [
+            "merged.metrics.json", "merged.trace.json",
+        ]
+        with open(tmp_path / "merged.trace.json") as f:
+            assert len(json.load(f)["traceEvents"]) == 2
+        with open(tmp_path / "merged.metrics.json") as f:
+            assert json.load(f)["metrics"]["n"]["value"] == 2
+
+    def test_empty_inputs_write_nothing(self, tmp_path):
+        assert merge_profile_artifacts([], [], str(tmp_path / "m")) == []
+
+
+class TestTraceJsonlMerge:
+    def test_records_concatenated_header_carries_shard_meta(self, tmp_path):
+        paths = []
+        for i in (1, 2):
+            rec = TraceRecorder(task=f"t{i}")
+            rec.iteration(0, float(i), 0.1, 0.01)
+            p = str(tmp_path / f"t{i}.jsonl")
+            rec.to_jsonl(p)
+            paths.append(p)
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_jsonl(paths, out, meta={"run": "x"})
+
+        merged = TraceRecorder.from_jsonl(out)
+        assert merged.meta["run"] == "x"
+        shard_meta = merged.meta["merged_from"]
+        assert [m["task"] for m in shard_meta] == ["t1", "t2"]
+        assert [m["shard_file"] for m in shard_meta] == ["t1.jsonl", "t2.jsonl"]
+        assert [r.cost for r in merged.iterations] == [1.0, 2.0]
+
+    def test_empty_shard_rejected(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            merge_trace_jsonl([str(p)], str(tmp_path / "out.jsonl"))
+
+
+class TestProfilerAbsorb:
+    def test_absorbed_events_appear_in_chrome_trace(self):
+        prof = SpanProfiler()
+        with prof.span("parent", "phase"):
+            pass
+        prof.absorb_chrome_trace(_trace_doc(999, "worker-span"))
+        doc = prof.to_chrome_trace()
+        names = [e.get("name") for e in doc["traceEvents"]]
+        assert "worker-span" in names
+        (ext,) = [e for e in doc["traceEvents"] if e.get("name") == "worker-span"]
+        assert ext["pid"] == 999  # worker keeps its own track
+
+    def test_absorbed_events_counted_in_summaries(self):
+        prof = SpanProfiler()
+        prof.absorb_chrome_trace(_trace_doc(7, "w", dur=2_000_000.0))
+        assert prof.phase_seconds()["w"] == pytest.approx(2.0)
+        (row,) = [r for r in prof.summary_rows() if r["name"] == "w"]
+        assert row["calls"] == 1
+        assert row["seconds"] == pytest.approx(2.0)
+
+    def test_null_profiler_absorb_is_noop(self):
+        from repro.obs.profile import NULL_PROFILER
+
+        NULL_PROFILER.absorb_chrome_trace(_trace_doc(1, "x"))
+        assert NULL_PROFILER.external_events() == []

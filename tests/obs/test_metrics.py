@@ -224,3 +224,130 @@ class TestCounterMigrationEquivalence:
             record_solver_cache(None, FakeSolver())
             (rec,) = reg.cache_records()
         assert (rec.hits, rec.misses) == (4, 1)
+
+
+class TestRegistryInstallConcurrency:
+    """set_registry/use_registry must be safe under concurrent installers."""
+
+    def _restore_default(self):
+        from repro.obs import metrics as m
+
+        set_registry(m._DEFAULT)
+
+    def test_set_registry_returns_previous_atomically(self):
+        import threading
+
+        base = get_registry()
+        try:
+            regs = [MetricsRegistry() for _ in range(64)]
+            previous = []
+            lock = threading.Lock()
+
+            def install(r):
+                prev = set_registry(r)
+                with lock:
+                    previous.append(prev)
+
+            threads = [
+                threading.Thread(target=install, args=(r,)) for r in regs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Atomic swaps form a chain: every registry is handed out as
+            # "previous" exactly once, starting from the base registry.
+            final = get_registry()
+            seen = previous + [final]
+            assert base in previous
+            for r in regs:
+                assert seen.count(r) == 1
+        finally:
+            self._restore_default()
+
+    def test_use_registry_nests_and_restores(self):
+        base = get_registry()
+        with use_registry() as outer:
+            assert get_registry() is outer
+            with use_registry() as inner:
+                assert get_registry() is inner
+            assert get_registry() is outer
+        assert get_registry() is base
+
+    def test_stale_exit_does_not_clobber_newer_install(self):
+        base = get_registry()
+        try:
+            cm = use_registry()
+            scoped = cm.__enter__()
+            assert get_registry() is scoped
+            # A concurrent installer replaces the scoped registry before
+            # the block exits (e.g. a task callback on another thread).
+            newer = MetricsRegistry()
+            set_registry(newer)
+            cm.__exit__(None, None, None)
+            # The stale block must NOT restore its predecessor over the
+            # newer install.
+            assert get_registry() is newer
+        finally:
+            self._restore_default()
+
+    def test_exit_restores_when_still_active(self):
+        base = get_registry()
+        cm = use_registry()
+        cm.__enter__()
+        cm.__exit__(None, None, None)
+        assert get_registry() is base
+
+
+class TestMergeSnapshot:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(3)
+        b.counter("n").inc(4)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        assert merged.counter("n").value == 7
+
+    def test_gauges_sum_across_fresh_shards(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.record_cache("lu", hits=5, misses=1)
+        b.record_cache("lu", hits=2, misses=2)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        (rec,) = merged.cache_records()
+        assert (rec.hits, rec.misses) == (7, 3)
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("t", (1.0, 10.0)).observe(0.5)
+        b.histogram("t", (1.0, 10.0)).observe(5.0)
+        b.histogram("t", (1.0, 10.0)).observe(50.0)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        h = merged.histogram("t", (1.0, 10.0))
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("t", (1.0, 10.0)).observe(0.5)
+        merged = MetricsRegistry()
+        merged.histogram("t", (2.0, 20.0))
+        with pytest.raises(ValueError, match="boundaries differ"):
+            merged.merge_snapshot(a.snapshot())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            MetricsRegistry().merge_snapshot({"x": {"kind": "wat"}})
+
+    def test_merge_into_nonempty_registry(self):
+        shard = MetricsRegistry()
+        shard.counter("n").inc(2)
+        parent = MetricsRegistry()
+        parent.counter("n").inc(1)
+        parent.merge_snapshot(shard.snapshot())
+        assert parent.counter("n").value == 3

@@ -1,0 +1,301 @@
+"""Fault-injection and determinism tests for the parallel task engine.
+
+Worker helpers live at module level so they survive any multiprocessing
+start method.  Fault tests keep payloads tiny (the point is the engine's
+classification, not the work), and every test runs with a short timeout
+so a scheduler bug fails fast instead of hanging the suite.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ParallelEngine,
+    Task,
+    TaskError,
+    derive_seed,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.parallel.worker import WORKER_ENV
+
+
+# ----------------------------------------------------------------------
+# Worker payloads
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _draw(n):
+    """Expose the process-global RNG the engine seeds per task."""
+    return np.random.random(n).tolist()
+
+
+def _boom():
+    raise ValueError("intentional failure")
+
+
+def _sigkill_self():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _hang_forever():
+    time.sleep(300)
+
+
+def _return_unpicklable():
+    return lambda: None
+
+
+class _VenomousError(Exception):
+    """Raises on pickle — the payload must still cross the pipe."""
+
+    def __reduce__(self):
+        raise TypeError("this exception refuses to pickle")
+
+
+def _raise_unpicklable():
+    raise _VenomousError("poison")
+
+
+def _fail_until_marker(marker_path):
+    """Fail on the first attempt, succeed once the marker exists."""
+    if os.path.exists(marker_path):
+        return "recovered"
+    with open(marker_path, "w", encoding="utf-8") as f:
+        f.write("1")
+    raise RuntimeError("first attempt fails")
+
+
+def _report_worker_env():
+    return {"flag": os.environ.get(WORKER_ENV), "jobs": resolve_jobs(None)}
+
+
+# ----------------------------------------------------------------------
+# resolve_jobs
+# ----------------------------------------------------------------------
+class TestResolveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv(WORKER_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_cli_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_used_without_cli(self, monkeypatch):
+        monkeypatch.delenv(WORKER_ENV, raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+
+    def test_worker_env_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv(WORKER_ENV, "1")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_cli_overrides_worker_env(self, monkeypatch):
+        monkeypatch.setenv(WORKER_ENV, "1")
+        assert resolve_jobs(2) == 2
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.delenv(WORKER_ENV, raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+# ----------------------------------------------------------------------
+# Happy path + structure
+# ----------------------------------------------------------------------
+class TestRun:
+    def test_results_in_input_order(self):
+        tasks = [Task(key=f"t{i}", fn=_square, args=(i,)) for i in range(6)]
+        results = run_tasks(tasks, jobs=3, timeout=60)
+        assert [r.key for r in results] == [t.key for t in tasks]
+        assert [r.value for r in results] == [i * i for i in range(6)]
+        assert all(r.status == STATUS_OK for r in results)
+
+    def test_result_record_fields(self):
+        (r,) = run_tasks([Task(key="t", fn=_square, args=(3,))], jobs=2, timeout=60)
+        assert r.ok and r.unwrap() == 9
+        assert r.attempts == 1
+        assert r.duration_s >= 0.0
+        assert r.worker_pid is not None and r.worker_pid != os.getpid()
+        assert r.seed == derive_seed(0, "t")
+        d = r.to_dict()
+        assert d["status"] == STATUS_OK and d["error"] is None
+
+    def test_inline_when_jobs_one(self):
+        (r,) = run_tasks([Task(key="t", fn=_square, args=(4,))], jobs=1)
+        assert r.unwrap() == 16
+        assert r.worker_pid == os.getpid()
+
+    def test_empty_task_list(self):
+        assert ParallelEngine(jobs=2).run([]) == []
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ParallelEngine(jobs=2).run(
+                [Task(key="t", fn=_square, args=(1,)),
+                 Task(key="t", fn=_square, args=(2,))]
+            )
+
+    def test_worker_env_flag_set_and_nested_fanout_serial(self):
+        (r,) = run_tasks([Task(key="t", fn=_report_worker_env)], jobs=2, timeout=60)
+        assert r.unwrap() == {"flag": "1", "jobs": 1}
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_results_for_any_worker_count(self):
+        tasks = [Task(key=f"d{i}", fn=_draw, args=(4,)) for i in range(5)]
+        serial = run_tasks(tasks, jobs=1)
+        pooled2 = run_tasks(tasks, jobs=2, timeout=60)
+        pooled4 = run_tasks(tasks, jobs=4, timeout=60)
+        for a, b, c in zip(serial, pooled2, pooled4):
+            assert a.value == b.value == c.value
+            assert a.seed == b.seed == c.seed
+
+    def test_results_independent_of_submission_order(self):
+        tasks = [Task(key=f"d{i}", fn=_draw, args=(4,)) for i in range(5)]
+        fwd = {r.key: r.value for r in run_tasks(tasks, jobs=2, timeout=60)}
+        rev = {r.key: r.value for r in run_tasks(tasks[::-1], jobs=2, timeout=60)}
+        assert fwd == rev
+
+    def test_retry_attempt_reseeded_identically(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        (r,) = run_tasks(
+            [Task(key="d", fn=_fail_until_marker, args=(marker,), retries=2)],
+            jobs=2, timeout=60, backoff=0.01,
+        )
+        assert r.unwrap() == "recovered"
+        # Seed identity: the successful retry used the same derived seed.
+        assert r.seed == derive_seed(0, "d")
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class TestFaultIsolation:
+    def test_raising_worker_reports_error(self):
+        tasks = [
+            Task(key="ok", fn=_square, args=(2,)),
+            Task(key="bad", fn=_boom),
+        ]
+        ok, bad = run_tasks(tasks, jobs=2, timeout=60)
+        assert ok.unwrap() == 4
+        assert bad.status == STATUS_ERROR
+        assert bad.error["type"] == "ValueError"
+        assert "intentional failure" in bad.error["message"]
+        assert "ValueError" in bad.error["traceback"]
+        with pytest.raises(TaskError, match="bad"):
+            bad.unwrap()
+
+    def test_sigkilled_worker_fails_only_its_task(self):
+        tasks = [
+            Task(key="ok1", fn=_square, args=(2,)),
+            Task(key="dead", fn=_sigkill_self),
+            Task(key="ok2", fn=_square, args=(3,)),
+        ]
+        ok1, dead, ok2 = run_tasks(tasks, jobs=3, timeout=60)
+        assert ok1.unwrap() == 4 and ok2.unwrap() == 9
+        assert dead.status == STATUS_CRASHED
+        assert dead.error["type"] == "WorkerCrashed"
+        assert "exited with code" in dead.error["message"]
+
+    def test_hung_worker_times_out_and_is_killed(self):
+        t0 = time.monotonic()
+        tasks = [
+            Task(key="hang", fn=_hang_forever, timeout=0.5),
+            Task(key="ok", fn=_square, args=(5,)),
+        ]
+        hang, ok = run_tasks(tasks, jobs=2, timeout=60)
+        assert ok.unwrap() == 25
+        assert hang.status == STATUS_TIMEOUT
+        assert hang.error["type"] == "TaskTimeout"
+        assert time.monotonic() - t0 < 30  # killed, not awaited
+
+    def test_unpicklable_return_value(self):
+        (r,) = run_tasks([Task(key="t", fn=_return_unpicklable)], jobs=2,
+                         timeout=60)
+        assert r.status == STATUS_ERROR
+        assert r.error["type"] == "UnpicklableResultError"
+
+    def test_unpicklable_exception_payload(self):
+        (r,) = run_tasks([Task(key="t", fn=_raise_unpicklable)], jobs=2,
+                         timeout=60)
+        assert r.status == STATUS_ERROR
+        assert r.error["type"] == "_VenomousError"
+        assert "poison" in r.error["message"]
+
+    def test_retry_then_succeed(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        (r,) = run_tasks(
+            [Task(key="flaky", fn=_fail_until_marker, args=(marker,))],
+            jobs=2, timeout=60, retries=3, backoff=0.01,
+        )
+        assert r.unwrap() == "recovered"
+        assert r.attempts == 2
+
+    def test_retries_exhausted_reports_last_failure(self):
+        (r,) = run_tasks([Task(key="bad", fn=_boom)], jobs=2, timeout=60,
+                         retries=2, backoff=0.01)
+        assert r.status == STATUS_ERROR
+        assert r.attempts == 3
+
+    def test_inline_retry_then_succeed(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        (r,) = run_tasks(
+            [Task(key="flaky", fn=_fail_until_marker, args=(marker,))],
+            jobs=1, retries=3, backoff=0.01,
+        )
+        assert r.unwrap() == "recovered"
+        assert r.attempts == 2
+
+
+# ----------------------------------------------------------------------
+# Metrics integration
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_task_outcomes_recorded(self):
+        with use_registry(MetricsRegistry()) as reg:
+            run_tasks(
+                [
+                    Task(key="ok", fn=_square, args=(1,)),
+                    Task(key="bad", fn=_boom),
+                ],
+                jobs=2, timeout=60,
+            )
+            snap = reg.snapshot()
+        assert snap["parallel.tasks.ok"]["value"] == 1
+        assert snap["parallel.tasks.error"]["value"] == 1
+        assert snap["parallel.attempts"]["value"] == 2
+        assert snap["parallel.task_seconds"]["count"] == 2
+
+    def test_retries_counted(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        with use_registry(MetricsRegistry()) as reg:
+            run_tasks(
+                [Task(key="flaky", fn=_fail_until_marker, args=(marker,))],
+                jobs=2, timeout=60, retries=2, backoff=0.01,
+            )
+            snap = reg.snapshot()
+        assert snap["parallel.retries"]["value"] == 1
+        assert snap["parallel.attempts"]["value"] == 2

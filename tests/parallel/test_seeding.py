@@ -1,0 +1,57 @@
+"""Tests for deterministic per-task seed derivation."""
+
+import numpy as np
+
+from repro.parallel.seeding import derive_seed, seed_everything
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+        assert derive_seed(42, "omega=0.1") == derive_seed(42, "omega=0.1")
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {derive_seed(0, f"task-{i}") for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+
+    def test_range_is_63_bit(self):
+        for i in range(50):
+            s = derive_seed(i, "k")
+            assert 0 <= s < 2**63
+
+    def test_known_values_are_stable(self):
+        # Pin the derivation: SHA-256, not Python's salted hash().  These
+        # values must never change — golden shards and recorded artifacts
+        # depend on them.
+        assert derive_seed(0, "a") == int.from_bytes(
+            __import__("hashlib").sha256(b"0|a").digest()[:8], "big"
+        ) & ((1 << 63) - 1)
+
+    def test_root_seed_coerced_to_int(self):
+        assert derive_seed(True, "x") == derive_seed(1, "x")
+
+
+class TestSeedEverything:
+    def test_global_numpy_rng_reproducible(self):
+        seed_everything(derive_seed(7, "t"))
+        a = np.random.random(5)
+        seed_everything(derive_seed(7, "t"))
+        b = np.random.random(5)
+        assert np.array_equal(a, b)
+
+    def test_python_random_reproducible(self):
+        import random
+
+        seed_everything(123)
+        a = [random.random() for _ in range(5)]
+        seed_everything(123)
+        b = [random.random() for _ in range(5)]
+        assert a == b
+
+    def test_large_seed_accepted(self):
+        # 63-bit seeds exceed numpy's 32-bit legacy seed range; the helper
+        # must fold them rather than raise.
+        seed_everything((1 << 63) - 1)
