@@ -31,9 +31,20 @@ standard" the paper describes.
 
 from repro.autodiff.tensor import Tensor, tensor, is_tensor, asdata
 from repro.autodiff import ops
+from repro.autodiff.batching import (
+    BatchTracer,
+    BatchedMask,
+    batch_size,
+    declared_fallbacks,
+    has_batch_rule,
+    is_batching,
+    registered_primitives,
+    vbatch,
+)
 from repro.autodiff.ops import (
     abs_,
     add,
+    amax,
     arctan,
     clip,
     concatenate,
@@ -97,8 +108,17 @@ __all__ = [
     "is_tensor",
     "asdata",
     "ops",
+    "BatchTracer",
+    "BatchedMask",
+    "batch_size",
+    "declared_fallbacks",
+    "has_batch_rule",
+    "is_batching",
+    "registered_primitives",
+    "vbatch",
     "abs_",
     "add",
+    "amax",
     "arctan",
     "clip",
     "concatenate",

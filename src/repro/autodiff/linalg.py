@@ -25,11 +25,13 @@ from typing import Optional, Union
 import numpy as np
 import scipy.linalg as sla
 
+from repro.autodiff.batching import composite, primitive
 from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
 from repro.autodiff import ops
 from repro.obs.metrics import get_registry
 
 
+@primitive("solve")
 def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
     """Differentiable solution of the linear system ``A x = b``.
 
@@ -148,6 +150,7 @@ class LUSolver:
             raise np.linalg.LinAlgError(f"getrs failed with info={info}")
         return x
 
+    @primitive("lu_solve")
     def __call__(self, b: ArrayLike) -> Tensor:
         """Solve ``A x = b`` differentiably w.r.t. ``b``."""
         tb = tensor(b)
@@ -163,6 +166,18 @@ class LUSolver:
 
         return make_node(x, [(tb, vjp_b)], "lu_solve", fwd=fwd)
 
+    def solve_block(self, b_block: ArrayLike) -> Tensor:
+        """Solve an ``(N, n)`` row-block of right-hand sides at once.
+
+        The block is transposed into LAPACK's native ``(n, N)`` column
+        layout so ONE ``getrs`` call against the cached factors serves
+        all N systems — and the adjoint pass mirrors it: the transposed
+        solve in the VJP receives the cotangent block in the same layout
+        and batches through a single ``getrs(trans=1)``.  This is the
+        arrangement the :mod:`~repro.autodiff.batching` solve rule emits.
+        """
+        return ops.transpose(self(ops.transpose(b_block)))
+
     def solve_numpy(self, b: np.ndarray) -> np.ndarray:
         """Plain NumPy solve (no tape)."""
         return self._solve(np.asarray(b, dtype=np.float64))
@@ -172,6 +187,7 @@ class LUSolver:
         return self._solve(np.asarray(b, dtype=np.float64), trans=1)
 
 
+@primitive("lstsq")
 def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
     """Differentiable least-squares solution ``argmin_x ||A x - b||``.
 
@@ -195,6 +211,7 @@ def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
     return make_node(x, [(tb, vjp_b)], "lstsq", fwd=fwd)
 
 
+@composite
 def norm(a: ArrayLike, ord: Union[int, float] = 2) -> Tensor:
     """Differentiable vector norm (2-norm or 1-norm)."""
     if ord == 2:

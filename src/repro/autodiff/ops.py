@@ -34,6 +34,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autodiff.batching import composite, primitive
 from repro.autodiff.tensor import (
     ArrayLike,
     Tensor,
@@ -80,6 +81,7 @@ def _broadcast_view(
 # ----------------------------------------------------------------------
 # Arithmetic
 # ----------------------------------------------------------------------
+@primitive("add")
 def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a + b`` with NumPy broadcasting."""
     ta, tb = tensor(a), tensor(b)
@@ -96,6 +98,7 @@ def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("sub")
 def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a - b``."""
     ta, tb = tensor(a), tensor(b)
@@ -112,6 +115,7 @@ def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("mul")
 def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a * b``."""
     ta, tb = tensor(a), tensor(b)
@@ -128,6 +132,7 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("div")
 def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a / b``."""
     ta, tb = tensor(a), tensor(b)
@@ -149,6 +154,7 @@ def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("neg")
 def neg(a: ArrayLike) -> Tensor:
     """Elementwise negation."""
     ta = tensor(a)
@@ -160,6 +166,7 @@ def neg(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("power")
 def power(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise ``a ** b`` differentiable in both arguments.
 
@@ -192,6 +199,7 @@ def power(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("square")
 def square(a: ArrayLike) -> Tensor:
     """Elementwise square (faster than ``power(a, 2)``)."""
     ta = tensor(a)
@@ -204,6 +212,7 @@ def square(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("sqrt")
 def sqrt(a: ArrayLike) -> Tensor:
     """Elementwise square root."""
     ta = tensor(a)
@@ -218,6 +227,7 @@ def sqrt(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("abs")
 def abs_(a: ArrayLike) -> Tensor:
     """Elementwise absolute value (subgradient 0 at the kink)."""
     ta = tensor(a)
@@ -232,6 +242,7 @@ def abs_(a: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # Elementwise transcendentals
 # ----------------------------------------------------------------------
+@primitive("exp")
 def exp(a: ArrayLike) -> Tensor:
     """Elementwise exponential."""
     ta = tensor(a)
@@ -244,6 +255,7 @@ def exp(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("log")
 def log(a: ArrayLike) -> Tensor:
     """Elementwise natural logarithm."""
     ta = tensor(a)
@@ -255,6 +267,7 @@ def log(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("sin")
 def sin(a: ArrayLike) -> Tensor:
     """Elementwise sine."""
     ta = tensor(a)
@@ -266,6 +279,7 @@ def sin(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("cos")
 def cos(a: ArrayLike) -> Tensor:
     """Elementwise cosine."""
     ta = tensor(a)
@@ -277,6 +291,7 @@ def cos(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("tanh")
 def tanh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic tangent (the paper's PINN activation)."""
     ta = tensor(a)
@@ -289,6 +304,7 @@ def tanh(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("sinh")
 def sinh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic sine."""
     ta = tensor(a)
@@ -300,6 +316,7 @@ def sinh(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("cosh")
 def cosh(a: ArrayLike) -> Tensor:
     """Elementwise hyperbolic cosine."""
     ta = tensor(a)
@@ -311,6 +328,7 @@ def cosh(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("arctan")
 def arctan(a: ArrayLike) -> Tensor:
     """Elementwise inverse tangent."""
     ta = tensor(a)
@@ -322,6 +340,7 @@ def arctan(a: ArrayLike) -> Tensor:
     )
 
 
+@primitive("sigmoid")
 def sigmoid(a: ArrayLike) -> Tensor:
     """Elementwise logistic sigmoid."""
     ta = tensor(a)
@@ -339,6 +358,7 @@ def sigmoid(a: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # Selection / clipping
 # ----------------------------------------------------------------------
+@primitive("maximum")
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise maximum; ties route the gradient to the first input."""
     ta, tb = tensor(a), tensor(b)
@@ -363,6 +383,7 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("minimum")
 def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise minimum; ties route the gradient to the first input."""
     ta, tb = tensor(a), tensor(b)
@@ -385,6 +406,7 @@ def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("where")
 def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Differentiable ``np.where`` (the condition itself is constant)."""
     c = asdata(cond).astype(bool)
@@ -402,6 +424,7 @@ def where(cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     )
 
 
+@primitive("clip")
 def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
     """Clamp values to ``[lo, hi]``; gradient is zero outside the interval."""
     ta = tensor(a)
@@ -420,6 +443,7 @@ def clip(a: ArrayLike, lo: float, hi: float) -> Tensor:
 # ----------------------------------------------------------------------
 # Reductions
 # ----------------------------------------------------------------------
+@primitive("sum")
 def sum_(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Sum reduction."""
     ta = tensor(a)
@@ -447,6 +471,7 @@ def sum_(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     )
 
 
+@primitive("mean")
 def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Mean reduction."""
     ta = tensor(a)
@@ -474,17 +499,60 @@ def mean(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
     )
 
 
+@primitive("amax")
+def amax(a: ArrayLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Max reduction.
+
+    At ties the cotangent is routed to *every* maximal element (a valid
+    subgradient, and the symmetric choice — no dependence on memory
+    order).  The tie mask is recomputed inside the VJP from the parent
+    data and the node's output buffer, so compiled replay stays sound
+    without a refreshable auxiliary.
+    """
+    ta = tensor(a)
+    x = ta.data
+    out = np.asarray(x.max(axis=axis, keepdims=keepdims))
+
+    def _expand(g: np.ndarray) -> np.ndarray:
+        if axis is None or keepdims:
+            return g
+        g2 = g
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        for ax in sorted(a % x.ndim for a in axes):
+            g2 = np.expand_dims(g2, ax)
+        return g2
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        if axis is None:
+            mask = x == out
+            return np.where(mask, np.asarray(g), 0.0)
+        mask = x == _expand(out)
+        return np.where(mask, _expand(g), 0.0)
+
+    def fwd(o: np.ndarray, x=x) -> None:
+        if o.ndim == 0:
+            np.copyto(o, x.max(axis=axis, keepdims=keepdims))
+        else:
+            x.max(axis=axis, keepdims=keepdims, out=o)
+
+    return make_node(out, [(ta, vjp)], "amax", fwd=fwd)
+
+
 # ----------------------------------------------------------------------
 # Linear algebra (dense) — the workhorses of DP through the RBF solver
 # ----------------------------------------------------------------------
+@primitive("matmul")
 def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Matrix product with the standard VJPs.
 
     Supports the 1-D/2-D combinations used by the solver (matrix@vector,
-    matrix@matrix, vector@matrix, vector@vector) plus a *stacked* left
-    operand — ``(s, m, k) @ (k, n)`` — used by the batched PINN derivative
-    propagation to push all directional derivatives through a layer in one
-    call.
+    matrix@matrix, vector@matrix, vector@vector) plus *stacked* operands
+    on either side — e.g. ``(s, m, k) @ (k, n)`` from the batched PINN
+    derivative propagation, or the fully batched combinations emitted by
+    the :mod:`~repro.autodiff.batching` rules.  Cotangents into operands
+    that broadcast over stacked axes are reduced with ``unbroadcast``
+    (a no-op returning the same array when shapes already match, so the
+    historical 1-D/2-D paths are bit-identical to before).
     """
     ta, tb = tensor(a), tensor(b)
     A, B = ta.data, tb.data
@@ -493,24 +561,33 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     def vjp_a(g: np.ndarray) -> np.ndarray:
         if A.ndim == 1 and B.ndim == 1:  # inner product
             return g * B
-        if A.ndim == 1:  # (k,) @ (k,n) -> (n,)
-            return B @ g
-        if B.ndim == 1:  # (m,k) @ (k,) -> (m,)
-            return np.outer(g, B)
-        return g @ np.swapaxes(B, -1, -2)
+        if A.ndim == 1:
+            if B.ndim == 2:  # (k,) @ (k,n) -> (n,)
+                return B @ g
+            # (k,) @ (..., k, n): contract g against B's last axis.
+            r = np.matmul(B, g[..., :, None])[..., 0]
+            return unbroadcast(r, A.shape)
+        if B.ndim == 1:
+            if A.ndim == 2:  # (m,k) @ (k,) -> (m,)
+                return np.outer(g, B)
+            return unbroadcast(g[..., :, None] * B, A.shape)
+        return unbroadcast(g @ np.swapaxes(B, -1, -2), A.shape)
 
     def vjp_b(g: np.ndarray) -> np.ndarray:
         if A.ndim == 1 and B.ndim == 1:
             return g * A
         if A.ndim == 1:
-            return np.outer(A, g)
+            if B.ndim == 2:
+                return np.outer(A, g)
+            return unbroadcast(A[:, None] * g[..., None, :], B.shape)
         if B.ndim == 1:
+            if A.ndim == 2:
+                return A.T @ g
+            r = np.matmul(np.swapaxes(A, -1, -2), g[..., :, None])[..., 0]
+            return unbroadcast(r, B.shape)
+        if A.ndim == 2 and B.ndim == 2:
             return A.T @ g
-        if A.ndim > 2 and B.ndim == 2:
-            # Stacked A: contract every leading axis pair.
-            k = A.ndim - 1
-            return np.tensordot(A, g, axes=(tuple(range(k)), tuple(range(k))))
-        return A.T @ g
+        return unbroadcast(np.swapaxes(A, -1, -2) @ g, B.shape)
 
     if np.ndim(out) == 0:  # 1-D @ 1-D: scalar result, no ufunc out=
         fwd = lambda o, A=A, B=B: np.copyto(o, A @ B)
@@ -519,6 +596,7 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     return make_node(out, [(ta, vjp_a), (tb, vjp_b)], "matmul", fwd=fwd)
 
 
+@composite
 def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
     """1-D inner product ``sum(a * b)``."""
     return sum_(mul(a, b))
@@ -527,6 +605,7 @@ def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # Shape manipulation
 # ----------------------------------------------------------------------
+@primitive("reshape")
 def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     """Differentiable reshape."""
     ta = tensor(a)
@@ -542,6 +621,7 @@ def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     )
 
 
+@primitive("transpose")
 def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
     """Differentiable transpose / axis permutation."""
     ta = tensor(a)
@@ -570,6 +650,7 @@ def _is_unique_index(index) -> bool:
     return False
 
 
+@primitive("getitem")
 def getitem(a: ArrayLike, index) -> Tensor:
     """Differentiable indexing/slicing.
 
@@ -597,6 +678,7 @@ def getitem(a: ArrayLike, index) -> Tensor:
     return make_node(out, [(ta, vjp)], "getitem", fwd=fwd)
 
 
+@primitive("concatenate")
 def concatenate(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     ts = [tensor(p) for p in parts]
@@ -627,6 +709,7 @@ def concatenate(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     return make_node(out, parents, "concatenate", fwd=fwd)
 
 
+@primitive("stack")
 def stack(parts: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Differentiable stacking along a new axis."""
     ts = [tensor(p) for p in parts]

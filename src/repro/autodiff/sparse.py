@@ -34,6 +34,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.autodiff.batching import primitive
 from repro.autodiff.linalg import LUSolver
 from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
 from repro.obs.metrics import get_registry
@@ -47,6 +48,7 @@ def _splu(A) -> spla.SuperLU:
     return spla.splu(A.astype(np.float64))
 
 
+@primitive("sparse_solve")
 def sparse_solve(A, b: ArrayLike) -> Tensor:
     """Differentiable solution of ``A x = b`` for a constant sparse ``A``.
 
@@ -84,6 +86,7 @@ def sparse_solve(A, b: ArrayLike) -> Tensor:
     return make_node(x, [(tb, vjp_b)], "sparse_solve", fwd=fwd)
 
 
+@primitive("sparse_matvec")
 def sparse_matvec(M, x: ArrayLike) -> Tensor:
     """Differentiable product ``M @ x`` for a constant sparse matrix.
 
@@ -107,6 +110,7 @@ def sparse_matvec(M, x: ArrayLike) -> Tensor:
     return make_node(out, [(tx, vjp_x)], "sparse_matvec", fwd=fwd)
 
 
+@primitive("sparse_pattern_solve")
 def sparse_pattern_solve(
     rows: np.ndarray,
     cols: np.ndarray,
@@ -203,6 +207,7 @@ class SparseLUSolver:
         get_registry().counter("linalg.sparse.solves").inc()
         return self._lu.solve(np.ascontiguousarray(b), trans=trans)
 
+    @primitive("sparse_lu_solve")
     def __call__(self, b: ArrayLike) -> Tensor:
         """Solve ``A x = b`` differentiably w.r.t. ``b``."""
         tb = tensor(b)
@@ -216,6 +221,19 @@ class SparseLUSolver:
             o[...] = self._solve(bd)
 
         return make_node(x, [(tb, vjp_b)], "sparse_lu_solve", fwd=fwd)
+
+    def solve_block(self, b_block: ArrayLike) -> Tensor:
+        """Solve an ``(N, n)`` row-block of right-hand sides at once.
+
+        One ``splu`` triangular solve against an ``(n, N)`` column block
+        serves all N systems, forward and adjoint (the VJP's transposed
+        solve receives the cotangent block in the same layout) — the
+        sparse mirror of :meth:`~repro.autodiff.linalg.LUSolver.solve_block`
+        and the arrangement the batching solve rule emits.
+        """
+        from repro.autodiff import ops
+
+        return ops.transpose(self(ops.transpose(b_block)))
 
     def solve_numpy(self, b: np.ndarray) -> np.ndarray:
         """Plain NumPy solve (no tape)."""

@@ -1,0 +1,251 @@
+"""CI smoke gate: vbatch must be bitwise-faithful (and fast).
+
+Three checks, in order of increasing cost:
+
+1. **Conformance fast tier** — the per-primitive batching-rule suite
+   (``tests/autodiff/test_batching.py``) runs in a pytest subprocess;
+   any rule regression fails the gate before the timing runs start.
+2. **DP bit-identity** — :func:`repro.control.loop.batched_cost_sweep`
+   scores a population of controls against a Laplace DP oracle on the
+   sparse (SuperLU) backend, whose multi-RHS solves are bitwise per
+   column; every entry must equal ``oracle.value`` exactly.
+3. **Batched line-search parity + speedup** — the Laplace PINN two-step
+   ω line search runs twice, looped and ``batch=True``.  Both must pick
+   the same ω* with bit-identical costs, histories, and parameters, and
+   the batched run (profiled, so the artifact proves the stacked path
+   actually executed) must beat the loop by the machine-adaptive
+   speedup gate: 2.0× with ≥4 CPUs, 1.2× with 2–3, correctness-only on
+   a single hardware thread.
+
+Wall times, the measured speedup, and the parity verdicts land in
+``batch_speedup.json``.
+
+Usage::
+
+    python -m repro.bench.batch_smoke [--out-dir DIR] [--skip-conformance]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP
+from repro.control.loop import batched_cost_sweep
+from repro.control.pinn import LaplacePINN, PINNTrainConfig, omega_line_search
+from repro.obs.metrics import use_registry
+from repro.obs.profile import SpanProfiler, profiling
+from repro.pde.laplace import LaplaceControlProblem
+
+#: Four candidates spanning the paper's decisive decades (ω* = 1e-1).
+DEFAULT_OMEGAS = (1e-2, 1e-1, 1.0, 1e1)
+
+CONFORMANCE_SUITE = os.path.join("tests", "autodiff", "test_batching.py")
+
+
+def _default_min_speedup() -> float:
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        return 2.0
+    if cpus >= 2:
+        return 1.2
+    return 0.0  # single hardware thread: gate correctness only
+
+
+def _flat(params) -> np.ndarray:
+    out = []
+    for layer in params:
+        out.append(layer["W"].ravel())
+        out.append(layer["b"].ravel())
+    return np.concatenate(out)
+
+
+def _run_conformance() -> "tuple[bool, str]":
+    """Run the batching conformance suite in a pytest subprocess."""
+    if not os.path.exists(CONFORMANCE_SUITE):
+        return True, f"skipped ({CONFORMANCE_SUITE} not found in cwd)"
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", CONFORMANCE_SUITE, "-q", "-x",
+         "-p", "no:cacheprovider"],
+        capture_output=True,
+        text=True,
+    )
+    tail = "\n".join(proc.stdout.strip().splitlines()[-3:])
+    return proc.returncode == 0, tail
+
+
+def _check_dp_bit_identity(nx: int, n_controls: int) -> "list[str]":
+    """Batched cost sweep vs per-candidate oracle.value — must be bitwise."""
+    problem = LaplaceControlProblem(SquareCloud(nx), backend="local")
+    oracle = LaplaceDP(problem)
+    rng = np.random.default_rng(0)
+    controls = rng.standard_normal((n_controls, problem.n_control))
+    swept = batched_cost_sweep(oracle, controls)
+    looped = np.asarray([oracle.value(c) for c in controls])
+    if not np.array_equal(swept, looped):
+        bad = int(np.sum(swept != looped))
+        return [
+            f"DP cost sweep not bit-identical to looped oracle.value "
+            f"({bad}/{n_controls} entries differ; max |Δ| = "
+            f"{np.max(np.abs(swept - looped)):.3e})"
+        ]
+    return []
+
+
+def _run_line_search(problem, cfg, omegas, hidden, batch, profiler=None):
+    pinn = LaplacePINN(problem, state_hidden=hidden, control_hidden=(8,),
+                       config=cfg)
+    t0 = time.perf_counter()
+    if profiler is not None:
+        with use_registry(), profiling(profiler):
+            ls = omega_line_search(pinn, omegas, batch=batch)
+    else:
+        ls = omega_line_search(pinn, omegas, batch=batch)
+    return ls, time.perf_counter() - t0
+
+
+def _compare_line_searches(ls_s, ls_b) -> "list[str]":
+    failures = []
+    if ls_b.best_omega != ls_s.best_omega:
+        failures.append("batched selected a different omega*")
+    if ls_b.best_cost != ls_s.best_cost:
+        failures.append("batched best cost is not bit-identical to looped")
+    if ls_b.step2_costs != ls_s.step2_costs:
+        failures.append("step-2 costs differ between looped and batched")
+    if not np.array_equal(_flat(ls_b.params_u_retrained),
+                          _flat(ls_s.params_u_retrained)):
+        failures.append("retrained state parameters differ")
+    if not np.array_equal(_flat(ls_b.params_c), _flat(ls_s.params_c)):
+        failures.append("control parameters differ")
+    for rs, rb in zip(ls_s.step1, ls_b.step1):
+        if rs.loss_history != rb.loss_history:
+            failures.append(
+                f"step-1 loss history differs at omega={rs.omega:g}"
+            )
+            break
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=12, help="cloud resolution")
+    ap.add_argument("--epochs", type=int, default=120,
+                    help="step-1/2 training epochs per candidate")
+    ap.add_argument("--omegas", type=float, nargs="+",
+                    default=list(DEFAULT_OMEGAS),
+                    help="candidate omegas (>= 4 for the acceptance run)")
+    ap.add_argument("--n-controls", type=int, default=16,
+                    help="population size for the DP cost-sweep check")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail below this batched speedup "
+                         "(default: 2.0 with >=4 CPUs, 1.2 with 2-3, "
+                         "0 on a single CPU)")
+    ap.add_argument("--skip-conformance", action="store_true",
+                    help="skip the pytest conformance tier (timing only)")
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="write the speedup JSON + profiler trace here")
+    args = ap.parse_args(argv)
+    min_speedup = (
+        _default_min_speedup() if args.min_speedup is None else args.min_speedup
+    )
+
+    failures = []
+
+    if args.skip_conformance:
+        conformance = "skipped (--skip-conformance)"
+    else:
+        ok, conformance = _run_conformance()
+        print(f"conformance tier: {conformance}")
+        if not ok:
+            failures.append("batching-rule conformance suite failed")
+
+    failures += _check_dp_bit_identity(args.nx, args.n_controls)
+    print(f"DP cost sweep ({args.n_controls} controls): "
+          f"{'FAILED' if failures and failures[-1].startswith('DP') else 'bit-identical'}")
+
+    problem = LaplaceControlProblem(SquareCloud(args.nx))
+    cfg = PINNTrainConfig(epochs=args.epochs, lr=2e-3, n_interior=80,
+                          n_boundary=12, seed=0)
+    hidden = (12, 12)
+
+    ls_s, t_loop = _run_line_search(
+        problem, cfg, args.omegas, hidden, batch=False
+    )
+    profiler = SpanProfiler()
+    ls_b, t_batch = _run_line_search(
+        problem, cfg, args.omegas, hidden, batch=True, profiler=profiler
+    )
+
+    spans = {row["name"] for row in profiler.summary_rows()}
+    if "pinn.line_search_batched" not in spans:
+        failures.append(
+            "profiler saw no pinn.line_search_batched span — the batched "
+            "path did not execute"
+        )
+
+    speedup = t_loop / t_batch if t_batch > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    print(
+        f"laplace-pinn line search, {len(args.omegas)} omegas x "
+        f"{args.epochs} epochs (nx={args.nx}, {cpus} CPUs):\n"
+        f"  looped        {t_loop:8.2f} s\n"
+        f"  batched       {t_batch:8.2f} s   speedup {speedup:.2f}x\n"
+        f"  omega*: looped {ls_s.best_omega:g}  batched {ls_b.best_omega:g}\n"
+        f"  J:      looped {ls_s.best_cost!r}  batched {ls_b.best_cost!r}"
+    )
+
+    failures += _compare_line_searches(ls_s, ls_b)
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        artifact = {
+            "kind": "repro.batch.smoke",
+            "problem": "laplace-pinn-line-search",
+            "omegas": [float(o) for o in args.omegas],
+            "epochs": args.epochs,
+            "nx": args.nx,
+            "cpu_count": cpus,
+            "conformance": conformance,
+            "n_controls": args.n_controls,
+            "looped_seconds": t_loop,
+            "batched_seconds": t_batch,
+            "speedup": speedup,
+            "min_speedup_gate": min_speedup,
+            "best_omega": float(ls_s.best_omega),
+            "best_cost": float(ls_s.best_cost),
+            "bitwise_identical": not failures,
+        }
+        path = os.path.join(args.out_dir, "batch_speedup.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=1)
+        print(f"  artifact -> {path}")
+        trace_path = os.path.join(args.out_dir, "batch_smoke.trace.json")
+        profiler.save_chrome_trace(
+            trace_path, meta={"n_omega": len(args.omegas)}
+        )
+        print(f"  batched trace -> {trace_path}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    if speedup < min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the {min_speedup:.1f}x gate "
+            f"({cpus} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

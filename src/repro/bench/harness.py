@@ -194,12 +194,16 @@ def run_laplace_pinn(
     scale: Optional[ExperimentScale] = None,
     recorder=None,
     jobs: Optional[int] = None,
+    batch: bool = False,
 ) -> ControlResult:
     """PINN with the two-step ω line search on Laplace (Fig. 3c–e).
 
     ``jobs`` fans the ω candidates across worker processes (default: the
     ``$REPRO_JOBS`` resolution of :func:`repro.parallel.resolve_jobs`);
-    results are bitwise-identical to the serial search.
+    ``batch`` vectorises the candidates through
+    :func:`repro.autodiff.vbatch` (composable with ``jobs`` for
+    process × batch parallelism).  Either way results are
+    bitwise-identical to the serial search.
     """
     s = scale or get_scale()
     prob = problem or make_laplace_problem(s)
@@ -215,7 +219,8 @@ def run_laplace_pinn(
 
     def run():
         return omega_line_search(
-            pinn, s.pinn.laplace_omegas, recorder=recorder, jobs=jobs
+            pinn, s.pinn.laplace_omegas, recorder=recorder, jobs=jobs,
+            batch=batch,
         )
 
     ls, t, mem = measure_run(run, recorder)
@@ -339,11 +344,13 @@ def run_ns_pinn(
     scale: Optional[ExperimentScale] = None,
     recorder=None,
     jobs: Optional[int] = None,
+    batch: bool = False,
 ) -> ControlResult:
     """PINN with the two-step ω line search on the channel problem.
 
-    ``jobs`` fans the ω candidates across worker processes; results are
-    bitwise-identical to the serial search.
+    ``jobs`` fans the ω candidates across worker processes and ``batch``
+    stacks them through :func:`repro.autodiff.vbatch`; results are
+    bitwise-identical to the serial search either way.
     """
     s = scale or get_scale()
     prob = problem or make_ns_problem(s)
@@ -362,7 +369,8 @@ def run_ns_pinn(
 
     def run():
         return omega_line_search(
-            pinn, s.pinn.ns_omegas, recorder=recorder, jobs=jobs
+            pinn, s.pinn.ns_omegas, recorder=recorder, jobs=jobs,
+            batch=batch,
         )
 
     ls, t, mem = measure_run(run, recorder)

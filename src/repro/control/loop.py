@@ -131,3 +131,32 @@ def optimize(
             phase_seconds=timer.laps(),
         )
     return best_c, history
+
+
+def batched_cost_sweep(oracle, controls: np.ndarray) -> np.ndarray:
+    """Evaluate the cost of N candidate controls in one stacked forward.
+
+    Vectorises the oracle's tape-level cost (``_cost_tensor``) over the
+    candidate axis with :func:`repro.autodiff.vbatch`: all N right-hand
+    sides flow through ONE multi-RHS solve against the oracle's cached
+    factorisation instead of N separate solves.  Used by restart seeding,
+    the ``batch_smoke`` gate, and anywhere a population of controls must
+    be scored (each entry bitwise-identical to ``oracle.value`` on the
+    sparse backend for the narrow populations those callers use —
+    SuperLU's multi-RHS solve is per-column bitwise up to ~50 columns).
+    Oracles without a tape-level cost fall back to a per-candidate loop
+    of ``oracle.value``.
+    """
+    controls = np.asarray(controls, dtype=np.float64)
+    if controls.ndim != 2:
+        raise ValueError(
+            f"controls must be (N, n_control), got shape {controls.shape}"
+        )
+    fn = getattr(oracle, "_cost_tensor", None)
+    if fn is None:
+        return np.asarray([float(oracle.value(c)) for c in controls])
+    from repro.autodiff.batching import vbatch
+
+    with _span("batched_cost_sweep", "method", {"n": controls.shape[0]}):
+        out = vbatch(fn)(controls)
+    return np.asarray(out.data, dtype=np.float64).copy()

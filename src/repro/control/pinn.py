@@ -172,6 +172,84 @@ def _train(
     return params, history, tracked
 
 
+def _train_batched(
+    loss_fn,
+    extras: Tuple[Any, ...],
+    params_stack: Dict[str, Any],
+    n: int,
+    config: PINNTrainConfig,
+    alternating_keys: Optional[Sequence[str]] = None,
+    trackers=(),
+) -> Tuple[Dict[str, Any], List[List[float]], Dict[str, List[List[float]]]]:
+    """Adam loop over N stacked parameter sets via one ``vbatch`` trace.
+
+    The batched counterpart of :func:`_train`: every leaf of
+    ``params_stack`` carries a leading axis of length ``n`` and the whole
+    fleet trains in one stacked tensor program per epoch —
+    ``backward(ones(n))`` seeds each slice with the same cotangent 1.0
+    that N independent scalar backwards would, the Adam update and the
+    LR schedule are elementwise, and the alternating mask zeroes the same
+    keys in every slice, so slice ``i`` of every epoch is bitwise the
+    serial run for candidate ``i`` (the batching rules guarantee bitwise
+    per-slice forwards and parameter-side VJPs).
+
+    ``extras`` are additional *batched* positional arguments for
+    ``loss_fn`` (stacked along axis 0, not differentiated): the per-ω
+    weight vector in step 1, the frozen per-ω control parameters in
+    step 2.  ``trackers`` map the stacked params to an ``(n,)`` float
+    array per epoch.  ``config.compile`` is ignored here — the batched
+    trace is re-recorded each epoch (one stacked program is already far
+    fewer Python dispatches than N eager tapes).
+    """
+    from repro.autodiff.batching import vbatch
+    from repro.autodiff.tensor import Tensor, asdata
+    from repro.nn.pytree import tree_flatten, tree_unflatten
+
+    bfn = vbatch(loss_fn, in_axes=(0,) * (1 + len(extras)))
+    ones = np.ones(n)
+
+    def vg(ps):
+        leaves, treedef = tree_flatten(ps)
+        lts = [Tensor(asdata(x), requires_grad=True) for x in leaves]
+        out = bfn(tree_unflatten(treedef, lts), *extras)
+        out.backward(ones)
+        grads = tree_unflatten(
+            treedef,
+            [
+                t.grad if t.grad is not None else np.zeros_like(t.data)
+                for t in lts
+            ],
+        )
+        return np.asarray(out.data, dtype=np.float64).copy(), grads
+
+    opt = Adam(lr=config.lr)
+    state = opt.init(params_stack)
+    schedule = paper_schedule(config.lr)
+    histories: List[List[float]] = [[] for _ in range(n)]
+    tracked: Dict[str, List[List[float]]] = {
+        name: [[] for _ in range(n)] for name, _ in trackers
+    }
+    for epoch in range(config.epochs):
+        with _span("grad", "phase"):
+            vals, grads = vg(params_stack)
+        for i in range(n):
+            histories[i].append(float(vals[i]))
+        with _span("eval", "phase"):
+            for name, fn in trackers:
+                tv = fn(params_stack)
+                for i in range(n):
+                    tracked[name][i].append(float(tv[i]))
+        lr = schedule(epoch, config.epochs)
+        with _span("update", "phase"):
+            if alternating_keys:
+                active = alternating_keys[epoch % len(alternating_keys)]
+                for k in params_stack:
+                    if k != active:
+                        grads[k] = _zeros_like_tree(grads[k])
+            params_stack, state = opt.step(params_stack, grads, state, lr=lr)
+    return params_stack, histories, tracked
+
+
 def _zeros_like_tree(tree):
     from repro.nn.pytree import tree_map
 
@@ -560,6 +638,97 @@ def _omega_task_key(omega: float) -> str:
     return f"omega={float(omega):.17g}"
 
 
+def _stack_trees(trees: Sequence[Any]) -> Any:
+    """Stack same-structured pytrees leafwise along a new axis 0."""
+    from repro.nn.pytree import tree_zip_map
+
+    return tree_zip_map(lambda *xs: np.stack([np.asarray(x) for x in xs]), *trees)
+
+
+def _unstack_tree(stacked: Any, i: int) -> Any:
+    """Slice item ``i`` out of a stacked pytree (copies, so the slice
+    survives further in-place optimiser updates to the stack)."""
+    from repro.nn.pytree import tree_map
+
+    return tree_map(lambda x: np.asarray(x)[i].copy(), stacked)
+
+
+def _omega_batch_task(pinn, omegas, cfg1, cfg2, seeds, want_trace):
+    """A chunk of ω candidates trained as ONE stacked tensor program.
+
+    The vbatch analogue of looping :func:`_omega_task`: per-ω parameter
+    sets are initialised from the same :func:`derive_seed` keys the
+    serial and parallel paths use, stacked leafwise, and both line-search
+    steps train through :func:`_train_batched` — so slice ``i`` is
+    bitwise the serial candidate ``i``, at a fraction of the dispatch
+    cost.  Step-2's frozen controls ride along as a stacked non-gradient
+    argument; the final cost evaluation is plain per-ω NumPy.  Module
+    level so the parallel engine can ship chunks to workers (process ×
+    batch two-level parallelism).  ``want_trace`` is accepted for
+    signature parity with ``_omega_task``; batched training emits
+    profiler spans but no per-epoch trace records.
+    """
+    from repro.autodiff.batching import vbatch
+
+    n = len(omegas)
+    om = np.asarray([float(o) for o in omegas], dtype=np.float64)
+    stacked = _stack_trees(
+        [
+            {
+                "u": pinn.net_u.init_params(s),
+                "c": pinn.net_c.init_params(s + 1),
+            }
+            for s in seeds
+        ]
+    )
+    cost_fn = vbatch(lambda p: pinn.cost_objective(p["u"]))
+    res_fn = vbatch(lambda p: pinn.residual_loss(p["u"]))
+    trackers = (
+        ("cost", lambda ps: np.asarray(cost_fn(ps).data, dtype=np.float64)),
+        ("residual", lambda ps: np.asarray(res_fn(ps).data, dtype=np.float64)),
+    )
+    with _span("pinn.train_pair_batched", "method", {"n_omega": n}):
+        stacked, hists, tracked = _train_batched(
+            pinn.loss,
+            (om,),
+            stacked,
+            n,
+            cfg1,
+            alternating_keys=("u", "c") if cfg1.alternating else None,
+            trackers=trackers,
+        )
+
+    def retrain_loss(p, pc):
+        return pinn.residual_loss(p["u"]) + pinn.boundary_loss(p["u"], pc)
+
+    pc_stack = stacked["c"]
+    stacked2 = _stack_trees(
+        [{"u": pinn.net_u.init_params(s + 7)} for s in seeds]
+    )
+    with _span("pinn.retrain_state_batched", "method", {"n_omega": n}):
+        stacked2, _, _ = _train_batched(
+            retrain_loss, (pc_stack,), stacked2, n, cfg2
+        )
+
+    values = []
+    for i, omega in enumerate(omegas):
+        pu_re = _unstack_tree(stacked2["u"], i)
+        with _span("eval", "phase"):
+            cost = pinn.evaluate_cost(pu_re)
+        run = PINNRunResult(
+            omega=float(omega),
+            params_u=_unstack_tree(stacked["u"], i),
+            params_c=_unstack_tree(stacked["c"], i),
+            loss_history=hists[i],
+            cost_history=tracked["cost"][i],
+            residual_history=tracked["residual"][i],
+        )
+        values.append(
+            {"run": run, "cost": float(cost), "params_u": pu_re, "trace": None}
+        )
+    return values
+
+
 def _omega_task(pinn, omega, cfg1, cfg2, seed, want_trace):
     """One ω candidate, end to end: step-1 pair, step-2 retrain, eval.
 
@@ -588,6 +757,7 @@ def omega_line_search(
     recorder=None,
     jobs: Optional[int] = None,
     engine=None,
+    batch: bool = False,
 ) -> LineSearchResult:
     """Run the Mowlavi & Nabi two-step strategy over an ω range.
 
@@ -607,6 +777,19 @@ def omega_line_search(
     ``recorder`` receives the step-1 training epochs of every ω in
     sequence (epoch indices restart per ω; the ``omega`` metadata key
     reflects the most recent run) plus the line-search verdict.
+
+    ``batch=True`` vectorises the candidates through
+    :func:`repro.autodiff.vbatch`: all ω pairs train as one stacked
+    tensor program (one Python dispatch per primitive per epoch instead
+    of N), bitwise identical per candidate to the serial loop.  Combined
+    with ``jobs > 1`` the candidates are split into contiguous chunks,
+    one batched program per worker process — two-level (process × batch)
+    parallelism.  Batched training emits profiler spans but no per-epoch
+    recorder iterations (the verdict metadata is still recorded); it
+    also bypasses ``config.compile``.  Every path — serial, parallel,
+    batched, and N_ω == 1 degenerate runs of any of them — derives the
+    identical per-ω seed from ``(cfg1.seed, ω)``, so results agree
+    bitwise across all of them.
     """
     from repro.parallel import ParallelEngine, TaskError, resolve_jobs
     from repro.parallel.seeding import derive_seed
@@ -628,22 +811,50 @@ def omega_line_search(
         from repro.parallel.task import Task
 
         eng = engine or ParallelEngine(jobs=n_jobs, root_seed=cfg1.seed)
-        tasks = [
-            Task(
-                key=_omega_task_key(o),
-                fn=_omega_task,
-                args=(pinn, o, cfg1, cfg2, s, recorder is not None),
-            )
-            for o, s in zip(omegas, seeds)
-        ]
+        if batch:
+            # Process × batch: contiguous ω chunks, one stacked batched
+            # program per worker.  Chunk membership cannot change any
+            # candidate's result (each slice is bitwise the serial run).
+            n_chunks = min(eng.jobs, len(omegas))
+            bounds = np.linspace(0, len(omegas), n_chunks + 1).astype(int)
+            chunks = [
+                (list(omegas[lo:hi]), seeds[lo:hi])
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            tasks = [
+                Task(
+                    key=f"omega_batch[{_omega_task_key(ch[0][0])}"
+                    f"..{_omega_task_key(ch[0][-1])}]",
+                    fn=_omega_batch_task,
+                    args=(pinn, ch[0], cfg1, cfg2, ch[1], False),
+                )
+                for ch in chunks
+            ]
+        else:
+            tasks = [
+                Task(
+                    key=_omega_task_key(o),
+                    fn=_omega_task,
+                    args=(pinn, o, cfg1, cfg2, s, recorder is not None),
+                )
+                for o, s in zip(omegas, seeds)
+            ]
         with _span("pinn.line_search", "method", {"jobs": eng.jobs}):
             task_results = eng.run(tasks)
         outcomes = []
-        for omega, res in zip(omegas, task_results):
-            if res.ok:
-                outcomes.append((omega, res.value))
-            else:
-                failures.append(res)
+        if batch:
+            for (chunk_omegas, _), res in zip(chunks, task_results):
+                if res.ok:
+                    outcomes.extend(zip(chunk_omegas, res.value))
+                else:
+                    failures.append(res)
+        else:
+            for omega, res in zip(omegas, task_results):
+                if res.ok:
+                    outcomes.append((omega, res.value))
+                else:
+                    failures.append(res)
         if not outcomes:
             first = failures[0]
             raise TaskError(
@@ -651,6 +862,12 @@ def omega_line_search(
                 f"{first.key} -> {first.status} "
                 f"({(first.error or {}).get('message', 'no detail')})"
             )
+    elif batch:
+        with _span("pinn.line_search_batched", "method", {"n_omega": len(omegas)}):
+            values = _omega_batch_task(
+                pinn, list(omegas), cfg1, cfg2, seeds, False
+            )
+        outcomes = list(zip(omegas, values))
     else:
         # Serial path: stream every ω's epochs straight into the shared
         # recorder (same record stream a parallel run reassembles from

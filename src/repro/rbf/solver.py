@@ -219,6 +219,34 @@ class RBFSolver:
         """Build the right-hand side for ``problem``."""
         return assemble_problem_rhs(self.cloud, problem)
 
+    def _factors(
+        self, problem: LinearPDEProblem, cache_key: Optional[str], rec
+    ) -> tuple:
+        """Fetch-or-build the LU factors (and retained matrix) for ``problem``."""
+        key = None if cache_key is None else (cache_key, self._cache_token())
+        if key is not None and key in self._lu_cache:
+            return self._lu_cache[key]
+        t0 = time.perf_counter() if rec is not None else 0.0
+        with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
+            A = self.assemble_system(problem)
+        with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
+            lu = sla.lu_factor(A, check_finite=False)
+        self.n_factorizations += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "factorize",
+                n=self.cloud.n,
+                seconds=time.perf_counter() - t0,
+                condition_estimate=_dense_condition_estimate(A, lu),
+            )
+        # The matrix is only retained for residual reporting; without
+        # a recorder the cache stays factors-only, as before.
+        A_kept = A if rec is not None else None
+        if key is not None:
+            self._lu_cache[key] = (lu, A_kept)
+        return lu, A_kept
+
     def solve(
         self, problem: LinearPDEProblem, cache_key: Optional[str] = None
     ) -> np.ndarray:
@@ -230,29 +258,7 @@ class RBFSolver:
         problems whose control enters only through boundary *values*).
         """
         rec = self.recorder if self.recorder else None
-        key = None if cache_key is None else (cache_key, self._cache_token())
-        if key is not None and key in self._lu_cache:
-            lu, A_kept = self._lu_cache[key]
-        else:
-            t0 = time.perf_counter() if rec is not None else 0.0
-            with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
-                A = self.assemble_system(problem)
-            with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
-                lu = sla.lu_factor(A, check_finite=False)
-            self.n_factorizations += 1
-            if rec is not None:
-                rec.solver_event(
-                    self.solver_name,
-                    "factorize",
-                    n=self.cloud.n,
-                    seconds=time.perf_counter() - t0,
-                    condition_estimate=_dense_condition_estimate(A, lu),
-                )
-            # The matrix is only retained for residual reporting; without
-            # a recorder the cache stays factors-only, as before.
-            A_kept = A if rec is not None else None
-            if key is not None:
-                self._lu_cache[key] = (lu, A_kept)
+        lu, A_kept = self._factors(problem, cache_key, rec)
         b = self.assemble_rhs(problem)
         t0 = time.perf_counter() if rec is not None else 0.0
         with _span("rbf.solve", "solver", {"n": self.cloud.n}):
@@ -266,6 +272,54 @@ class RBFSolver:
                 seconds=time.perf_counter() - t0,
                 residual=(
                     _relative_residual(A_kept, x, b) if A_kept is not None else None
+                ),
+            )
+        return x
+
+    def solve_block(
+        self,
+        problem: LinearPDEProblem,
+        b_block: np.ndarray,
+        cache_key: Optional[str] = None,
+    ) -> np.ndarray:
+        """Solve against a ``(N_rhs, n)`` block of right-hand sides at once.
+
+        One factorisation (cached under ``cache_key`` exactly as in
+        :meth:`solve`) serves every row of ``b_block`` through a single
+        multi-RHS ``getrs`` call — the dense analogue of the multi-RHS
+        reuse :func:`repro.autodiff.vbatch` performs on the tape.  Counts
+        as one entry in ``n_solves``.  Returns the ``(N_rhs, n)`` block
+        of solutions (``N_rhs = 0`` is allowed and returns an empty
+        block without touching LAPACK).
+        """
+        b_block = np.asarray(b_block, dtype=np.float64)
+        if b_block.ndim != 2 or b_block.shape[1] != self.cloud.n:
+            raise ValueError(
+                f"b_block must have shape (N_rhs, {self.cloud.n}), "
+                f"got {b_block.shape}"
+            )
+        rec = self.recorder if self.recorder else None
+        lu, A_kept = self._factors(problem, cache_key, rec)
+        if b_block.shape[0] == 0:
+            return b_block.copy()
+        t0 = time.perf_counter() if rec is not None else 0.0
+        with _span(
+            "rbf.solve_block", "solver",
+            {"n": self.cloud.n, "n_rhs": b_block.shape[0]},
+        ):
+            x = sla.lu_solve(lu, b_block.T, check_finite=False).T
+        self.n_solves += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "solve",
+                n=self.cloud.n,
+                n_rhs=b_block.shape[0],
+                seconds=time.perf_counter() - t0,
+                residual=(
+                    _relative_residual(A_kept, x.T, b_block.T)
+                    if A_kept is not None
+                    else None
                 ),
             )
         return x
@@ -377,31 +431,37 @@ class LocalRBFSolver:
         """Build the right-hand side for ``problem``."""
         return assemble_problem_rhs(self.cloud, problem)
 
+    def _factors(
+        self, problem: LinearPDEProblem, cache_key: Optional[str], rec
+    ) -> tuple:
+        """Fetch-or-build the ``splu`` factors and matrix for ``problem``."""
+        key = None if cache_key is None else (cache_key, self._cache_token())
+        if key is not None and key in self._lu_cache:
+            return self._lu_cache[key]
+        t0 = time.perf_counter() if rec is not None else 0.0
+        with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
+            A = self.assemble_system(problem)
+        with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
+            lu = spla.splu(sp.csc_matrix(A))
+        self.n_factorizations += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "factorize",
+                n=self.cloud.n,
+                seconds=time.perf_counter() - t0,
+                nnz=int(A.nnz),
+            )
+        if key is not None:
+            self._lu_cache[key] = (lu, A)
+        return lu, A
+
     def solve(
         self, problem: LinearPDEProblem, cache_key: Optional[str] = None
     ) -> np.ndarray:
         """Sparse solve with ``splu`` factorisation caching by key."""
         rec = self.recorder if self.recorder else None
-        key = None if cache_key is None else (cache_key, self._cache_token())
-        if key is not None and key in self._lu_cache:
-            lu, A = self._lu_cache[key]
-        else:
-            t0 = time.perf_counter() if rec is not None else 0.0
-            with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
-                A = self.assemble_system(problem)
-            with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
-                lu = spla.splu(sp.csc_matrix(A))
-            self.n_factorizations += 1
-            if rec is not None:
-                rec.solver_event(
-                    self.solver_name,
-                    "factorize",
-                    n=self.cloud.n,
-                    seconds=time.perf_counter() - t0,
-                    nnz=int(A.nnz),
-                )
-            if key is not None:
-                self._lu_cache[key] = (lu, A)
+        lu, A = self._factors(problem, cache_key, rec)
         b = self.assemble_rhs(problem)
         t0 = time.perf_counter() if rec is not None else 0.0
         with _span("rbf.solve", "solver", {"n": self.cloud.n}):
@@ -414,6 +474,51 @@ class LocalRBFSolver:
                 n=self.cloud.n,
                 seconds=time.perf_counter() - t0,
                 residual=_relative_residual(A, x, b),
+                nnz=int(A.nnz),
+            )
+        return x
+
+    def solve_block(
+        self,
+        problem: LinearPDEProblem,
+        b_block: np.ndarray,
+        cache_key: Optional[str] = None,
+    ) -> np.ndarray:
+        """Solve against a ``(N_rhs, n)`` block of right-hand sides at once.
+
+        Sparse counterpart of :meth:`RBFSolver.solve_block`: one cached
+        ``splu`` factorisation serves the whole block via a single
+        multi-column triangular solve, counted as one entry in
+        ``n_solves``.  SuperLU's multi-RHS path is bitwise-identical to
+        per-column solves for the narrow blocks the batched line search
+        and cost sweeps produce (observed up to ~50 columns); very wide
+        blocks may take a blocked substitution that perturbs last bits.
+        """
+        b_block = np.asarray(b_block, dtype=np.float64)
+        if b_block.ndim != 2 or b_block.shape[1] != self.cloud.n:
+            raise ValueError(
+                f"b_block must have shape (N_rhs, {self.cloud.n}), "
+                f"got {b_block.shape}"
+            )
+        rec = self.recorder if self.recorder else None
+        lu, A = self._factors(problem, cache_key, rec)
+        if b_block.shape[0] == 0:
+            return b_block.copy()
+        t0 = time.perf_counter() if rec is not None else 0.0
+        with _span(
+            "rbf.solve_block", "solver",
+            {"n": self.cloud.n, "n_rhs": b_block.shape[0]},
+        ):
+            x = lu.solve(b_block.T).T
+        self.n_solves += 1
+        if rec is not None:
+            rec.solver_event(
+                self.solver_name,
+                "solve",
+                n=self.cloud.n,
+                n_rhs=b_block.shape[0],
+                seconds=time.perf_counter() - t0,
+                residual=_relative_residual(A, x.T, b_block.T),
                 nnz=int(A.nnz),
             )
         return x

@@ -1,0 +1,61 @@
+"""Tests for the vbatch parity/speedup smoke gate."""
+
+import json
+
+import pytest
+
+from repro.bench.batch_smoke import _default_min_speedup, main
+
+
+class TestBatchSmoke:
+    @pytest.mark.slow
+    def test_gate_passes_and_writes_artifacts(self, tmp_path, capsys):
+        rc = main([
+            "--nx", "10", "--epochs", "30",
+            "--omegas", "0.01", "1.0",
+            "--n-controls", "6",
+            "--min-speedup", "0",
+            "--skip-conformance",  # the suite itself runs it; avoid nesting
+            "--out-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "OK" in out
+        assert "bit-identical" in out
+
+        artifact = json.loads((tmp_path / "batch_speedup.json").read_text())
+        assert artifact["kind"] == "repro.batch.smoke"
+        assert artifact["bitwise_identical"] is True
+        assert artifact["looped_seconds"] > 0
+        assert artifact["batched_seconds"] > 0
+        assert artifact["conformance"].startswith("skipped")
+        trace = json.loads((tmp_path / "batch_smoke.trace.json").read_text())
+        assert trace["traceEvents"]
+
+    @pytest.mark.slow
+    def test_unreachable_speedup_gate_fails(self, tmp_path, capsys):
+        rc = main([
+            "--nx", "8", "--epochs", "10",
+            "--omegas", "0.1", "1.0",
+            "--n-controls", "2",
+            "--min-speedup", "1e9",
+            "--skip-conformance",
+            "--out-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "below the" in captured.err
+        # The artifact still records the honest measurement.
+        artifact = json.loads((tmp_path / "batch_speedup.json").read_text())
+        assert artifact["bitwise_identical"] is True
+        assert artifact["min_speedup_gate"] == 1e9
+
+    def test_default_gate_scales_with_cpus(self, monkeypatch):
+        import repro.bench.batch_smoke as bs
+
+        monkeypatch.setattr(bs.os, "cpu_count", lambda: 8)
+        assert _default_min_speedup() == 2.0
+        monkeypatch.setattr(bs.os, "cpu_count", lambda: 2)
+        assert _default_min_speedup() == 1.2
+        monkeypatch.setattr(bs.os, "cpu_count", lambda: 1)
+        assert _default_min_speedup() == 0.0

@@ -98,3 +98,54 @@ class TestOptimize:
 
     def test_empty_history_best_cost(self):
         assert OptimizationHistory().best_cost == np.inf
+
+
+class TestBatchedCostSweep:
+    """batched_cost_sweep: one stacked forward scores N candidates."""
+
+    def test_fallback_loop_without_cost_tensor(self):
+        from repro.control.loop import batched_cost_sweep
+
+        oracle = QuadraticOracle([1.0, -2.0, 0.5])
+        controls = np.arange(12, dtype=np.float64).reshape(4, 3)
+        out = batched_cost_sweep(oracle, controls)
+        assert out.shape == (4,)
+        assert np.array_equal(out, [oracle.value(c) for c in controls])
+
+    def test_dp_oracle_bitwise_matches_value_loop(self, laplace_problem_local):
+        from repro.control.dp import LaplaceDP
+        from repro.control.loop import batched_cost_sweep
+
+        oracle = LaplaceDP(laplace_problem_local)
+        rng = np.random.default_rng(3)
+        controls = rng.standard_normal((5, laplace_problem_local.n_control))
+        out = batched_cost_sweep(oracle, controls)
+        # Sparse backend: the multi-RHS SuperLU solve is bitwise the
+        # per-candidate solve, so each entry equals oracle.value exactly.
+        assert np.array_equal(out, [oracle.value(c) for c in controls])
+
+    def test_single_candidate_matches_value(self, laplace_problem_local):
+        from repro.control.dp import LaplaceDP
+        from repro.control.loop import batched_cost_sweep
+
+        oracle = LaplaceDP(laplace_problem_local)
+        c = np.linspace(-1, 1, laplace_problem_local.n_control)
+        out = batched_cost_sweep(oracle, c[None, :])
+        assert out.shape == (1,)
+        assert out[0] == oracle.value(c)
+
+    def test_empty_population(self, laplace_problem_local):
+        from repro.control.dp import LaplaceDP
+        from repro.control.loop import batched_cost_sweep
+
+        oracle = LaplaceDP(laplace_problem_local)
+        out = batched_cost_sweep(
+            oracle, np.empty((0, laplace_problem_local.n_control))
+        )
+        assert out.shape == (0,)
+
+    def test_rejects_non_2d(self):
+        from repro.control.loop import batched_cost_sweep
+
+        with pytest.raises(ValueError, match="controls"):
+            batched_cost_sweep(QuadraticOracle([0.0]), np.zeros(3))

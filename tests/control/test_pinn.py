@@ -218,6 +218,99 @@ class TestLineSearchParallel:
 
 
 
+class TestLineSearchBatched:
+    """vbatch'd ω line search vs the serial loop, plus the N_ω == 1
+    regression: every path (serial, batched, parallel, degenerate
+    single-candidate) derives the per-ω seed from ``(cfg.seed, ω)``, so
+    one candidate's result is bitwise the same everywhere it appears."""
+
+    CFG = PINNTrainConfig(epochs=40, lr=2e-3, n_interior=60, n_boundary=10, seed=0)
+    OMEGAS = [1e-2, 1e-1, 1.0]
+
+    def _pinn(self, laplace_problem):
+        return LaplacePINN(
+            laplace_problem, state_hidden=(8,), control_hidden=(6,),
+            config=self.CFG,
+        )
+
+    @staticmethod
+    def _flat(params):
+        out = []
+        for layer in params:
+            out.append(layer["W"].ravel())
+            out.append(layer["b"].ravel())
+        return np.concatenate(out)
+
+    def _assert_same(self, a: LineSearchResult, b: LineSearchResult):
+        assert b.best_omega == a.best_omega
+        assert b.best_cost == a.best_cost
+        assert b.step2_costs == a.step2_costs
+        assert np.array_equal(
+            self._flat(b.params_u_retrained), self._flat(a.params_u_retrained)
+        )
+        assert np.array_equal(self._flat(b.params_c), self._flat(a.params_c))
+        for ra, rb in zip(a.step1, b.step1):
+            assert rb.loss_history == ra.loss_history
+            assert rb.cost_history == ra.cost_history
+            assert rb.residual_history == ra.residual_history
+            assert np.array_equal(
+                self._flat(rb.params_u), self._flat(ra.params_u)
+            )
+            assert np.array_equal(
+                self._flat(rb.params_c), self._flat(ra.params_c)
+            )
+
+    def test_batched_bitwise_identical_to_serial(self, laplace_problem):
+        serial = omega_line_search(self._pinn(laplace_problem), self.OMEGAS)
+        batched = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, batch=True
+        )
+        self._assert_same(serial, batched)
+
+    def test_batch_composes_with_jobs(self, laplace_problem):
+        serial = omega_line_search(self._pinn(laplace_problem), self.OMEGAS)
+        two_level = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, batch=True, jobs=2
+        )
+        self._assert_same(serial, two_level)
+
+    def test_single_candidate_bitwise_across_all_paths(self, laplace_problem):
+        """Regression: the degenerate N_ω == 1 run must reuse the same
+        derived ``(cfg.seed, ω)`` key as any multi-candidate run that
+        includes the same ω — serial, batched, and parallel alike."""
+        omega = self.OMEGAS[1]
+        solo = omega_line_search(self._pinn(laplace_problem), [omega])
+        solo_batch = omega_line_search(
+            self._pinn(laplace_problem), [omega], batch=True
+        )
+        solo_jobs = omega_line_search(
+            self._pinn(laplace_problem), [omega], jobs=2
+        )
+        self._assert_same(solo, solo_batch)
+        self._assert_same(solo, solo_jobs)
+
+        multi = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, batch=True
+        )
+        i = multi.omegas.index(omega)
+        run_multi, run_solo = multi.step1[i], solo.step1[0]
+        assert run_multi.loss_history == run_solo.loss_history
+        assert multi.step2_costs[i] == solo.step2_costs[0]
+        assert np.array_equal(
+            self._flat(run_multi.params_c), self._flat(run_solo.params_c)
+        )
+
+    def test_batched_recorder_gets_verdict_meta(self, laplace_problem):
+        from repro.obs import TraceRecorder
+
+        rec = TraceRecorder()
+        ls = omega_line_search(
+            self._pinn(laplace_problem), self.OMEGAS, recorder=rec, batch=True
+        )
+        assert rec.meta["best_omega"] == ls.best_omega
+        assert rec.meta["step2_costs"] == ls.step2_costs
+
+
 class TestNavierStokesPINN:
     @pytest.fixture(scope="class")
     def ns_pinn(self, channel_problem):

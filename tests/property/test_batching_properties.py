@@ -1,0 +1,166 @@
+"""Property-based tests of the vbatch transform (hypothesis).
+
+The conformance suite pins every registered primitive at fixed shapes;
+these properties fuzz the *shape space* of the structural rules — the
+reductions (axis shifting, keepdims) and the views (slicing, reshape)
+— against the looped reference, including the N = 0 and N = 1 edge
+cases the axis arithmetic is most likely to get wrong.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import ops
+from repro.autodiff.batching import vbatch
+from repro.autodiff.tensor import tensor
+
+SAFE = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False, width=64)
+
+item_shapes = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+batch_sizes = st.integers(0, 4)
+
+
+@st.composite
+def batched_array(draw, n=None, shape=None):
+    """A ``(N, *item_shape)`` float64 array with data from a drawn seed."""
+    if n is None:
+        n = draw(batch_sizes)
+    if shape is None:
+        shape = draw(item_shapes)
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-10.0, 10.0, (n,) + shape)
+
+
+def loop_reference(fn, xs):
+    """stack([fn(x) for x in xs]) with the N = 0 shape from a zero probe."""
+    if xs.shape[0] == 0:
+        probe = np.asarray(fn(tensor(np.zeros(xs.shape[1:]))).data)
+        return np.zeros((0,) + probe.shape)
+    return np.stack([np.asarray(fn(tensor(x)).data) for x in xs])
+
+
+@st.composite
+def reduction_case(draw):
+    xs = draw(batched_array())
+    ndim = xs.ndim - 1
+    axis = draw(
+        st.one_of(st.none(), st.integers(-ndim, ndim - 1))
+    )
+    keepdims = draw(st.booleans())
+    return xs, axis, keepdims
+
+
+class TestBatchedReductions:
+    @given(reduction_case(), st.sampled_from(["sum_", "mean", "amax"]))
+    @settings(max_examples=120, deadline=None)
+    def test_forward_matches_loop(self, case, name):
+        xs, axis, keepdims = case
+        red = getattr(ops, name)
+        fn = lambda t: red(t, axis=axis, keepdims=keepdims)
+        got = np.asarray(vbatch(fn)(xs).data)
+        want = loop_reference(fn, xs)
+        assert got.shape == want.shape
+        assert np.array_equal(got, want)
+
+    @given(reduction_case(), st.sampled_from(["sum_", "mean"]))
+    @settings(max_examples=80, deadline=None)
+    def test_linear_reduction_vjp_matches_loop(self, case, name):
+        xs, axis, keepdims = case
+        red = getattr(ops, name)
+        fn = lambda t: ops.sum_(ops.square(red(t, axis=axis, keepdims=keepdims)))
+
+        bt = tensor(xs, requires_grad=True)
+        vbatch(fn)(bt).backward(np.ones(xs.shape[0]))
+        for i in range(xs.shape[0]):
+            ti = tensor(xs[i], requires_grad=True)
+            fn(ti).backward()
+            assert np.array_equal(bt.grad[i], ti.grad), f"item {i}"
+
+    @given(batched_array(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_full_reduction_scalar_item(self, xs, keepdims):
+        fn = lambda t: ops.sum_(t, keepdims=keepdims)
+        got = np.asarray(vbatch(fn)(xs).data)
+        assert np.array_equal(got, loop_reference(fn, xs))
+
+
+@st.composite
+def slicing_case(draw):
+    xs = draw(batched_array())
+    index = []
+    for side in xs.shape[1:]:
+        lo = draw(st.integers(0, side - 1))
+        hi = draw(st.integers(lo + 1, side))
+        step = draw(st.sampled_from([1, 2, -1]))
+        if step == -1:
+            index.append(slice(None, None, -1))
+        else:
+            index.append(slice(lo, hi, step))
+    return xs, tuple(index)
+
+
+class TestBatchedViews:
+    @given(slicing_case())
+    @settings(max_examples=100, deadline=None)
+    def test_slicing_matches_loop(self, case):
+        xs, index = case
+        fn = lambda t: t[index]
+        got = np.asarray(vbatch(fn)(xs).data)
+        want = loop_reference(fn, xs)
+        assert got.shape == want.shape
+        assert np.array_equal(got, want)
+
+    @given(slicing_case())
+    @settings(max_examples=60, deadline=None)
+    def test_slicing_vjp_matches_loop(self, case):
+        xs, index = case
+        fn = lambda t: ops.sum_(ops.square(t[index]))
+        bt = tensor(xs, requires_grad=True)
+        vbatch(fn)(bt).backward(np.ones(xs.shape[0]))
+        for i in range(xs.shape[0]):
+            ti = tensor(xs[i], requires_grad=True)
+            fn(ti).backward()
+            assert np.array_equal(bt.grad[i], ti.grad), f"item {i}"
+
+    @given(batched_array(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_reshape_roundtrip_matches_loop(self, xs, flatten):
+        shape = xs.shape[1:]
+        target = (-1,) if flatten else shape[::-1]
+        fn = lambda t: ops.reshape(t, target)
+        got = np.asarray(vbatch(fn)(xs).data)
+        want = loop_reference(fn, xs)
+        assert got.shape == want.shape
+        assert np.array_equal(got, want)
+
+    @given(batched_array())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_matches_loop(self, xs):
+        fn = ops.transpose
+        got = np.asarray(vbatch(fn)(xs).data)
+        assert np.array_equal(got, loop_reference(fn, xs))
+
+
+class TestEdgeBatchSizes:
+    """N = 0 and N = 1 must behave exactly like any other batch size."""
+
+    @given(item_shapes, st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_batch_equals_item(self, shape, seed):
+        x = np.random.default_rng(seed).uniform(-10, 10, shape)
+        fn = lambda t: ops.mean(ops.square(t)) + ops.amax(t)
+        batched = np.asarray(vbatch(fn)(x[None]).data)
+        single = np.asarray(fn(tensor(x)).data)
+        assert batched.shape == (1,)
+        assert np.array_equal(batched[0], single)
+
+    @given(item_shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_empty_batch_shape(self, shape):
+        xs = np.zeros((0,) + shape)
+        fn = lambda t: ops.sum_(t, axis=0)
+        out = np.asarray(vbatch(fn)(xs).data)
+        assert out.shape == loop_reference(fn, xs).shape
+        assert out.shape[0] == 0

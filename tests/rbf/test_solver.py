@@ -290,3 +290,70 @@ class TestSourceEvaluation:
         )
         rhs = RBFSolver(square_cloud_12).assemble_rhs(prob)
         np.testing.assert_allclose(rhs[square_cloud_12.internal], 3.0)
+
+
+class TestSolveBlock:
+    """Multi-RHS factorisation reuse: one LU serves an (N_rhs, n) block."""
+
+    N_RHS = 5
+
+    def _block(self, solver):
+        rng = np.random.default_rng(17)
+        return rng.standard_normal((self.N_RHS, solver.cloud.n))
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_one_factorisation_one_solve(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        solver.solve_block(_dirichlet_problem(), self._block(solver))
+        assert solver.n_factorizations == 1
+        assert solver.n_solves == 1
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_cache_key_reuses_factors(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        B = self._block(solver)
+        solver.solve_block(_dirichlet_problem(), B, cache_key="k")
+        solver.solve_block(_dirichlet_problem(), B, cache_key="k")
+        assert solver.n_factorizations == 1
+        assert solver.n_solves == 2
+
+    def test_dense_block_matches_per_column(self, square_cloud_12):
+        solver = RBFSolver(square_cloud_12)
+        prob = _dirichlet_problem()
+        B = self._block(solver)
+        X = solver.solve_block(prob, B, cache_key="k")
+        lu, _ = solver._factors(prob, "k", None)
+        import scipy.linalg as sla
+
+        for i in range(self.N_RHS):
+            xi = sla.lu_solve(lu, B[i], check_finite=False)
+            # Dense LAPACK multi-RHS reorders the substitutions, so
+            # agreement is to rounding, not bitwise (unlike SuperLU).
+            np.testing.assert_allclose(X[i], xi, rtol=0, atol=1e-12)
+
+    def test_local_block_bitwise_matches_per_column(self, square_cloud_12):
+        solver = LocalRBFSolver(square_cloud_12)
+        prob = _dirichlet_problem()
+        B = self._block(solver)
+        X = solver.solve_block(prob, B, cache_key="k")
+        lu, _ = solver._factors(prob, "k", None)
+        for i in range(self.N_RHS):
+            assert np.array_equal(X[i], lu.solve(B[i])), f"rhs {i}"
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_empty_block(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        out = solver.solve_block(
+            _dirichlet_problem(), np.empty((0, square_cloud_12.n))
+        )
+        assert out.shape == (0, square_cloud_12.n)
+
+    @pytest.mark.parametrize("solver_cls", [RBFSolver, LocalRBFSolver])
+    def test_bad_shape_raises(self, square_cloud_12, solver_cls):
+        solver = solver_cls(square_cloud_12)
+        with pytest.raises(ValueError, match="b_block"):
+            solver.solve_block(_dirichlet_problem(), np.zeros(square_cloud_12.n))
+        with pytest.raises(ValueError, match="b_block"):
+            solver.solve_block(
+                _dirichlet_problem(), np.zeros((2, square_cloud_12.n + 1))
+            )
