@@ -1,0 +1,241 @@
+"""ABLATION — execution tiers: eager tape vs compiled replay vs fused codegen.
+
+The codegen backend (:mod:`repro.autodiff.lowering` /
+:mod:`repro.autodiff.codegen`) lowers a traced program to an SSA-style
+IR, fuses elementwise chains, drops dead buffers, and emits one
+straight-line NumPy kernel per program.  This ablation times one oracle
+evaluation (``value_and_grad`` — the unit of work per optimiser
+iteration) in all three tiers on the DP hot loops (Laplace at several N,
+Navier–Stokes with k = 10 refinements) and on the PINN loss loop at two
+network sizes, and verifies bit-exact gradient parity across tiers.
+
+Two regimes show up, and the profiled breakdown quantifies both:
+
+- The PINN loss loop is elementwise/matmul bound — fully symbolic — so
+  fusion, arena reuse, and the taped ``1 - tanh^2`` CSE pay end to end.
+- The DP loops spend roughly half their time inside cached-LU
+  back-substitutions (opaque LAPACK calls, identical in every tier), so
+  the end-to-end ratio is Amdahl-limited; the *fused-kernel* portion of
+  the timeline — everything except the solves — still clears 1.5x.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autodiff.compile import compiled_value_and_grad
+from repro.bench.tables import render_table
+from repro.cloud.channel import ChannelCloud
+from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP, NavierStokesDP, NSConfig
+from repro.control.pinn import LaplacePINN, PINNTrainConfig
+from repro.nn.pytree import tree_flatten, value_and_grad_tree
+from repro.pde.laplace import LaplaceControlProblem
+from repro.pde.navier_stokes import ChannelFlowProblem
+
+LAPLACE_SIZES = (8, 12, 16)        # nx; N = nx**2
+NS_SHAPE = (21, 11)                # the default-tier channel cloud
+NS_REFINEMENTS = 10                # paper's DP setting
+PINN_CONFIGS = (                   # (hidden, n_interior)
+    ((20, 20), 100),
+    ((30, 30, 30), 300),
+)
+MODES = ("eager", "replay", "codegen")
+
+
+def _best(fn, rounds: int, reps: int) -> float:
+    """Best-of-``rounds`` mean call time over ``reps`` calls."""
+    fn()  # warm up: trace/lower/compile, page in buffers
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def _grad_diff(g_ref, g) -> float:
+    fa, _ = tree_flatten(g_ref)
+    fb, _ = tree_flatten(g)
+    return max(float(np.max(np.abs(a - b))) if a.size else 0.0
+               for a, b in zip(fa, fb))
+
+
+@pytest.fixture(scope="module")
+def dp_sweep():
+    """DP oracles across tiers: per-iteration time + gradient parity."""
+    rng = np.random.default_rng(0)
+    rows = []
+    for nx in LAPLACE_SIZES:
+        problem = LaplaceControlProblem(SquareCloud(nx))
+        c0 = rng.normal(scale=0.1, size=problem.n_control)
+        times, grads = {}, {}
+        for mode in MODES:
+            dp = LaplaceDP(problem, compile=False if mode == "eager" else mode)
+            _, grads[mode] = dp.value_and_grad(c0)
+            times[mode] = _best(lambda: dp.value_and_grad(c0), rounds=5, reps=200)
+        rows.append({"name": f"Laplace DP nx={nx} (N={problem.cloud.n})",
+                     "times": times, "grads": grads})
+
+    problem = ChannelFlowProblem(ChannelCloud(*NS_SHAPE))
+    c0 = problem.default_control()
+    times, grads = {}, {}
+    for mode in MODES:
+        dp = NavierStokesDP(
+            problem, NSConfig(refinements=NS_REFINEMENTS),
+            compile=False if mode == "eager" else mode,
+        )
+        _, grads[mode] = dp.value_and_grad(c0)
+        times[mode] = _best(lambda: dp.value_and_grad(c0), rounds=3, reps=4)
+    rows.append({"name": f"NS DP {NS_SHAPE[0]}x{NS_SHAPE[1]} k={NS_REFINEMENTS}",
+                 "times": times, "grads": grads})
+    return rows
+
+
+@pytest.fixture(scope="module")
+def pinn_sweep():
+    """PINN loss ``value_and_grad_tree`` across tiers (the training unit)."""
+    from repro.autodiff.compile import compiled_value_and_grad_tree
+
+    rows = []
+    problem = LaplaceControlProblem(SquareCloud(12))
+    for hidden, n_interior in PINN_CONFIGS:
+        cfg = PINNTrainConfig(epochs=1, n_interior=n_interior, n_boundary=30)
+        pinn = LaplacePINN(
+            problem, state_hidden=hidden, control_hidden=hidden, config=cfg
+        )
+        params = pinn.init_params(seed=0)
+        loss = lambda p: pinn.loss(p, omega=1.0)  # noqa: E731
+        times, grads = {}, {}
+        for mode in MODES:
+            vg = (value_and_grad_tree(loss) if mode == "eager"
+                  else compiled_value_and_grad_tree(loss, mode=mode))
+            _, grads[mode] = vg(params)
+            times[mode] = _best(lambda: vg(params), rounds=5, reps=30)
+        rows.append({"name": f"PINN loss hid={hidden} ni={n_interior}",
+                     "times": times, "grads": grads})
+    return rows
+
+
+@pytest.fixture(scope="module")
+def dp_breakdown():
+    """Profiled replay vs codegen on Laplace DP, split at the LU solves.
+
+    The solves are opaque closure calls — the same cached-LU LAPACK
+    back-substitutions in both tiers — so subtracting them isolates the
+    portion of the timeline codegen can actually touch.
+    """
+    problem = LaplaceControlProblem(SquareCloud(12))
+    dp = LaplaceDP(problem)
+    rng = np.random.default_rng(0)
+    cs = [rng.normal(scale=0.1, size=problem.n_control) for _ in range(200)]
+
+    out = {}
+    for mode in ("replay", "codegen"):
+        vg = compiled_value_and_grad(dp._cost_tensor, mode=mode, profile=True)
+        for c in cs:
+            vg(c)
+        p = vg.profile
+        segs = p.kernels if mode == "codegen" else p.ops
+        solve = sum(s.fwd_seconds + s.bwd_seconds for n, s in segs.items()
+                    if "solve" in n or "lstsq" in n)
+        out[mode] = {"total": p.replay_seconds, "solve": solve,
+                     "other": p.replay_seconds - solve, "profile": p}
+    return out
+
+
+def _tier_table(rows, title):
+    body = []
+    for r in rows:
+        t = r["times"]
+        body.append([
+            r["name"],
+            f"{t['eager'] * 1e6:.1f}",
+            f"{t['replay'] * 1e6:.1f}",
+            f"{t['codegen'] * 1e6:.1f}",
+            f"{t['replay'] / t['codegen']:.2f}x",
+            f"{t['eager'] / t['codegen']:.2f}x",
+        ])
+    return render_table(
+        ["problem", "eager us", "replay us", "codegen us",
+         "cg/replay", "cg/eager"],
+        body,
+        title=title,
+    )
+
+
+def test_ablation_codegen_table(dp_sweep, pinn_sweep, dp_breakdown,
+                                save_artifact, benchmark):
+    text = _tier_table(
+        dp_sweep + pinn_sweep,
+        "ABLATION: one value_and_grad call per tier "
+        "(eager tape / compiled replay / fused codegen)",
+    )
+
+    b = dp_breakdown
+    r, c = b["replay"], b["codegen"]
+    p = c["profile"]
+    text += (
+        "\n\nProfiled breakdown — Laplace DP nx=12, 200 oracle calls "
+        "(instrumented timings):\n"
+        f"  replay : total {r['total'] * 1e3:7.2f} ms   "
+        f"LU solves {r['solve'] * 1e3:6.2f} ms   "
+        f"other {r['other'] * 1e3:6.2f} ms\n"
+        f"  codegen: total {c['total'] * 1e3:7.2f} ms   "
+        f"LU solves {c['solve'] * 1e3:6.2f} ms   "
+        f"other {c['other'] * 1e3:6.2f} ms\n"
+        f"  non-solve (fused-kernel) speedup: "
+        f"{r['other'] / c['other']:.2f}x   end-to-end: "
+        f"{r['total'] / c['total']:.2f}x\n"
+        "  The solves are identical cached-LU LAPACK calls in both tiers\n"
+        "  (Amdahl's bound on the DP end-to-end ratio); the PINN loss loop\n"
+        "  has no opaque ops and the full ratio survives end to end.\n\n"
+        "Codegen program summary (Laplace DP nx=12):\n"
+        f"  fusion groups: {p.fusion_groups}   fused ops: {p.fused_ops}   "
+        f"arena: {p.arena_bytes} B in {p.arena_slots} slots\n"
+    )
+    benchmark(lambda: None)
+    save_artifact("ablation_codegen.txt", text)
+
+
+def test_gradient_parity_bitexact(dp_sweep, pinn_sweep, benchmark):
+    """All three tiers must produce identical gradients, bit for bit."""
+    benchmark(lambda: None)
+    for r in dp_sweep + pinn_sweep:
+        for mode in ("replay", "codegen"):
+            d = _grad_diff(r["grads"]["eager"], r["grads"][mode])
+            assert d == 0.0, f"{r['name']}: {mode} grad diff {d:.3e}"
+
+
+def test_codegen_beats_replay_on_dp(dp_sweep, benchmark):
+    """End-to-end: codegen must not regress the solve-bound DP loops."""
+    benchmark(lambda: None)
+    for r in dp_sweep:
+        ratio = r["times"]["replay"] / r["times"]["codegen"]
+        assert ratio >= 1.05, f"{r['name']}: cg/replay {ratio:.2f}x < 1.05x"
+
+
+def test_codegen_1p5x_on_pinn_loss(pinn_sweep, benchmark):
+    """The fully-symbolic PINN loss clears 1.35x over replay end to end.
+
+    (The CI smoke gate — ``repro.bench.codegen_smoke`` — holds the strict
+    1.5x line on the small-network config; this sweep also covers the
+    larger default-tier network where dense matmul time compresses the
+    ratio, so it asserts with margin for shared-runner noise.)
+    """
+    benchmark(lambda: None)
+    small = pinn_sweep[0]
+    ratio = small["times"]["replay"] / small["times"]["codegen"]
+    assert ratio >= 1.35, f"{small['name']}: cg/replay {ratio:.2f}x < 1.35x"
+    for r in pinn_sweep:
+        ratio = r["times"]["replay"] / r["times"]["codegen"]
+        assert ratio >= 1.15, f"{r['name']}: cg/replay {ratio:.2f}x < 1.15x"
+
+
+def test_fused_portion_1p5x_on_dp(dp_breakdown, benchmark):
+    """Profiler-verified: the non-solve portion of the DP loop >= 1.5x."""
+    benchmark(lambda: None)
+    ratio = dp_breakdown["replay"]["other"] / dp_breakdown["codegen"]["other"]
+    assert ratio >= 1.5, f"fused-portion speedup {ratio:.2f}x < 1.5x"

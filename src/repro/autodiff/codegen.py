@@ -1,0 +1,770 @@
+"""Source-emitting codegen backend for compiled programs.
+
+Takes the lowered IR from :mod:`repro.autodiff.lowering` and emits one
+Python source string of straight-line NumPy — forward sweep then
+backward sweep — with every kernel written in place (``out=`` /
+``where=``) into the program's persistent buffers or into arena slots.
+The source is ``compile()``d once per program and bound into a function
+whose *keyword defaults* are the buffers, constants, masks, and recorded
+closures (CPython resolves defaults as locals — no global/dict lookups
+in the hot loop).  Replaying the program is then a single function call:
+no per-op dispatch, no VJP closure calls, no backward temporaries beyond
+the planned arena.
+
+Numerics are kept bit-compatible with the replay tier wherever the
+emitted expression can preserve eager's evaluation order (same ufunc,
+same operand order, same unbroadcast reduction sequence); the few ops
+where exact order cannot be reproduced in place fall back to emitting
+the eager expression verbatim (allocating, like replay does).  Every
+generated program is additionally validated against the eager trace
+before it is cached — see :func:`repro.autodiff.compile.compiled_value_and_grad`.
+
+Non-fusible ops (``solve`` and friends, sparse products, stacked
+matmuls, ``concatenate``/``stack``, ``amax``) are called through the
+closures the trace recorded — ``F{i}`` forward, ``V{i}_{j}`` VJP — so a
+program containing them still compiles end to end.
+
+The profiled variant of the source carries one ``perf_counter`` pair per
+fusion group (forward and backward segments separately), feeding the
+per-fused-kernel table in :class:`~repro.autodiff.compile.ReplayProfile`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.lowering import (
+    ArenaPlanner,
+    BwdStep,
+    IRNode,
+    LoweredProgram,
+    LoweringError,
+    lower,
+    unbroadcast_plan,
+)
+
+__all__ = ["CodegenProgram", "codegen_program"]
+
+
+_UNARY = {
+    "neg": "negative",
+    "sqrt": "sqrt",
+    "abs": "abs",
+    "exp": "exp",
+    "log": "log",
+    "sin": "sin",
+    "cos": "cos",
+    "tanh": "tanh",
+    "sinh": "sinh",
+    "cosh": "cosh",
+    "arctan": "arctan",
+}
+_BINARY = {
+    "add": "add",
+    "sub": "subtract",
+    "mul": "multiply",
+    "div": "divide",
+    "power": "power",
+}
+
+
+class _Segment:
+    __slots__ = ("name", "phase", "flops", "bytes_moved")
+
+    def __init__(self, name: str, phase: str, flops: float = 0.0, bytes_moved: float = 0.0):
+        self.name = name
+        self.phase = phase
+        self.flops = flops
+        self.bytes_moved = bytes_moved
+
+
+class _Emitter:
+    """Walks the lowered IR once, producing tagged source lines.
+
+    Buffer/closure objects are collected into ``params`` (name → object)
+    and become the generated function's keyword defaults.  Arena slots
+    are requested from the planner in step order as the walk reaches
+    them, so the planner's sorted-start precondition holds by
+    construction.
+    """
+
+    def __init__(self, lowered: LoweredProgram) -> None:
+        self.lw = lowered
+        self.nodes = lowered.nodes
+        self.planner = ArenaPlanner()
+        self.params: Dict[str, Any] = {"np": np, "_perf": time.perf_counter}
+        self.body: List[Tuple[int, str]] = []
+        self.segments: List[_Segment] = []
+        self._seg = -1
+        self.step = 0
+        self._const_names: Dict[int, str] = {}
+        self.valname: Dict[int, str] = {}
+        self.cotname: Dict[int, str] = {}
+        self._notmask: Dict[int, str] = {}
+
+        prog = lowered.program
+        for ir in self.nodes:
+            if not ir.value_transient:
+                name = f"b{ir.idx}"
+                self.params[name] = ir.node.data
+                self.valname[ir.idx] = name
+            if not ir.cot_transient:
+                name = f"g{ir.idx}"
+                self.params[name] = prog._gradbufs[ir.idx]
+                self.cotname[ir.idx] = name
+
+        # Copy-propagation pre-scan: a cotangent written by exactly one
+        # push that merely *forwards* another cotangent (identity add/sub,
+        # reshape/transpose views) never needs its own buffer — readers
+        # use the source cotangent (through a zero-copy view for the view
+        # ops) and the copy disappears.  The source's arena interval must
+        # then cover the alias's reads, so extended endpoints are fixed
+        # here, before any slot is allocated.
+        self._push_count: Dict[int, int] = {}
+        for st in lowered.bwd_steps:
+            self._push_count[st.dst] = self._push_count.get(st.dst, 0) + 1
+        alias_parent: Dict[int, int] = {}
+        self._alias_steps: set = set()
+        for st in lowered.bwd_steps:
+            if self._push_count[st.dst] != 1:
+                continue
+            d = self.nodes[st.dst]
+            if not d.cot_transient:
+                continue
+            s = self.nodes[st.src]
+            if not s.symbolic_bwd:
+                continue
+            p = s.arg_pos[st.slot] if s.arg_pos else 0
+            if s.op == "add" or (s.op == "sub" and p == 0):
+                ok = unbroadcast_plan(s.shape, d.shape) is None
+            else:
+                ok = s.op in ("reshape", "transpose")
+            if ok:
+                alias_parent[st.dst] = st.src
+                self._alias_steps.add(st.step)
+        self._cot_end: Dict[int, int] = {}
+        for dst in alias_parent:
+            root = dst
+            while root in alias_parent:
+                root = alias_parent[root]
+            end = max(
+                self._cot_end.get(root, lowered.last_read.get(root, -1)),
+                lowered.last_read[dst],
+            )
+            self._cot_end[root] = end
+
+    # -- infrastructure ------------------------------------------------
+    def seg(self, name: str, phase: str, flops: float = 0.0, moved: float = 0.0) -> None:
+        self.segments.append(_Segment(name, phase, flops, moved))
+        self._seg = len(self.segments) - 1
+
+    def line(self, code: str) -> None:
+        self.body.append((self._seg, code))
+
+    def const(self, obj: Any) -> str:
+        name = self._const_names.get(id(obj))
+        if name is None:
+            name = f"c{len(self._const_names)}"
+            self._const_names[id(obj)] = name
+            self.params[name] = obj
+        return name
+
+    def literal(self, v: Any) -> str:
+        if isinstance(v, bool) or v is None:
+            return repr(v)
+        if isinstance(v, (int, float)) and math.isfinite(v):
+            return repr(v)
+        return self.const(v)
+
+    def _slot_name(self, slot: int) -> str:
+        name = f"s{slot}"
+        if name not in self.params:
+            shape, dt = self.planner.slots[slot]
+            self.params[name] = np.empty(shape, dtype=np.dtype(dt))
+        return name
+
+    def scratch(self, shape: Tuple[int, ...], dtype: Any) -> str:
+        slot = self.planner.alloc(tuple(shape), dtype, self.step, self.step)
+        return self._slot_name(slot)
+
+    def def_val(self, ir: IRNode) -> str:
+        """Destination name for a node's forward value (allocates if transient)."""
+        if not ir.value_transient:
+            return self.valname[ir.idx]
+        slot = self.planner.alloc(ir.shape, ir.dtype, ir.fwd_step, ir.last_value_use)
+        name = self._slot_name(slot)
+        self.valname[ir.idx] = name
+        return name
+
+    def val(self, idx: int) -> str:
+        return self.valname[idx]
+
+    def bval(self, idx: int) -> str:
+        """A node value referenced by *backward* code: must be pinned."""
+        if self.nodes[idx].value_transient:
+            raise LoweringError(
+                f"backward reads value of node {idx} ({self.nodes[idx].op}) "
+                "but dead-buffer elimination dropped it"
+            )
+        return self.valname[idx]
+
+    def ref(self, ir: IRNode, k: int, bwd: bool = False) -> str:
+        kind, r = ir.args[k]
+        if kind == "node":
+            return self.bval(r) if bwd else self.val(r)
+        return self.const(self.lw.consts[r][1])
+
+    def cot_target(self, st: BwdStep) -> str:
+        idx = st.dst
+        name = self.cotname.get(idx)
+        if name is None:
+            ir = self.nodes[idx]
+            slot = self.planner.alloc(
+                ir.shape,
+                ir.dtype,
+                self.lw.first_write[idx],
+                # Alias classes extend the root slot's life to cover every
+                # member's reads (see the pre-scan in ``__init__``).
+                self._cot_end.get(idx, self.lw.last_read[idx]),
+            )
+            name = self._slot_name(slot)
+            self.cotname[idx] = name
+        return name
+
+    def _sole_transient(self, idx: int) -> bool:
+        """True when ``idx``'s cotangent has exactly one writer and no
+        external reader — its sole push may rebind a local instead of
+        copying into an arena slot."""
+        return self._push_count.get(idx) == 1 and self.nodes[idx].cot_transient
+
+    # -- forward -------------------------------------------------------
+    def emit(self) -> None:
+        lw = self.lw
+        nodes = self.nodes
+        for g in lw.groups:
+            self.seg(g.name(nodes), "fwd", g.flops, g.bytes_moved)
+            for idx in g.members:
+                ir = nodes[idx]
+                self.step = ir.fwd_step
+                self.emit_fwd(ir)
+
+        self.seg("seed", "bwd")
+        self.line("g0[...] = 1.0")
+        last_key: Any = object()
+        for st in lw.bwd_steps:
+            src = nodes[st.src]
+            self.step = st.step
+            key = src.group if src.group >= 0 else f"view:{src.op}"
+            if key != last_key:
+                name = (
+                    lw.groups[src.group].name(nodes)
+                    if src.group >= 0
+                    else src.op
+                )
+                self.seg(name, "bwd")
+                last_key = key
+            self.emit_push(st)
+
+    def emit_fwd(self, ir: IRNode) -> None:
+        op = ir.op
+        if not ir.symbolic_fwd:  # opaque: recorded closure, in place
+            name = f"F{ir.idx}"
+            self.params[name] = ir.node._fwd
+            self.line(f"{name}({self.val(ir.idx)})")
+            return
+        o = self.def_val(ir)
+        a = [self.ref(ir, k) for k in range(len(ir.args))]
+        if op in _BINARY:
+            self.line(f"np.{_BINARY[op]}({a[0]}, {a[1]}, out={o})")
+        elif op in _UNARY:
+            self.line(f"np.{_UNARY[op]}({a[0]}, out={o})")
+        elif op == "square":
+            self.line(f"np.multiply({a[0]}, {a[0]}, out={o})")
+        elif op == "sigmoid":
+            self.line(f"np.negative({a[0]}, out={o})")
+            self.line(f"np.exp({o}, out={o})")
+            self.line(f"{o} += 1.0")
+            self.line(f"np.divide(1.0, {o}, out={o})")
+        elif op in ("maximum", "minimum"):
+            m = self.const(ir.params["mask"])
+            nm = self._notmask.setdefault(
+                ir.idx, self.const(np.empty_like(ir.params["mask"]))
+            )
+            uf = "maximum" if op == "maximum" else "minimum"
+            cmp = "greater_equal" if op == "maximum" else "less_equal"
+            self.line(f"np.{uf}({a[0]}, {a[1]}, out={o})")
+            self.line(f"np.{cmp}({a[0]}, {a[1]}, out={m})")
+            self.line(f"np.logical_not({m}, out={nm})")
+        elif op == "where":
+            m = self.const(ir.params["mask"])
+            nm = self._notmask.setdefault(
+                ir.idx, self.const(np.logical_not(ir.params["mask"]))
+            )
+            self.line(f"np.copyto({o}, {a[0]}, where={m})")
+            self.line(f"np.copyto({o}, {a[1]}, where={nm})")
+        elif op == "clip":
+            m = self.const(ir.params["mask"])
+            lo = self.literal(ir.params["lo"])
+            hi = self.literal(ir.params["hi"])
+            self.line(f"np.clip({a[0]}, {lo}, {hi}, out={o})")
+            self.line(f"np.greater_equal({a[0]}, {lo}, out={m})")
+            self.line(f"np.logical_and({m}, {a[0]} <= {hi}, out={m})")
+        elif op in ("sum", "mean"):
+            axis = ir.params["axis"]
+            kd = ir.params["keepdims"]
+            self.line(f"{a[0]}.{op}(axis={axis!r}, keepdims={kd!r}, out={o})")
+        elif op == "matmul":
+            self.line(f"np.matmul({a[0]}, {a[1]}, out={o})")
+        else:  # pragma: no cover - classification guarantees coverage
+            raise LoweringError(f"no forward emitter for op {op!r}")
+
+    # -- backward ------------------------------------------------------
+    def _plan_expr(self, e: str, plan, S: Tuple[int, ...]) -> str:
+        lead, keep = plan
+        if lead:
+            e = f"{e}.sum(axis={lead})"
+        if keep:
+            e = f"{e}.sum(axis={keep}, keepdims=True)"
+        return f"{e}.reshape({S})"
+
+    def _accumulate(self, st: BwdStep, t: str, e: str) -> None:
+        if st.first:
+            self.line(f"np.copyto({t}, {e})")
+        else:
+            self.line(f"{t} += {e}")
+
+    def push_identity(self, st: BwdStep, src: str, O, S, negate: bool = False) -> None:
+        plan = unbroadcast_plan(O, S)
+        t = self.cot_target(st)
+        if plan is None:
+            if negate:
+                self.line(f"np.negative({src}, out={t})" if st.first else f"{t} -= {src}")
+            elif st.first:
+                self.line(f"np.copyto({t}, {src})")
+            else:
+                self.line(f"{t} += {src}")
+        else:
+            e = f"(-{src})" if negate else src
+            self._accumulate(st, t, self._plan_expr(e, plan, S))
+
+    def push_ufunc(self, st: BwdStep, uf: str, args: Sequence[str], O, S, dtype) -> None:
+        plan = unbroadcast_plan(O, S)
+        t = self.cot_target(st)
+        call = ", ".join(args)
+        if plan is None and st.first:
+            self.line(f"np.{uf}({call}, out={t})")
+            return
+        s = self.scratch(O, dtype)
+        self.line(f"np.{uf}({call}, out={s})")
+        if plan is None:
+            self.line(f"{t} += {s}")
+        else:
+            self._accumulate(st, t, self._plan_expr(s, plan, S))
+
+    def push_chain(self, st: BwdStep, steps, O, S, dtype) -> None:
+        plan = unbroadcast_plan(O, S)
+        t = self.cot_target(st)
+        direct = plan is None and st.first
+
+        def emit_step(uf, ops, out, s):
+            ops2 = ", ".join(s if o == "__" else o for o in ops)
+            self.line(f"np.{uf}({ops2}, out={out})")
+
+        if direct and len(steps) == 1:
+            uf, ops = steps[0]
+            emit_step(uf, ops, t, "")
+            return
+        s = self.scratch(O, dtype)
+        last = len(steps) - 1
+        for i, (uf, ops) in enumerate(steps):
+            out = t if (direct and i == last) else s
+            emit_step(uf, ops, out, s)
+        if direct:
+            return
+        if plan is None:
+            self.line(f"{t} += {s}")
+        else:
+            self._accumulate(st, t, self._plan_expr(s, plan, S))
+
+    def push_expr(self, st: BwdStep, expr: str, O, S) -> None:
+        plan = unbroadcast_plan(O, S)
+        e = expr if plan is None else self._plan_expr(f"({expr})", plan, S)
+        if st.first and self._sole_transient(st.dst):
+            # The expression allocates its result (eager does too); a sole
+            # writer can bind it directly instead of copying into a slot.
+            t = f"a{st.dst}"
+            self.cotname[st.dst] = t
+            self.line(f"{t} = {e}")
+            return
+        t = self.cot_target(st)
+        self._accumulate(st, t, e)
+
+    def emit_push(self, st: BwdStep) -> None:
+        s = self.nodes[st.src]
+        d = self.nodes[st.dst]
+        g = self.cotname[st.src]
+        O, S = s.shape, d.shape
+        dt = s.dtype
+
+        if st.step in self._alias_steps:
+            # Copy propagation: the destination cotangent IS the source
+            # cotangent (through a zero-copy view for reshape/transpose).
+            if s.op == "reshape":
+                self.cotname[st.dst] = f"{g}.reshape({S})"
+            elif s.op == "transpose":
+                self.cotname[st.dst] = f"np.transpose({g}, {s.params['inv']!r})"
+            else:
+                self.cotname[st.dst] = g
+            return
+
+        if not s.symbolic_bwd:  # recorded VJP closure
+            name = f"V{st.src}_{st.slot}"
+            self.params[name] = s.node._parents[st.slot][1]
+            if self._sole_transient(st.dst):
+                # The closure allocates its result anyway; with a single
+                # writer and only downstream reads, bind it directly
+                # instead of copying into an arena slot.
+                t = f"a{st.dst}"
+                self.cotname[st.dst] = t
+                self.line(f"{t} = {name}({g})")
+                return
+            t = self.cot_target(st)
+            if st.first:
+                self.line(f"np.copyto({t}, {name}({g}))")
+            else:
+                self.line(f"{t} += {name}({g})")
+            return
+
+        op = s.op
+        p = s.arg_pos[st.slot] if s.arg_pos else 0
+
+        if op == "add":
+            self.push_identity(st, g, O, S)
+        elif op == "sub":
+            self.push_identity(st, g, O, S, negate=(p == 1))
+        elif op == "neg":
+            self.push_identity(st, g, O, S, negate=True)
+        elif op == "mul":
+            other = self.ref(s, 1 - p, bwd=True)
+            self.push_ufunc(st, "multiply", [g, other], O, S, dt)
+        elif op == "div":
+            x, y = self.ref(s, 0, bwd=True), self.ref(s, 1, bwd=True)
+            if p == 0:
+                self.push_ufunc(st, "divide", [g, y], O, S, dt)
+            else:
+                self.push_chain(
+                    st,
+                    [
+                        ("negative", [g]),
+                        ("multiply", ["__", x]),
+                        ("divide", ["__", f"({y} * {y})"]),
+                    ],
+                    O, S, dt,
+                )
+        elif op == "power":
+            x, y = self.ref(s, 0, bwd=True), self.ref(s, 1, bwd=True)
+            self.push_expr(st, f"{g} * {y} * {x} ** ({y} - 1.0)", O, S)
+        elif op == "square":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(
+                st, [("multiply", ["2.0", g]), ("multiply", ["__", x])], O, S, dt
+            )
+        elif op == "sqrt":
+            o = self.bval(st.src)
+            self.push_expr(st, f"{g} * 0.5 / np.where({o} > 0, {o}, np.inf)", O, S)
+        elif op == "abs":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(st, [("sign", [x]), ("multiply", [g, "__"])], O, S, dt)
+        elif op == "exp":
+            self.push_ufunc(st, "multiply", [g, self.bval(st.src)], O, S, dt)
+        elif op == "log":
+            self.push_ufunc(st, "divide", [g, self.ref(s, 0, bwd=True)], O, S, dt)
+        elif op == "sin":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(st, [("cos", [x]), ("multiply", [g, "__"])], O, S, dt)
+        elif op == "cos":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(
+                st,
+                [("sin", [x]), ("multiply", [g, "__"]), ("negative", ["__"])],
+                O, S, dt,
+            )
+        elif op == "tanh":
+            cse = self.lw.cse_tanh.get(st.src)
+            if cse is not None:
+                # The forward taped ``1 - tanh^2`` (derivative
+                # propagation); reuse it — one multiply instead of the
+                # three-kernel recomputation, bitwise-identical.
+                self.push_ufunc(st, "multiply", [g, self.bval(cse)], O, S, dt)
+            else:
+                o = self.bval(st.src)
+                self.push_chain(
+                    st,
+                    [
+                        ("multiply", [o, o]),
+                        ("subtract", ["1.0", "__"]),
+                        ("multiply", [g, "__"]),
+                    ],
+                    O, S, dt,
+                )
+        elif op == "sinh":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(st, [("cosh", [x]), ("multiply", [g, "__"])], O, S, dt)
+        elif op == "cosh":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(st, [("sinh", [x]), ("multiply", [g, "__"])], O, S, dt)
+        elif op == "arctan":
+            x = self.ref(s, 0, bwd=True)
+            self.push_chain(
+                st,
+                [("multiply", [x, x]), ("add", ["1.0", "__"]), ("divide", [g, "__"])],
+                O, S, dt,
+            )
+        elif op == "sigmoid":
+            o = self.bval(st.src)
+            self.push_expr(st, f"{g} * {o} * (1.0 - {o})", O, S)
+        elif op in ("maximum", "minimum"):
+            m = self.const(s.params["mask"])
+            mask = m if p == 0 else self._notmask[st.src]
+            self.push_ufunc(st, "multiply", [g, mask], O, S, dt)
+        elif op == "where":
+            m = self.const(s.params["mask"])
+            e = f"np.where({m}, {g}, 0.0)" if p == 0 else f"np.where({m}, 0.0, {g})"
+            self.push_expr(st, e, O, S)
+        elif op == "clip":
+            m = self.const(s.params["mask"])
+            self.push_ufunc(st, "multiply", [g, m], O, S, dt)
+        elif op in ("sum", "mean"):
+            self._push_reduction(st, s, g, S)
+        elif op == "matmul":
+            self._push_matmul(st, s, g, p, S, dt)
+        elif op == "reshape":
+            self.push_identity(st, f"{g}.reshape({S})", S, S)
+        elif op == "transpose":
+            inv = s.params["inv"]
+            self.push_identity(st, f"np.transpose({g}, {inv!r})", S, S)
+        elif op == "getitem":
+            self._push_scatter(st, s, g, S, d.dtype)
+        else:  # pragma: no cover
+            raise LoweringError(f"no backward emitter for op {op!r}")
+
+    def _push_reduction(self, st: BwdStep, s: IRNode, g: str, S) -> None:
+        axis = s.params["axis"]
+        kd = s.params["keepdims"]
+        if axis is None or kd:
+            e = g
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            norm = sorted(a % len(S) for a in axes)
+            exp = tuple(1 if i in norm else S[i] for i in range(len(S)))
+            e = f"{g}.reshape({exp})"
+        if s.op == "mean":
+            e = f"({e} / {s.params['denom']!r})"
+        t = self.cot_target(st)
+        self._accumulate(st, t, e)  # copyto/+= broadcast against the target
+
+    def _push_matmul(self, st: BwdStep, s: IRNode, g: str, p: int, S, dt) -> None:
+        A = self.ref(s, 0, bwd=True)
+        B = self.ref(s, 1, bwd=True)
+        # operand ranks come from the recorded arrays, not tape nodes
+        meta_a, meta_b = s.node._meta[0]
+        na, nb = meta_a.ndim, meta_b.ndim
+        if (na, nb) == (2, 2):
+            args = [g, f"{B}.T"] if p == 0 else [f"{A}.T", g]
+            self.push_ufunc(st, "matmul", args, S, S, dt)
+        elif (na, nb) == (2, 1):
+            if p == 0:  # np.outer(g, B)
+                self.push_ufunc(st, "multiply", [f"{g}[:, None]", B], S, S, dt)
+            else:
+                self.push_ufunc(st, "matmul", [f"{A}.T", g], S, S, dt)
+        elif (na, nb) == (1, 2):
+            if p == 0:
+                self.push_ufunc(st, "matmul", [B, g], S, S, dt)
+            else:  # np.outer(A, g)
+                self.push_ufunc(st, "multiply", [f"{A}[:, None]", g], S, S, dt)
+        elif na >= 2 and nb >= 2:
+            # Stacked operands: eager's general formulas
+            #   dA = unbroadcast(g @ swapaxes(B, -1, -2), A.shape)
+            #   dB = unbroadcast(swapaxes(A, -1, -2) @ g, B.shape)
+            # — the matmul result shape is the cotangent's batch dims plus
+            # the operand's matrix dims, and the unbroadcast plan reduces
+            # any stacked axes the operand broadcast over.
+            batch = s.shape[:-2]
+
+            def swapT(name: str, nd: int) -> str:
+                return f"{name}.T" if nd == 2 else f"np.swapaxes({name}, -1, -2)"
+
+            if p == 0:
+                O2 = batch + (meta_a.shape[-2], meta_a.shape[-1])
+                self.push_ufunc(st, "matmul", [g, swapT(B, nb)], O2, S, dt)
+            else:
+                O2 = batch + (meta_b.shape[-2], meta_b.shape[-1])
+                self.push_ufunc(st, "matmul", [swapT(A, na), g], O2, S, dt)
+        else:  # pragma: no cover - classification keeps other combos opaque
+            raise LoweringError(f"matmul combo ({na}, {nb}) is not symbolic")
+
+    def _push_scatter(self, st: BwdStep, s: IRNode, g: str, S, dtype) -> None:
+        idx = self.const(s.params["index"])
+        unique = s.params["unique"]
+        t = self.cot_target(st)
+        if st.first:
+            self.line(f"{t}[...] = 0.0")
+            if unique:
+                self.line(f"{t}[{idx}] = {g}")
+            else:
+                self.line(f"np.add.at({t}, {idx}, {g})")
+        elif unique:
+            self.line(f"{t}[{idx}] += {g}")
+        else:
+            sc = self.scratch(S, dtype)
+            self.line(f"{sc}[...] = 0.0")
+            self.line(f"np.add.at({sc}, {idx}, {g})")
+            self.line(f"{t} += {sc}")
+
+    # -- rendering -----------------------------------------------------
+    def render(self, profiled: bool) -> str:
+        sig = ", ".join(f"{n}={n}" for n in self.params)
+        out: List[str] = []
+        if profiled:
+            out.append(f"def _kernel_profiled(_acc, {sig}):")
+            out.append("    _t = _perf()")
+            cur = self.body[0][0] if self.body else -1
+            for seg_id, code in self.body:
+                if seg_id != cur:
+                    out.append(
+                        f"    _n = _perf(); _acc[{cur}] += _n - _t; _t = _n"
+                    )
+                    cur = seg_id
+                out.append(f"    {code}")
+            if self.body:
+                out.append(f"    _acc[{cur}] += _perf() - _t")
+        else:
+            out.append(f"def _kernel({sig}):")
+            for _, code in self.body:
+                out.append(f"    {code}")
+        out.append("")
+        return "\n".join(out)
+
+
+class CodegenProgram:
+    """A compiled-source execution tier over a recorded program's buffers.
+
+    Drop-in replacement for :class:`~repro.autodiff.compile.CompiledProgram`
+    in the program cache: same ``replay(inputs, profile)`` contract, same
+    gradient collection (it shares the underlying program's leaf buffers
+    and cotangent buffers for pinned nodes).
+    """
+
+    is_codegen = True
+    replayable = True
+    unreplayable_op = None
+
+    def __init__(self, program, lowered: LoweredProgram) -> None:
+        em = _Emitter(lowered)
+        em.emit()
+        em.planner.verify()  # cheap invariant check at build time
+
+        stats = lowered.stats
+        stats.arena_bytes = em.planner.total_bytes
+        stats.arena_slots = len(em.planner.slots)
+
+        self.source = em.render(profiled=False)
+        self._profiled_source = em.render(profiled=True)
+        ns = dict(em.params)
+        exec(compile(self.source, "<repro-codegen>", "exec"), ns)
+        self._fn = ns["_kernel"]
+        ns_p = dict(em.params)
+        exec(compile(self._profiled_source, "<repro-codegen-profiled>", "exec"), ns_p)
+        self._pfn = ns_p["_kernel_profiled"]
+
+        self._segments = em.segments
+        self._program = program
+        self.stats = stats
+        self.n_ops = program.n_ops
+        self._transient_cots = [
+            ir.idx for ir in lowered.nodes if ir.cot_transient
+        ]
+        freed = sum(
+            program._gradbufs[i].nbytes for i in self._transient_cots
+        )
+        self.buffer_bytes = program.buffer_bytes - freed + stats.arena_bytes
+
+    def commit(self) -> None:
+        """Release buffers the arena replaced (call after validation).
+
+        The replay tier's per-node cotangent buffers for interior nodes
+        are dead once this program owns the cache slot — backward writes
+        land in arena slots instead.  Leaf and root cotangents stay (the
+        gradient collection reads them).
+        """
+        bufs = self._program._gradbufs
+        for i in self._transient_cots:
+            bufs[i] = None
+
+    def replay(
+        self, inputs: Sequence[np.ndarray], profile=None
+    ) -> Tuple[float, List[np.ndarray]]:
+        prog = self._program
+        for buf, arr in zip(prog._leaf_bufs, inputs):
+            if buf.shape != arr.shape:
+                from repro.autodiff.compile import CompileError
+
+                raise CompileError(
+                    f"input shape {arr.shape} does not match traced shape "
+                    f"{buf.shape}; re-trace required"
+                )
+            np.copyto(buf, arr)
+        if profile is None:
+            self._fn()
+            return float(prog._root_data), prog._collect_grads()
+        return self._replay_profiled(profile)
+
+    def _replay_profiled(self, profile) -> Tuple[float, List[np.ndarray]]:
+        perf = time.perf_counter
+        t0 = perf()
+        acc = [0.0] * len(self._segments)
+        self._pfn(acc)
+        for seg, dt in zip(self._segments, acc):
+            k = profile.kernel(seg.name)
+            if seg.phase == "fwd":
+                k.calls += 1
+                k.fwd_seconds += dt
+                k.flops += seg.flops
+                k.bytes_moved += seg.bytes_moved
+            else:
+                k.bwd_seconds += dt
+        grads = self._program._collect_grads()
+        profile.n_replays += 1
+        profile.n_codegen_replays += 1
+        profile.replay_seconds += perf() - t0
+        return float(self._program._root_data), grads
+
+
+def codegen_program(program) -> CodegenProgram:
+    """Lower ``program`` and compile it to a straight-line source kernel.
+
+    Raises :class:`~repro.autodiff.lowering.LoweringError` (or any build
+    error) on programs the backend cannot express — callers catch and
+    fall back to the replay tier.  Fusion/arena statistics are surfaced
+    through the ``repro.obs`` metrics registry on every successful build.
+    """
+    lowered = lower(program)
+    cg = CodegenProgram(program, lowered)
+
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    st = cg.stats
+    reg.counter("codegen.programs").inc()
+    reg.counter("codegen.fused_ops").inc(st.n_fused)
+    reg.counter("codegen.fusion_groups").inc(st.n_fused_groups)
+    reg.counter("codegen.buffers_dropped").inc(
+        st.values_dropped + st.cotangents_dropped
+    )
+    reg.gauge("codegen.arena_bytes").set(st.arena_bytes)
+    reg.gauge("codegen.fused_fraction").set(st.fused_fraction)
+    return cg

@@ -102,7 +102,14 @@ def solve(A: ArrayLike, b: ArrayLike, assume_a: str = "gen") -> Tensor:
             return -np.outer(w, x)
         return -(w @ x.T)
 
-    return make_node(x, [(tA, vjp_A), (tb, vjp_b)], "solve", fwd=fwd)
+    # Lowering metadata documents the operands (useful for IR dumps and
+    # buffer-liveness analysis); the op itself stays opaque to codegen —
+    # the factorisation lives in the closures, so codegen calls back into
+    # them (F/V callbacks) rather than emitting symbolic source.
+    return make_node(
+        x, [(tA, vjp_A), (tb, vjp_b)], "solve", fwd=fwd,
+        meta=((Ad, bd), {"assume_a": assume_a}),
+    )
 
 
 class LUSolver:
@@ -164,7 +171,11 @@ class LUSolver:
         def fwd(o: np.ndarray, bd=bd) -> None:
             o[...] = self._solve(bd)
 
-        return make_node(x, [(tb, vjp_b)], "lu_solve", fwd=fwd)
+        # Operand metadata only; stays opaque to codegen (cached factors
+        # live in the solver object, reached via closure callbacks).
+        return make_node(
+            x, [(tb, vjp_b)], "lu_solve", fwd=fwd, meta=((bd,), None)
+        )
 
     def solve_block(self, b_block: ArrayLike) -> Tensor:
         """Solve an ``(N, n)`` row-block of right-hand sides at once.
@@ -208,7 +219,12 @@ def lstsq(A: ArrayLike, b: ArrayLike, rcond: Optional[float] = None) -> Tensor:
     def fwd(o: np.ndarray) -> None:
         o[...] = np.linalg.lstsq(Ad, bd, rcond=rcond)[0]
 
-    return make_node(x, [(tb, vjp_b)], "lstsq", fwd=fwd)
+    # Operand metadata only; opaque to codegen (normal-equation adjoint
+    # runs through the recorded closures).
+    return make_node(
+        x, [(tb, vjp_b)], "lstsq", fwd=fwd,
+        meta=((Ad, bd), {"rcond": rcond}),
+    )
 
 
 @composite

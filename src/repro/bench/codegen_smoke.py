@@ -1,0 +1,216 @@
+"""CI smoke gate: the fused codegen tier must be fast *and* exact.
+
+Three checks, all cheap enough for every push:
+
+1. **Optimisation parity** — the tier-0 Laplace DP loop must reach the
+   same final cost and control under ``compile="codegen"`` as under the
+   eager tape, with zero codegen→replay fallbacks (the DP program —
+   including its opaque LU solves, which run through recorded closures —
+   must actually lower).
+2. **Fusion coverage** — the lowered DP program's symbolic-op fraction
+   must clear ``--min-fused-fraction``; a silent classifier regression
+   that demotes ops to opaque closures would otherwise keep parity while
+   quietly giving the speedup back.
+3. **Speedup** — one PINN-loss ``value_and_grad_tree`` call (the paper's
+   training unit, fully symbolic after lowering) must run at least
+   ``--min-speedup`` (default 1.5x) faster under codegen than under the
+   replay tier, with bit-identical value and gradients in both tiers.
+
+Wall times, the measured speedup, and the fusion/arena summary are
+written to ``codegen_speedup.json`` when ``--out-dir`` is given —
+honestly, including failures.
+
+Usage::
+
+    python -m repro.bench.codegen_smoke [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.autodiff.compile import compiled_value_and_grad_tree
+from repro.cloud.square import SquareCloud
+from repro.control.dp import LaplaceDP
+from repro.control.loop import optimize
+from repro.control.pinn import LaplacePINN, PINNTrainConfig
+from repro.nn.pytree import tree_flatten, value_and_grad_tree
+from repro.pde.laplace import LaplaceControlProblem
+
+
+def _best_of(fn, rounds: int, reps: int) -> float:
+    fn()  # warm up: trace/lower/compile, page in buffers
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def _codegen_entries(vg):
+    return [e for e in vg._cache.values() if getattr(e, "is_codegen", False)]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=10, help="DP cloud resolution")
+    ap.add_argument("--iters", type=int, default=30, help="DP optimiser iterations")
+    ap.add_argument("--hidden", type=int, nargs="+", default=[20, 20],
+                    help="PINN hidden layer widths")
+    ap.add_argument("--n-interior", type=int, default=100,
+                    help="PINN interior collocation points")
+    ap.add_argument("--rounds", type=int, default=7, help="timing rounds")
+    ap.add_argument("--reps", type=int, default=50, help="calls per round")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required codegen/replay speedup on the PINN loss")
+    ap.add_argument("--min-fused-fraction", type=float, default=0.5,
+                    help="required symbolic-op fraction of the DP program")
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="write codegen_speedup.json here")
+    args = ap.parse_args(argv)
+
+    failures = []
+
+    # ------------------------------------------------------------------
+    # 1. DP optimisation parity (eager vs codegen), zero fallbacks.
+    # ------------------------------------------------------------------
+    problem = LaplaceControlProblem(SquareCloud(args.nx))
+    c_e, h_e = optimize(LaplaceDP(problem), args.iters, 1e-2)
+    dp_cg = LaplaceDP(problem, compile="codegen")
+    c_c, h_c = optimize(dp_cg, args.iters, 1e-2)
+
+    cost_diff = abs(h_e.best_cost - h_c.best_cost)
+    ctrl_diff = float(np.max(np.abs(c_e - c_c)))
+    info = dp_cg._vg.cache_info()
+    scale = max(abs(h_e.best_cost), 1e-30)
+    if cost_diff > 1e-10 * scale + 1e-14:
+        failures.append(f"DP final cost deviates: |diff| = {cost_diff:.3e}")
+    if info["codegen_fallbacks"]:
+        failures.append(
+            f"DP program fell back to replay {info['codegen_fallbacks']} time(s)"
+        )
+    if not info["codegen_programs"]:
+        failures.append("DP loop produced no codegen program")
+
+    # ------------------------------------------------------------------
+    # 2. Fusion coverage of the lowered DP program.
+    # ------------------------------------------------------------------
+    entries = _codegen_entries(dp_cg._vg)
+    fused_fraction = min(
+        (e.stats.fused_fraction for e in entries), default=0.0
+    )
+    st = entries[0].stats if entries else None
+    if fused_fraction < args.min_fused_fraction:
+        failures.append(
+            f"fused-op fraction {fused_fraction:.2f} < "
+            f"{args.min_fused_fraction:.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. PINN loss: bit-exact parity + speedup over the replay tier.
+    # ------------------------------------------------------------------
+    cfg = PINNTrainConfig(
+        epochs=1, n_interior=args.n_interior, n_boundary=30
+    )
+    pinn = LaplacePINN(
+        problem,
+        state_hidden=tuple(args.hidden),
+        control_hidden=tuple(args.hidden),
+        config=cfg,
+    )
+    params = pinn.init_params(seed=0)
+    loss = lambda p: pinn.loss(p, omega=1.0)  # noqa: E731
+
+    v_ref, g_ref = value_and_grad_tree(loss)(params)
+    flat_ref, _ = tree_flatten(g_ref)
+    times = {}
+    for mode in ("replay", "codegen"):
+        vg = compiled_value_and_grad_tree(loss, mode=mode)
+        v, g = vg(params)
+        flat, _ = tree_flatten(g)
+        gdiff = max(
+            float(np.max(np.abs(a - b))) if a.size else 0.0
+            for a, b in zip(flat_ref, flat)
+        )
+        if v != v_ref or gdiff != 0.0:
+            failures.append(
+                f"PINN {mode} gradients deviate from eager (max {gdiff:.3e})"
+            )
+        if mode == "codegen" and vg.cache_info()["codegen_fallbacks"]:
+            failures.append("PINN loss program fell back to replay")
+        times[mode] = _best_of(lambda: vg(params), args.rounds, args.reps)
+
+    speedup = times["replay"] / times["codegen"]
+    if speedup < args.min_speedup:
+        failures.append(
+            f"PINN codegen speedup {speedup:.2f}x < {args.min_speedup:.2f}x"
+        )
+
+    print(
+        f"laplace-dp nx={args.nx} iters={args.iters}:\n"
+        f"  |cost diff| = {cost_diff:.3e}   |control diff| = {ctrl_diff:.3e}   "
+        f"fallbacks = {info['codegen_fallbacks']}\n"
+        f"  fused-op fraction = {fused_fraction:.2f}"
+        + (
+            f"   (groups: {st.n_fused_groups}, fused ops: {st.n_fused}, "
+            f"arena: {st.arena_bytes} B / {st.arena_slots} slots)"
+            if st
+            else ""
+        )
+        + "\n"
+        f"pinn-loss hidden={tuple(args.hidden)} ni={args.n_interior} "
+        f"(best of {args.rounds}x{args.reps}):\n"
+        f"  replay  {times['replay'] * 1e3:8.3f} ms\n"
+        f"  codegen {times['codegen'] * 1e3:8.3f} ms   "
+        f"speedup {speedup:.2f}x (gate {args.min_speedup:.2f}x)"
+    )
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        payload = {
+            "dp": {
+                "nx": args.nx,
+                "iters": args.iters,
+                "cost_diff": cost_diff,
+                "control_diff": ctrl_diff,
+                "codegen_fallbacks": info["codegen_fallbacks"],
+                "fused_fraction": fused_fraction,
+                "fusion_groups": st.n_fused_groups if st else 0,
+                "fused_ops": st.n_fused if st else 0,
+                "arena_bytes": st.arena_bytes if st else 0,
+                "arena_slots": st.arena_slots if st else 0,
+            },
+            "pinn": {
+                "hidden": list(args.hidden),
+                "n_interior": args.n_interior,
+                "replay_seconds": times["replay"],
+                "codegen_seconds": times["codegen"],
+                "speedup": speedup,
+                "min_speedup": args.min_speedup,
+            },
+            "ok": not failures,
+            "failures": failures,
+        }
+        path = os.path.join(args.out_dir, "codegen_speedup.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

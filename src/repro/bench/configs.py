@@ -35,9 +35,27 @@ def is_full_scale() -> bool:
 
 
 def is_compile_enabled() -> bool:
-    """True when ``REPRO_COMPILE=1`` opts the benchmarks into the
-    trace-once replay engine (:mod:`repro.autodiff.compile`)."""
-    return os.environ.get("REPRO_COMPILE", "0") not in ("0", "", "false", "False")
+    """True when ``REPRO_COMPILE`` opts the benchmarks into a compiled
+    execution tier (:mod:`repro.autodiff.compile`)."""
+    return compile_mode() is not False
+
+
+def compile_mode() -> "bool | str":
+    """Compiled-execution tier requested via ``REPRO_COMPILE``.
+
+    ``REPRO_COMPILE=1`` (or ``true``/``replay``) selects the trace-once
+    replay engine; ``REPRO_COMPILE=codegen`` selects the fused-source
+    codegen backend (:mod:`repro.autodiff.codegen`, with automatic
+    fallback to replay per program); unset/``0`` keeps eager execution.
+    The return value feeds the ``compile=`` knob on the scale dataclasses
+    unchanged.
+    """
+    raw = os.environ.get("REPRO_COMPILE", "0").strip()
+    if raw in ("0", "", "false", "False"):
+        return False
+    if raw.lower() == "codegen":
+        return "codegen"
+    return True
 
 
 def artifact_dir(cli_value: "str | None", env_var: str) -> "str | None":
@@ -90,7 +108,7 @@ class LaplaceScale:
     lr_dal: float = 1e-2         # paper: 1e-2
     lr_dp: float = 1e-2          # paper: 1e-2
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
-    compile: bool = False        # trace-once replay for the DP/DAL loops
+    compile: "bool | str" = False  # False | True (replay) | "codegen"
 
 
 @dataclass(frozen=True)
@@ -108,7 +126,7 @@ class NavierStokesScale:
     pseudo_dt: float = 0.5
     perturbation: float = 0.3
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
-    compile: bool = False        # trace-once replay for the DP/DAL loops
+    compile: "bool | str" = False  # False | True (replay) | "codegen"
 
 
 @dataclass(frozen=True)
@@ -127,7 +145,7 @@ class PinnScale:
     # paper: 9 values 1e-3..1e5, ω* = 1
     n_interior: int = 300
     n_boundary: int = 30
-    compile: bool = False            # trace-once replay for the epoch loop
+    compile: "bool | str" = False    # False | True (replay) | "codegen"
 
 
 @dataclass(frozen=True)
@@ -168,15 +186,20 @@ def get_scale() -> ExperimentScale:
     ``REPRO_COMPILE=1`` additionally switches every strategy onto the
     trace-once replay engine — results are bit-identical (the property
     tests assert it), only the per-iteration wall time changes.
+    ``REPRO_COMPILE=codegen`` selects the fused-source codegen tier
+    instead (gradient parity is gated by the conformance tests; programs
+    the lowering pass cannot fuse fall back to replay automatically).
     """
     from dataclasses import replace
 
     scale = FULL_SCALE if is_full_scale() else DEFAULT_SCALE
-    if is_compile_enabled():
+    mode = compile_mode()
+    if mode is not False:
+        suffix = "+codegen" if mode == "codegen" else "+compile"
         scale = ExperimentScale(
-            name=scale.name + "+compile",
-            laplace=replace(scale.laplace, compile=True),
-            ns=replace(scale.ns, compile=True),
-            pinn=replace(scale.pinn, compile=True),
+            name=scale.name + suffix,
+            laplace=replace(scale.laplace, compile=mode),
+            ns=replace(scale.ns, compile=mode),
+            pinn=replace(scale.pinn, compile=mode),
         )
     return scale

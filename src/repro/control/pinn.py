@@ -29,7 +29,7 @@ so one reverse pass per step yields exact weight gradients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +63,9 @@ class PINNTrainConfig:
     replay engine (:mod:`repro.autodiff.compile`): the loss graph is
     recorded at the first epoch and each subsequent epoch replays it over
     reused buffers — the epoch loop skips all Tensor/closure rebuilds.
+    ``compile="codegen"`` further lowers the trace to fused straight-line
+    NumPy source (:mod:`repro.autodiff.codegen`, automatic fallback to
+    replay when the program is not fully lowerable).
     """
 
     epochs: int = 2000
@@ -72,7 +75,7 @@ class PINNTrainConfig:
     n_boundary: int = 40
     alternating: bool = True
     log_every: int = 0
-    compile: bool = False
+    compile: Union[bool, str, None] = False
 
 
 @dataclass
@@ -129,9 +132,14 @@ def _train(
     recorders cost one truth test per epoch.
     """
     if config.compile:
-        from repro.autodiff.compile import compiled_value_and_grad_tree
+        from repro.autodiff.compile import (
+            compiled_value_and_grad_tree,
+            resolve_compile_mode,
+        )
 
-        vg = compiled_value_and_grad_tree(loss_fn)
+        vg = compiled_value_and_grad_tree(
+            loss_fn, mode=resolve_compile_mode(config.compile) or "replay"
+        )
     else:
         vg = value_and_grad_tree(loss_fn)
     opt = Adam(lr=config.lr)

@@ -1,0 +1,225 @@
+"""Codegen-tier conformance: parity with eager and replay, plus fallback.
+
+Every program the fused-source backend executes must produce the same
+value and gradients as the eager tape, bit for bit — the conformance
+table in ``tests/conftest.py`` supplies one program per primitive/shape
+regime (including the vbatch-composed path), and dedicated cases cover
+the stacked-matmul VJPs, the cotangent-aliasing rewrites, and the
+solve-family programs whose opaque closures run inside generated source.
+When lowering or validation fails, the tier must fall back to replay —
+warning once, never changing results.
+"""
+
+from __future__ import annotations
+
+import warnings
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.autodiff import linalg, ops
+from repro.autodiff.batching import vbatch
+from repro.autodiff.compile import ReplayProfile, compiled_value_and_grad
+from repro.autodiff.functional import value_and_grad
+from repro.autodiff.tensor import asdata
+
+
+def _rng(case, salt: str = ""):
+    return np.random.default_rng(zlib.crc32((case.label + salt).encode()))
+
+
+def _grads_tuple(g):
+    return g if isinstance(g, (tuple, list)) else (g,)
+
+
+def _assert_tier_matches_eager(loss, args, diff_idx, label):
+    """Trace + two codegen replays must equal eager bitwise, no fallback."""
+    ev, eg = value_and_grad(loss, argnums=diff_idx)(*args)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a codegen fallback warns: fail loud
+        cvg = compiled_value_and_grad(loss, argnums=diff_idx, mode="codegen")
+        results = [cvg(*args), cvg(*args), cvg(*args)]
+    assert cvg.cache_info()["codegen_fallbacks"] == 0, label
+    assert cvg.cache_info()["codegen_programs"] == 1, label
+    for v, g in results:
+        assert float(v) == float(ev), label
+        for a, b in zip(_grads_tuple(g), _grads_tuple(eg)):
+            a, b = asdata(a), asdata(b)
+            assert np.array_equal(a, b), (
+                f"{label}: codegen grad deviates, "
+                f"max |diff| = {np.max(np.abs(a - b))}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Conformance table: every primitive, including vbatch composition
+# ----------------------------------------------------------------------
+def test_codegen_matches_eager_on_conformance_case(batch_case):
+    case = batch_case
+    if not case.compileable:
+        pytest.skip("argument not hashable/wrappable by the compile cache")
+    args = case.make_args(_rng(case), 3)
+    diff_idx = tuple(i for i, d in enumerate(case.diff) if d)
+
+    def loss(*call_args):
+        return ops.sum_(vbatch(case.fn, in_axes=case.in_axes)(*call_args))
+
+    _assert_tier_matches_eager(loss, args, diff_idx, case.label)
+
+
+# ----------------------------------------------------------------------
+# Stacked matmul: the general-rank symbolic VJPs
+# ----------------------------------------------------------------------
+STACKED_MATMUL_SHAPES = [
+    ((3, 4), (4, 2)),          # plain 2x2
+    ((2, 3, 4), (4, 2)),       # stacked @ matrix
+    ((3, 4), (2, 4, 2)),       # matrix @ stacked
+    ((2, 3, 4), (2, 4, 2)),    # equal batch
+    ((1, 3, 4), (5, 4, 2)),    # broadcast batch
+    ((5, 2, 3, 4), (4, 2)),    # rank-4 @ matrix
+]
+
+
+@pytest.mark.parametrize(
+    "sa,sb", STACKED_MATMUL_SHAPES,
+    ids=[f"{sa}@{sb}" for sa, sb in STACKED_MATMUL_SHAPES],
+)
+def test_codegen_stacked_matmul_parity(sa, sb):
+    rng = np.random.default_rng(zlib.crc32(f"{sa}{sb}".encode()))
+    A, B = rng.standard_normal(sa), rng.standard_normal(sb)
+
+    def loss(a, b):
+        return ops.sum_(ops.square(ops.matmul(a, b)))
+
+    _assert_tier_matches_eager(loss, (A, B), (0, 1), f"matmul {sa}@{sb}")
+
+
+# ----------------------------------------------------------------------
+# Solve-family programs lower WITHOUT falling back (opaque closures run
+# inside the generated source via recorded F/V callbacks)
+# ----------------------------------------------------------------------
+def test_codegen_solve_program_does_not_fall_back():
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((6, 6)) + 6.0 * np.eye(6)
+
+    def loss(b):
+        x = linalg.solve(A, ops.exp(b))
+        return ops.sum_(ops.square(x)) + ops.sum_(b * x)
+
+    _assert_tier_matches_eager(loss, (np.linspace(0.1, 1.0, 6),), 0, "solve")
+
+
+def test_codegen_lu_solver_program():
+    rng = np.random.default_rng(8)
+    solver = linalg.LUSolver(rng.standard_normal((5, 5)) + 5.0 * np.eye(5))
+
+    def loss(b):
+        return ops.sum_(ops.square(solver(ops.sin(b))))
+
+    _assert_tier_matches_eager(loss, (np.linspace(0.1, 1.0, 5),), 0, "lu")
+
+
+# ----------------------------------------------------------------------
+# Cotangent-aliasing rewrites: regression programs
+# ----------------------------------------------------------------------
+class TestCotangentAliasing:
+    def test_view_chain_alias(self):
+        # reshape/transpose cotangents are forwarded as zero-copy views.
+        def loss(x):
+            y = ops.transpose(ops.reshape(ops.exp(x), (3, 4)))
+            return ops.sum_(ops.square(y))
+
+        _assert_tier_matches_eager(
+            loss, (np.linspace(0.1, 1.0, 12),), 0, "view-alias"
+        )
+
+    def test_identity_add_alias(self):
+        # add forwards its cotangent untouched when shapes match …
+        def loss(x, y):
+            return ops.sum_(ops.square(x + y))
+
+        a = np.linspace(0.1, 1.0, 9)
+        b = np.linspace(1.0, 2.0, 9)
+        _assert_tier_matches_eager(loss, (a, b), (0, 1), "add-alias")
+
+    def test_broadcast_add_not_aliased(self):
+        # … but an unbroadcast reduction blocks the rewrite.
+        def loss(x, y):
+            return ops.sum_(ops.square(x + y))  # (3,) + (4,3)
+
+        a = np.linspace(0.1, 1.0, 3)
+        b = np.linspace(1.0, 2.0, 12).reshape(4, 3)
+        _assert_tier_matches_eager(loss, (a, b), (0, 1), "bcast-add")
+
+    def test_fan_out_not_aliased(self):
+        # Two pushes into one destination: accumulation must survive.
+        def loss(x):
+            t = ops.exp(x)
+            return ops.sum_(ops.sin(t)) + ops.sum_(ops.square(t))
+
+        _assert_tier_matches_eager(
+            loss, (np.linspace(0.1, 1.0, 10),), 0, "fan-out"
+        )
+
+    def test_sub_slot1_not_aliased(self):
+        # sub's second operand needs negation — no identity forwarding.
+        def loss(x, y):
+            return ops.sum_(ops.square(x - ops.exp(y)))
+
+        a = np.linspace(0.1, 1.0, 8)
+        b = np.linspace(0.0, 0.5, 8)
+        _assert_tier_matches_eager(loss, (a, b), (0, 1), "sub-slot1")
+
+
+# ----------------------------------------------------------------------
+# Fallback: lowering/validation failure degrades to replay, with warning
+# ----------------------------------------------------------------------
+def test_codegen_falls_back_to_replay_on_lowering_failure(monkeypatch):
+    import repro.autodiff.compile as compile_mod
+
+    def boom(prog):
+        raise compile_mod.CompileError("synthetic lowering failure")
+
+    def loss(x):
+        return ops.sum_(ops.square(x))
+
+    x = np.linspace(0.1, 1.0, 6)
+    ev, eg = value_and_grad(loss)(x)
+
+    import repro.autodiff.codegen as codegen_mod
+    monkeypatch.setattr(codegen_mod, "codegen_program", boom)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        vg = compiled_value_and_grad(loss, mode="codegen")
+        vg(x)  # trace + failed build
+    v, g = vg(x)  # replay-tier execution
+    info = vg.cache_info()
+    assert info["codegen_fallbacks"] == 1
+    assert info["codegen_programs"] == 0
+    assert v == ev
+    np.testing.assert_array_equal(g, eg)
+
+
+# ----------------------------------------------------------------------
+# Profiling: per-fused-kernel stats populate under the codegen tier
+# ----------------------------------------------------------------------
+def test_codegen_profile_reports_kernels():
+    def loss(x):
+        return ops.sum_(ops.sin(ops.exp(x)) * x)
+
+    x = np.linspace(0.1, 1.0, 32)
+    vg = compiled_value_and_grad(loss, mode="codegen", profile=True)
+    for _ in range(4):
+        vg(x)
+    p = vg.profile
+    assert isinstance(p, ReplayProfile)
+    assert p.n_codegen_replays == 3  # first call traces
+    assert p.kernels, "profiled codegen must record per-kernel stats"
+    assert any("+" in name for name in p.kernels), (
+        f"expected a fused kernel among {sorted(p.kernels)}"
+    )
+    assert p.fused_ops > 0 and p.fusion_groups > 0
+    assert p.arena_slots >= 0
+    report = p.report()
+    assert "generated kernels" in report
+    assert "fusion groups" in report
