@@ -34,7 +34,8 @@ stacked primitive calls on the tracer's underlying
   *and* the reverse-pass GEMMs are bitwise identical per item;
 - **solve-family** primitives (``solve``/``lu_solve``/``lstsq``/
   ``sparse_solve``/``sparse_lu_solve``/``sparse_matvec``/
-  ``sparse_pattern_solve``) transpose the batched right-hand side into
+  ``sparse_pattern_solve``/``krylov_solve``/``krylov_pattern_solve``)
+  transpose the batched right-hand side into
   an ``(n, N)`` column block and perform ONE factorisation + ONE
   multi-RHS triangular solve (``getrs``/``spsolve``) — forward and
   adjoint: the transposed solve in the implicit VJP receives the same
@@ -751,6 +752,8 @@ for _name, _pos in (
     ("sparse_lu_solve", 1),  # SparseLUSolver.__call__: (self, b)
     ("sparse_matvec", 1),
     ("sparse_pattern_solve", 4),  # (rows, cols, shape, data, b)
+    ("krylov_solve", 1),  # KrylovSolver.__call__: (self, b)
+    ("krylov_pattern_solve", 4),  # (rows, cols, shape, data, b)
 ):
     _register_rhs_rule(_name, _pos)
 

@@ -28,7 +28,7 @@ forward and the transposed (adjoint) solve.  Three entry points:
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -255,14 +255,56 @@ class SparseLUSolver:
         return self._solve(np.asarray(b, dtype=np.float64), trans="T")
 
 
-def make_linear_solver(A) -> Union[LUSolver, SparseLUSolver]:
-    """Factorise ``A`` with the solver matching its storage format.
+def make_linear_solver(A, method: str = "direct", **options):
+    """Build the differentiable solver matching ``A``'s storage and ``method``.
 
-    The single dispatch point that lets the DP/DAL oracles run on either
-    backend from one flag: dense system → :class:`LUSolver`, sparse
-    system → :class:`SparseLUSolver`.  Both expose the same interface
-    (``__call__`` on the tape, ``solve_numpy``, ``solve_transposed``).
+    The single dispatch point that lets the DP/DAL oracles run on any
+    backend from one flag:
+
+    ==========  ===============  =============================================
+    storage     ``method``       solver
+    ==========  ===============  =============================================
+    dense       ``"direct"``     :class:`~repro.autodiff.linalg.LUSolver`
+    sparse      ``"direct"``     :class:`SparseLUSolver`
+    sparse      ``"iterative"``  :class:`~repro.autodiff.krylov.KrylovSolver`
+    dense       ``"iterative"``  ``TypeError`` — the matrix-free path exists
+                                 to *avoid* dense storage; densifying first
+                                 would defeat it, so a wrong-backend pick
+                                 fails loudly here instead of in a bench run
+    ==========  ===============  =============================================
+
+    Sparsity is decided by ``scipy.sparse.issparse`` (true for both the
+    legacy ``*_matrix`` and the new ``*_array`` classes, and for every
+    format — COO inputs are converted by the solver constructors).
+    Objects that merely *duck-type* a sparse matrix (e.g. expose
+    ``toarray``) are treated as dense operands, matching the behaviour
+    of every other ``scipy.sparse`` consumer in the repository.
+
+    All three solvers expose the same interface (``__call__`` on the
+    tape with an implicit/adjoint VJP, ``solve_numpy``,
+    ``solve_transposed``, ``solve_block``).  ``options`` are forwarded
+    to :class:`~repro.autodiff.krylov.KrylovSolver` (tolerances,
+    ``maxiter``, ``preconditioner``, ``fallback``, ``recorder``, ...)
+    and must be empty for the direct backends.
     """
+    if method not in ("direct", "iterative"):
+        raise ValueError(
+            f"method must be 'direct' or 'iterative', got {method!r}"
+        )
+    if method == "iterative":
+        if not sp.issparse(A):
+            raise TypeError(
+                "the iterative (Krylov) backend requires a scipy.sparse "
+                "operator; got a dense system — use method='direct' or "
+                "assemble with the local RBF-FD backend"
+            )
+        from repro.autodiff.krylov import KrylovSolver
+
+        return KrylovSolver(A, **options)
+    if options:
+        raise TypeError(
+            f"unexpected options for the direct backend: {sorted(options)}"
+        )
     if sp.issparse(A):
         return SparseLUSolver(A)
     return LUSolver(A)

@@ -108,6 +108,8 @@ class LaplaceScale:
     lr_dal: float = 1e-2         # paper: 1e-2
     lr_dp: float = 1e-2          # paper: 1e-2
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
+    solver: str = "direct"       # "direct" (LU) or "iterative" (Krylov,
+    # requires the local backend; see repro.autodiff.krylov)
     compile: "bool | str" = False  # False | True (replay) | "codegen"
 
 
@@ -126,6 +128,7 @@ class NavierStokesScale:
     pseudo_dt: float = 0.5
     perturbation: float = 0.3
     backend: str = "dense"       # "dense" (paper) or "local" (RBF-FD)
+    solver: str = "direct"       # "direct" (LU) or "iterative" (Krylov)
     compile: "bool | str" = False  # False | True (replay) | "codegen"
 
 

@@ -55,21 +55,27 @@ def _tag_trace(recorder, method: str, problem: str, scale: ExperimentScale,
 def make_laplace_problem(
     scale: Optional[ExperimentScale] = None,
     backend: Optional[str] = None,
+    solver: Optional[str] = None,
 ) -> LaplaceControlProblem:
     """Laplace problem at the active scale.
 
     ``backend`` overrides the scale's operator backend ("dense" for the
-    paper's global collocation, "local" for sparse RBF-FD).
+    paper's global collocation, "local" for sparse RBF-FD); ``solver``
+    overrides the linear-solver choice ("direct" or "iterative" — the
+    latter requires the local backend).
     """
     s = scale or get_scale()
     return LaplaceControlProblem(
-        SquareCloud(s.laplace.nx), backend=backend or s.laplace.backend
+        SquareCloud(s.laplace.nx),
+        backend=backend or s.laplace.backend,
+        solver=solver or s.laplace.solver,
     )
 
 
 def make_ns_problem(
     scale: Optional[ExperimentScale] = None,
     backend: Optional[str] = None,
+    solver: Optional[str] = None,
 ) -> ChannelFlowProblem:
     """Channel-flow problem at the active scale."""
     s = scale or get_scale()
@@ -77,6 +83,7 @@ def make_ns_problem(
         cloud=ChannelCloud(s.ns.nx, s.ns.ny),
         perturbation=s.ns.perturbation,
         backend=backend or s.ns.backend,
+        solver=solver or s.ns.solver,
     )
 
 

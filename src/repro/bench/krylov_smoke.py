@@ -1,0 +1,178 @@
+"""CI smoke gate: the matrix-free Krylov backend must be trustworthy.
+
+Four checks, in order of increasing cost:
+
+1. **Adjoint-gradcheck fast tier** — the Krylov primitive suite
+   (``tests/autodiff/test_krylov.py``) runs in a pytest subprocess; a
+   VJP regression fails the gate before any timing run starts.
+2. **DP/DAL parity at N ≈ 2k** — on a 45×45 local-backend Laplace
+   problem, the iterative DP *and* DAL gradients must match the direct
+   (``splu``) backend's to tight relative tolerance.  This is the
+   implicit-adjoint contract: the gradient must not depend on how the
+   solves were performed.
+3. **Iteration ceiling** — the ILU-preconditioned solve must converge
+   within ``--max-iterations`` (default 60) at N ≈ 2k.  A silently
+   degrading preconditioner shows up as iteration creep long before it
+   shows up as wrong answers or timeouts.
+4. **Scaling sweep artifact** — the smoke-tier
+   :mod:`repro.bench.scaling_cloud` sweep runs (with its own per-size
+   gradchecks) and writes ``scaling_cloud.json`` for upload.
+
+Usage::
+
+    python -m repro.bench.krylov_smoke [--out-dir DIR] [--skip-gradcheck]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+
+GRADCHECK_SUITE = os.path.join("tests", "autodiff", "test_krylov.py")
+
+#: Parity tolerance for iterative-vs-direct gradients (relative to the
+#: direct gradient's max magnitude).  The Krylov tolerance is 1e-10; the
+#: observed parity is ~1e-10 at N = 2k, so 1e-6 has four decades of
+#: headroom while still catching any real adjoint defect.
+PARITY_RTOL = 1e-6
+
+
+def _run_gradcheck_suite() -> "tuple[bool, str]":
+    if not os.path.exists(GRADCHECK_SUITE):
+        return True, f"skipped ({GRADCHECK_SUITE} not found in cwd)"
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", GRADCHECK_SUITE, "-q", "-x",
+         "-p", "no:cacheprovider"],
+        capture_output=True,
+        text=True,
+    )
+    tail = "\n".join(proc.stdout.strip().splitlines()[-3:])
+    return proc.returncode == 0, tail
+
+
+def _check_parity(nx: int, max_iterations: int) -> "tuple[list[str], dict]":
+    """DP + DAL gradient parity and iteration ceiling at one size."""
+    from repro.cloud.square import SquareCloud
+    from repro.control.dal import LaplaceDAL
+    from repro.control.dp import LaplaceDP
+    from repro.pde.laplace import LaplaceControlProblem
+
+    failures = []
+    cloud = SquareCloud(nx)
+    p_direct = LaplaceControlProblem(cloud, backend="local")
+    p_iter = LaplaceControlProblem(
+        cloud, backend="local", solver="iterative"
+    )
+    c = p_direct.optimal_control() * 0.5
+
+    report = {"n": int(cloud.n)}
+    for name, direct, iterative in (
+        ("DP", LaplaceDP(p_direct), LaplaceDP(p_iter)),
+        ("DAL", LaplaceDAL(p_direct), LaplaceDAL(p_iter)),
+    ):
+        vd, gd = direct.value_and_grad(c)
+        vi, gi = iterative.value_and_grad(c)
+        scale = max(float(np.max(np.abs(gd))), 1e-300)
+        rel = float(np.max(np.abs(gi - gd)) / scale)
+        report[name] = {
+            "grad_max_rel_diff": rel,
+            "cost_abs_diff": float(abs(vi - vd)),
+        }
+        if rel > PARITY_RTOL:
+            failures.append(
+                f"{name} iterative gradient differs from direct by "
+                f"rel {rel:.3e} at N={cloud.n} (gate {PARITY_RTOL:g})"
+            )
+        ks = iterative.solver
+        iters = int(ks.last_iterations or 0)
+        report[name]["iterations_last"] = iters
+        if iters > max_iterations:
+            failures.append(
+                f"{name} Krylov took {iters} iterations at N={cloud.n} "
+                f"(ceiling {max_iterations})"
+            )
+        if ks.n_fallbacks:
+            failures.append(
+                f"{name} Krylov fell back to direct factorisation "
+                f"{ks.n_fallbacks} time(s) at N={cloud.n}"
+            )
+    return failures, report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=45,
+                    help="parity-check cloud resolution (N = nx², ≈ 2k)")
+    ap.add_argument("--max-iterations", type=int, default=60,
+                    help="Krylov iteration ceiling at the parity size")
+    ap.add_argument("--sweep-sizes", type=int, nargs="+", default=None,
+                    help="scaling-sweep node counts (default: smoke tier)")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="concurrent sweep rows")
+    ap.add_argument("--skip-gradcheck", action="store_true",
+                    help="skip the pytest adjoint-gradcheck tier")
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="write krylov_smoke.json + scaling_cloud.json here")
+    args = ap.parse_args(argv)
+
+    failures = []
+
+    if args.skip_gradcheck:
+        gradcheck = "skipped (--skip-gradcheck)"
+    else:
+        ok, gradcheck = _run_gradcheck_suite()
+        print(f"adjoint-gradcheck tier: {gradcheck}")
+        if not ok:
+            failures.append("Krylov adjoint-gradcheck suite failed")
+
+    parity_failures, parity = _check_parity(args.nx, args.max_iterations)
+    failures += parity_failures
+    print(
+        f"parity at N={parity['n']}: "
+        f"DP rel {parity['DP']['grad_max_rel_diff']:.2e} "
+        f"({parity['DP']['iterations_last']} iters), "
+        f"DAL rel {parity['DAL']['grad_max_rel_diff']:.2e} "
+        f"({parity['DAL']['iterations_last']} iters)"
+    )
+
+    from repro.bench import scaling_cloud
+
+    sweep_rc = scaling_cloud.main(
+        (["--sizes"] + [str(s) for s in args.sweep_sizes]
+         if args.sweep_sizes else [])
+        + (["--jobs", str(args.jobs)] if args.jobs else [])
+        + (["--out-dir", args.out_dir] if args.out_dir else [])
+    )
+    if sweep_rc != 0:
+        failures.append("scaling_cloud sweep failed (see its FAIL lines)")
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        artifact = {
+            "kind": "repro.krylov.smoke",
+            "gradcheck": gradcheck,
+            "parity": parity,
+            "max_iterations": args.max_iterations,
+            "parity_rtol": PARITY_RTOL,
+            "failures": failures,
+        }
+        path = os.path.join(args.out_dir, "krylov_smoke.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=1)
+        print(f"artifact -> {path}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

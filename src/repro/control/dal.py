@@ -83,8 +83,13 @@ class LaplaceDAL:
     def __init__(self, problem: LaplaceControlProblem, compile: bool = False) -> None:
         self.problem = problem
         # Direct and adjoint share the system matrix (Laplace operator,
-        # all-Dirichlet rows): one factorisation for both.
-        self.solver = make_linear_solver(problem.system)
+        # all-Dirichlet rows): one factorisation (or preconditioner,
+        # on the iterative backend) for both.
+        self.solver = make_linear_solver(
+            problem.system,
+            method=getattr(problem, "solver", "direct"),
+            **(getattr(problem, "solver_opts", None) or {}),
+        )
         self.compile = bool(compile)
         self._b_adj = np.zeros(problem.cloud.n) if self.compile else None
 

@@ -73,7 +73,11 @@ class LaplaceDP:
         compile: Union[bool, str, None] = False,
     ) -> None:
         self.problem = problem
-        self.solver = make_linear_solver(problem.system)
+        self.solver = make_linear_solver(
+            problem.system,
+            method=getattr(problem, "solver", "direct"),
+            **(getattr(problem, "solver_opts", None) or {}),
+        )
         self.smoothness_weight = float(smoothness_weight)
         mode = resolve_compile_mode(compile)
         self.compile = mode is not None

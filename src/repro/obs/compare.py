@@ -6,7 +6,8 @@ splits fields into three classes:
 
 exact
     Structural facts that must match bit-for-bit: record counts, iteration
-    indices, solver event sequences (``solver``/``event``/``n``/``nnz``),
+    indices, solver event sequences (``solver``/``event``/``n``/``nnz``/
+    ``iterations``),
     cache hit/miss counters, and the identity metadata keys.
 relative
     Floating-point trajectories compared as ``|a − b| ≤ atol + rtol·|b|``:
@@ -150,7 +151,7 @@ def diff_traces(
             )
         )
     for idx, (a, b) in enumerate(zip(bs, cs)):
-        for name in ("solver", "event", "n", "nnz"):
+        for name in ("solver", "event", "n", "nnz", "iterations"):
             if getattr(a, name) != getattr(b, name):
                 devs.append(
                     Deviation("solver", idx, name, getattr(a, name), getattr(b, name))

@@ -103,6 +103,7 @@ class TraceRecorder:
         residual: Optional[float] = None,
         condition_estimate: Optional[float] = None,
         nnz: Optional[int] = None,
+        iterations: Optional[int] = None,
     ) -> None:
         """Record one factorisation/solve event."""
         self._records.append(
@@ -116,6 +117,7 @@ class TraceRecorder:
                     None if condition_estimate is None else float(condition_estimate)
                 ),
                 nnz=None if nnz is None else int(nnz),
+                iterations=None if iterations is None else int(iterations),
             )
         )
 
@@ -232,6 +234,7 @@ class NullRecorder:
         residual=None,
         condition_estimate=None,
         nnz=None,
+        iterations=None,
     ) -> None:
         pass
 

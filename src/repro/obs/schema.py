@@ -10,8 +10,8 @@ kinds cover every producer in the repository:
     seconds per named phase (``grad``, ``update``, ...).
 ``solver``
     One linear-algebra event: a factorisation or a solve, with the system
-    size, optional relative residual, condition estimate, and nonzero
-    count (sparse backends).
+    size, optional relative residual, condition estimate, nonzero count
+    (sparse backends), and iteration count (Krylov backends).
 ``cache``
     Cumulative hit/miss counters of one cache (LU factorisations,
     compiled replay programs, ...), reported once at the end of a run.
@@ -30,7 +30,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Union
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: SolverRecord gained ``iterations`` (Krylov backends)
 
 #: ``kind`` tag used on the wire for each record type.
 KIND_HEADER = "header"
@@ -58,12 +58,15 @@ class SolverRecord:
     """One linear-solver event (a factorisation or a solve)."""
 
     solver: str
-    event: str  # "factorize" | "solve" | "adjoint"
+    event: str  # "factorize" | "solve" | "adjoint" | "fallback" | "failure"
     n: int
     seconds: float = 0.0
     residual: Optional[float] = None
     condition_estimate: Optional[float] = None
     nnz: Optional[int] = None
+    #: Krylov iteration count for iterative solves; ``None`` for direct
+    #: factorisation backends (schema v2).
+    iterations: Optional[int] = None
 
 
 @dataclass(frozen=True)

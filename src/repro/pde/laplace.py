@@ -131,7 +131,18 @@ class LaplaceControlProblem:
     system:
         The collocation matrix in the backend's storage format — dense
         ``ndarray`` or ``scipy.sparse`` CSR.  The DP/DAL oracles pick the
-        matching (dense or sparse) cached-LU solver from it.
+        matching solver from it via
+        :func:`~repro.autodiff.sparse.make_linear_solver` using the
+        problem's ``solver``/``solver_opts`` fields.
+    solver:
+        ``"direct"`` (cached LU, the default) or ``"iterative"`` (the
+        matrix-free Krylov backend — requires ``backend="local"``, since
+        the whole point is never materialising a dense system).
+    solver_opts:
+        Keyword options forwarded to
+        :class:`~repro.autodiff.krylov.KrylovSolver` (``tol``,
+        ``maxiter``, ``preconditioner``, ``fallback``, ...).  Must be
+        ``None``/empty for the direct solver.
     control_x:
         Top-wall node abscissae (control parameterisation: one value per
         top node, i.e. the control is discretised on the boundary nodes,
@@ -143,11 +154,27 @@ class LaplaceControlProblem:
     degree: int = 1
     backend: str = "dense"
     stencil_size: Optional[int] = None
+    solver: str = "direct"
+    solver_opts: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("dense", "local"):
             raise ValueError(
                 f"backend must be 'dense' or 'local', got {self.backend!r}"
+            )
+        if self.solver not in ("direct", "iterative"):
+            raise ValueError(
+                f"solver must be 'direct' or 'iterative', got {self.solver!r}"
+            )
+        if self.solver == "iterative" and self.backend != "local":
+            raise ValueError(
+                "solver='iterative' requires backend='local' (the Krylov "
+                "backend operates on the sparse RBF-FD system)"
+            )
+        if self.solver == "direct" and self.solver_opts:
+            raise TypeError(
+                "solver_opts are only meaningful with solver='iterative'; "
+                f"got {sorted(self.solver_opts)}"
             )
         self.kernel = self.kernel or polyharmonic(3)
         if self.backend == "dense":

@@ -131,11 +131,29 @@ class ChannelFlowProblem:
         perturbation: float = 0.3,
         backend: str = "dense",
         stencil_size: Optional[int] = None,
+        solver: str = "direct",
+        solver_opts: Optional[dict] = None,
     ) -> None:
         if backend not in ("dense", "local"):
             raise ValueError(
                 f"backend must be 'dense' or 'local', got {backend!r}"
             )
+        if solver not in ("direct", "iterative"):
+            raise ValueError(
+                f"solver must be 'direct' or 'iterative', got {solver!r}"
+            )
+        if solver == "iterative" and backend != "local":
+            raise ValueError(
+                "solver='iterative' requires backend='local' (the Krylov "
+                "backend operates on the sparse RBF-FD system)"
+            )
+        if solver == "direct" and solver_opts:
+            raise TypeError(
+                "solver_opts are only meaningful with solver='iterative'; "
+                f"got {sorted(solver_opts)}"
+            )
+        self.solver = solver
+        self.solver_opts = dict(solver_opts or {})
         self.geometry = geometry or ChannelGeometry()
         self.perturbation = float(perturbation)
         self.cloud = cloud if cloud is not None else ChannelCloud(geometry=self.geometry)
@@ -194,13 +212,15 @@ class ChannelFlowProblem:
                 free[cloud_.groups[g]] = 0.0
         self.free_uv = free
 
-        # Constant pressure system, factorised once (dense LU or sparse
-        # splu, matching the backend).
+        # Constant pressure system, set up once (dense LU, sparse splu,
+        # or the preconditioned Krylov backend, per ``solver``).
         if backend == "local":
             A_p = sp.diags(self.mask_int) @ nd.lap + self.rows_p
         else:
             A_p = self.mask_int[:, None] * nd.lap + self.rows_p
-        self.pressure_solver = make_linear_solver(A_p)
+        self.pressure_solver = make_linear_solver(
+            A_p, method=solver, **self.solver_opts
+        )
 
         # Fixed sparsity pattern of the momentum system (local backend):
         # the union of the masked advection/diffusion stencils and the
@@ -344,7 +364,13 @@ class ChannelFlowProblem:
                 A = self.momentum_matrix_numpy(u, v, config.reynolds)
                 bu = mask * (-(nd.dx @ p)) + b_u_bc
                 bv = mask * (-(nd.dy @ p)) + self.b_v_fixed
-                if self.backend == "local":
+                if self.backend == "local" and self.solver == "iterative":
+                    from repro.autodiff.krylov import KrylovSolver
+
+                    ks = KrylovSolver(A, **self.solver_opts)
+                    u_star = ks.solve_numpy(bu)
+                    v_star = ks.solve_numpy(bv)
+                elif self.backend == "local":
                     lu = spla.splu(sp.csc_matrix(A))
                     u_star = lu.solve(bu)
                     v_star = lu.solve(bv)
@@ -421,7 +447,19 @@ class ChannelFlowProblem:
             with _span("ns.momentum", "pde"):
                 bu = mask * (-dxm(p)) + b_u_bc
                 bv = mask * (-dym(p)) + self.b_v_fixed
-                if local:
+                if local and self.solver == "iterative":
+                    from repro.autodiff.krylov import krylov_pattern_solve
+
+                    data = self.momentum_data_ad(u, v, config.reynolds)
+                    u_star = krylov_pattern_solve(
+                        self._mom_rows, self._mom_cols, (n, n), data, bu,
+                        **self.solver_opts,
+                    )
+                    v_star = krylov_pattern_solve(
+                        self._mom_rows, self._mom_cols, (n, n), data, bv,
+                        **self.solver_opts,
+                    )
+                elif local:
                     data = self.momentum_data_ad(u, v, config.reynolds)
                     u_star = sparse_pattern_solve(
                         self._mom_rows, self._mom_cols, (n, n), data, bu

@@ -9,8 +9,12 @@ polyharmonic interpolation system yields that node's differentiation
 weights; the assembled operators are sparse with ``k`` nonzeros per row.
 
 The stencil systems all share one shape ``(k+M)×(k+M)``, so the weight
-computation is fully batched through ``numpy.linalg.solve`` on an
-``(N, k+M, k+M)`` stack — no Python-level loop over nodes.
+computation is batched through ``numpy.linalg.solve`` on a ``(c, k+M,
+k+M)`` stack — no Python-level loop over nodes.  Assembly is *chunked*:
+nodes are processed in blocks sized so the batched temporaries stay
+within a fixed memory budget, which keeps peak assembly memory flat in
+``N`` (the 100k-node regime of ``bench_scaling_cloud``) and is bitwise
+identical to a monolithic pass for any chunking.
 
 This module is an *extension* (the paper's experiments all use the global
 solver); the ablation benchmark ``bench_ablation_local_rbf.py`` compares
@@ -29,6 +33,7 @@ import scipy.sparse.linalg as spla
 
 from repro.cloud.base import BoundaryKind, Cloud
 from repro.cloud.neighbors import nearest_neighbors
+from repro.obs.metrics import get_registry
 from repro.obs.profile import profiled
 from repro.rbf.kernels import Kernel, polyharmonic
 from repro.rbf.polynomials import (
@@ -72,12 +77,78 @@ def default_stencil_size(degree: int) -> int:
     return max(2 * n_poly_terms(degree) + 1, 12)
 
 
+#: Target size of the stencil-assembly temporaries per chunk.  The
+#: dominant intermediates are the ``(c, k, k, 2)`` pairwise-difference
+#: array and the ``(c, k+m, k+m)`` batched saddle systems; capping their
+#: footprint keeps peak assembly memory flat in ``N`` (a 100k-node cloud
+#: monolithically materialises ~GBs of them).
+_CHUNK_TARGET_BYTES = 1 << 26  # 64 MiB
+
+
+def _auto_chunk_size(k: int, m: int) -> int:
+    """Nodes per chunk so the per-chunk temporaries stay ~64 MiB."""
+    per_node = 8 * (3 * k * k * 2 + 4 * (k + m) * (k + m))
+    return max(256, _CHUNK_TARGET_BYTES // max(per_node, 1))
+
+
+def _stencil_weights(
+    pts: np.ndarray, kernel: Kernel, degree: int, m: int
+) -> dict:
+    """RBF-FD weights for one chunk of locally-shifted stencils.
+
+    ``pts`` is the ``(c, k, 2)`` block of stencil coordinates shifted so
+    each evaluation node sits at the local origin.  Returns the ``(c, k)``
+    weight blocks for ``dx``/``dy``/``lap``.  Every operation is either
+    elementwise or a per-matrix LAPACK solve on the ``(c, k+m, k+m)``
+    stack, so the results are bitwise independent of how nodes are
+    grouped into chunks — the property the chunked assembly relies on
+    (and the Hypothesis suite pins).
+    """
+    c, k, _ = pts.shape
+
+    # Batched local interpolation systems A: (c, k+m, k+m).
+    diff = pts[:, :, None, :] - pts[:, None, :, :]  # (c, k, k, 2)
+    r = np.sqrt(np.sum(diff * diff, axis=3))
+    A = np.zeros((c, k + m, k + m))
+    A[:, :k, :k] = kernel.phi(r)
+    flat = pts.reshape(-1, 2)
+    P = poly_matrix(flat, degree).reshape(c, k, m)
+    A[:, :k, k:] = P
+    A[:, k:, :k] = P.transpose(0, 2, 1)
+
+    # Right-hand sides: each operator L applied to φ(x_i − ·) and P at the
+    # local origin.  With the shift, the evaluation point is 0, so the
+    # distance to stencil point j is ‖pts[i, j]‖ and the gradient factor
+    # is (0 − pts[i, j]).
+    rr = np.sqrt(np.sum(pts * pts, axis=2))  # (c, k)
+    w_ratio = kernel.dphi_over_r(rr)
+    zero = np.zeros((c, 2))
+    rhs = {
+        "dx": np.concatenate(
+            [w_ratio * (-pts[:, :, 0]), poly_dx_matrix(zero, degree)], axis=1
+        ),
+        "dy": np.concatenate(
+            [w_ratio * (-pts[:, :, 1]), poly_dy_matrix(zero, degree)], axis=1
+        ),
+        "lap": np.concatenate(
+            [kernel.lap(rr), poly_lap_matrix(zero, degree)], axis=1
+        ),
+    }
+
+    # One batched solve per operator: A w = rhs (γ block dropped).
+    return {
+        name: np.linalg.solve(A, b[:, :, None])[:, :k, 0]
+        for name, b in rhs.items()
+    }
+
+
 @profiled("rbf.build_operators", "solver")
 def build_local_operators(
     cloud: Cloud,
     kernel: Optional[Kernel] = None,
     degree: int = 1,
     stencil_size: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> LocalOperators:
     """Assemble sparse ``∂x, ∂y, Δ`` (and boundary-normal) operators.
 
@@ -94,6 +165,15 @@ def build_local_operators(
     where Φ and P are evaluated on the (locally shifted) stencil points —
     shifting to the stencil centre keeps the polyharmonic system well
     conditioned.
+
+    ``chunk_size`` bounds how many stencils are assembled at once: the
+    per-node saddle systems are independent, so the batch is processed in
+    blocks of ``chunk_size`` nodes and the ``(c, k, k, 2)`` / ``(c, k+m,
+    k+m)`` temporaries never exceed ~64 MiB regardless of ``N`` — the
+    property that lets 100k-node operators assemble without dense-scale
+    intermediates.  ``None`` picks that bound automatically; the weights
+    are bitwise identical for every chunking (see
+    :func:`_stencil_weights`).
     """
     kernel = kernel or polyharmonic(3)
     t_build0 = time.perf_counter()
@@ -102,45 +182,27 @@ def build_local_operators(
     k = stencil_size or default_stencil_size(degree)
     if k > n:
         raise ValueError(f"stencil size {k} exceeds cloud size {n}")
+    if chunk_size is None:
+        chunk_size = _auto_chunk_size(k, m)
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
 
     idx, _ = nearest_neighbors(cloud.points, k)  # (n, k), self first
-    # Stencil coordinates shifted to each node (x_i at the local origin).
-    pts = cloud.points[idx] - cloud.points[:, None, :]  # (n, k, 2)
 
-    # Batched local interpolation systems A: (n, k+m, k+m).
-    diff = pts[:, :, None, :] - pts[:, None, :, :]  # (n, k, k, 2)
-    r = np.sqrt(np.sum(diff * diff, axis=3))
-    A = np.zeros((n, k + m, k + m))
-    A[:, :k, :k] = kernel.phi(r)
-    flat = pts.reshape(-1, 2)
-    P = poly_matrix(flat, degree).reshape(n, k, m)
-    A[:, :k, k:] = P
-    A[:, k:, :k] = P.transpose(0, 2, 1)
-
-    # Right-hand sides: each operator L applied to φ(x_i − ·) and P at the
-    # local origin.  With the shift, the evaluation point is 0, so the
-    # distance to stencil point j is ‖pts[i, j]‖ and the gradient factor
-    # is (0 − pts[i, j]).
-    rr = np.sqrt(np.sum(pts * pts, axis=2))  # (n, k)
-    w_ratio = kernel.dphi_over_r(rr)
-    zero = np.zeros((n, 2))
-    rhs = {
-        "dx": np.concatenate(
-            [w_ratio * (-pts[:, :, 0]), poly_dx_matrix(zero, degree)], axis=1
-        ),
-        "dy": np.concatenate(
-            [w_ratio * (-pts[:, :, 1]), poly_dy_matrix(zero, degree)], axis=1
-        ),
-        "lap": np.concatenate(
-            [kernel.lap(rr), poly_lap_matrix(zero, degree)], axis=1
-        ),
-    }
-
-    # One batched solve per operator: A w = rhs.
-    weights = {}
-    for name, b in rhs.items():
-        sol = np.linalg.solve(A, b[:, :, None])[:, :k, 0]  # drop γ block
-        weights[name] = sol
+    weights = {name: np.empty((n, k)) for name in ("dx", "dy", "lap")}
+    n_chunks = 0
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        # Stencil coordinates shifted to each node (x_i at the origin).
+        pts = (
+            cloud.points[idx[start:stop]]
+            - cloud.points[start:stop, None, :]
+        )  # (c, k, 2)
+        chunk = _stencil_weights(pts, kernel, degree, m)
+        for name, w in chunk.items():
+            weights[name][start:stop] = w
+        n_chunks += 1
+    get_registry().counter("rbf.assembly.chunks").inc(n_chunks)
 
     rows = np.repeat(np.arange(n), k)
     cols = idx.ravel()

@@ -347,6 +347,14 @@ class LocalRBFSolver:
     residuals are reported even for factorisations cached before the
     recorder was attached; condition estimates are not available for
     ``splu`` factors and are reported as ``None``.
+
+    ``linear_solver="iterative"`` swaps the exact ``splu`` factorisation
+    for a matrix-free preconditioned Krylov iteration
+    (:class:`~repro.autodiff.krylov.KrylovSolver`, configured via
+    ``solver_opts``): the cache then holds one preconditioner per key
+    instead of one LU factor, which is what keeps 100k-node systems
+    solvable — SuperLU fill-in is the memory ceiling the iterative path
+    removes.  Interface and caching semantics are unchanged.
     """
 
     solver_name = "rbf-sparse-splu"
@@ -357,18 +365,30 @@ class LocalRBFSolver:
         kernel: Optional[Kernel] = None,
         degree: int = 1,
         stencil_size: Optional[int] = None,
+        linear_solver: str = "direct",
+        solver_opts: Optional[dict] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
+        if linear_solver not in ("direct", "iterative"):
+            raise ValueError(
+                "linear_solver must be 'direct' or 'iterative', "
+                f"got {linear_solver!r}"
+            )
         self.cloud = cloud
         self.kernel = kernel or polyharmonic(3)
         self.degree = degree
+        self.linear_solver = linear_solver
+        self.solver_opts = dict(solver_opts or {})
         self.local: LocalOperators = build_local_operators(
-            cloud, self.kernel, degree, stencil_size
+            cloud, self.kernel, degree, stencil_size, chunk_size=chunk_size
         )
         self.stencil_size = self.local.stencil_size
         self._lu_cache: Dict[object, object] = {}
         self.n_factorizations = 0
         self.n_solves = 0
         self.recorder = None
+        if linear_solver == "iterative":
+            self.solver_name = "rbf-sparse-krylov"
 
     def _cache_token(self) -> tuple:
         """Discretisation fingerprint mixed into every cache key."""
@@ -434,13 +454,29 @@ class LocalRBFSolver:
     def _factors(
         self, problem: LinearPDEProblem, cache_key: Optional[str], rec
     ) -> tuple:
-        """Fetch-or-build the ``splu`` factors and matrix for ``problem``."""
+        """Fetch-or-build the solver state and matrix for ``problem``.
+
+        Direct path: ``splu`` factors.  Iterative path: a
+        :class:`~repro.autodiff.krylov.KrylovSolver` (preconditioner
+        built once, cached under the same keys the LU factors would be).
+        """
         key = None if cache_key is None else (cache_key, self._cache_token())
         if key is not None and key in self._lu_cache:
             return self._lu_cache[key]
         t0 = time.perf_counter() if rec is not None else 0.0
         with _span("rbf.assemble", "solver", {"n": self.cloud.n}):
             A = self.assemble_system(problem)
+        if self.linear_solver == "iterative":
+            from repro.autodiff.krylov import KrylovSolver
+
+            # The KrylovSolver emits its own factorize/solve events
+            # (with iteration counts), so the generic events below are
+            # suppressed for this path.
+            fac = KrylovSolver(A, recorder=self.recorder, **self.solver_opts)
+            self.n_factorizations += 1
+            if key is not None:
+                self._lu_cache[key] = (fac, A)
+            return fac, A
         with _span("rbf.factorize", "solver", {"n": self.cloud.n}):
             lu = spla.splu(sp.csc_matrix(A))
         self.n_factorizations += 1
@@ -456,18 +492,25 @@ class LocalRBFSolver:
             self._lu_cache[key] = (lu, A)
         return lu, A
 
+    def _apply(self, fac, b: np.ndarray) -> np.ndarray:
+        """One (multi-)RHS application of the cached solver state."""
+        if self.linear_solver == "iterative":
+            fac.recorder = self.recorder  # follow late-attached recorders
+            return fac.solve_numpy(b)
+        return fac.solve(b)
+
     def solve(
         self, problem: LinearPDEProblem, cache_key: Optional[str] = None
     ) -> np.ndarray:
-        """Sparse solve with ``splu`` factorisation caching by key."""
+        """Sparse solve with per-key caching of the factorisation state."""
         rec = self.recorder if self.recorder else None
-        lu, A = self._factors(problem, cache_key, rec)
+        fac, A = self._factors(problem, cache_key, rec)
         b = self.assemble_rhs(problem)
         t0 = time.perf_counter() if rec is not None else 0.0
         with _span("rbf.solve", "solver", {"n": self.cloud.n}):
-            x = lu.solve(b)
+            x = self._apply(fac, b)
         self.n_solves += 1
-        if rec is not None:
+        if rec is not None and self.linear_solver != "iterative":
             rec.solver_event(
                 self.solver_name,
                 "solve",
@@ -501,7 +544,7 @@ class LocalRBFSolver:
                 f"got {b_block.shape}"
             )
         rec = self.recorder if self.recorder else None
-        lu, A = self._factors(problem, cache_key, rec)
+        fac, A = self._factors(problem, cache_key, rec)
         if b_block.shape[0] == 0:
             return b_block.copy()
         t0 = time.perf_counter() if rec is not None else 0.0
@@ -509,9 +552,9 @@ class LocalRBFSolver:
             "rbf.solve_block", "solver",
             {"n": self.cloud.n, "n_rhs": b_block.shape[0]},
         ):
-            x = lu.solve(b_block.T).T
+            x = self._apply(fac, b_block.T).T
         self.n_solves += 1
-        if rec is not None:
+        if rec is not None and self.linear_solver != "iterative":
             rec.solver_event(
                 self.solver_name,
                 "solve",

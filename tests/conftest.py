@@ -412,6 +412,26 @@ def _build_batching_cases():
         (None, None, None, None, 0), (False, False, False, True, True),
         compileable=False,
     )
+
+    # --- iterative solve family (per-column == per-vector bitwise) -----
+    from repro.autodiff import krylov
+
+    add(
+        "krylov_solve", "krylov_solve",
+        lambda solver, b: solver(b),
+        lambda rng, n: [
+            krylov.KrylovSolver(band(rng, 7)), rng.standard_normal((n, 7)),
+        ],
+        (None, 0), (False, True), compileable=False,
+    )
+    add(
+        "krylov_pattern_solve", "krylov_pattern_solve",
+        lambda rows, cols, shape, data, b:
+            krylov.krylov_pattern_solve(rows, cols, shape, data, b),
+        pattern_args,
+        (None, None, None, None, 0), (False, False, False, True, True),
+        compileable=False,
+    )
     return C
 
 

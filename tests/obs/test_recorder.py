@@ -131,13 +131,14 @@ class TestSchemaStability:
             ),
             "solver": (
                 "solver", "event", "n", "seconds", "residual",
-                "condition_estimate", "nnz",
+                "condition_estimate", "nnz", "iterations",
             ),
             "cache": ("cache", "hits", "misses"),
         }
 
-    def test_schema_version_is_one(self):
-        assert SCHEMA_VERSION == 1
+    def test_schema_version_is_two(self):
+        # v2: SolverRecord gained ``iterations`` (Krylov backends).
+        assert SCHEMA_VERSION == 2
 
     def test_encode_decode_identity(self):
         records = [

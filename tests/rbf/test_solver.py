@@ -357,3 +357,76 @@ class TestSolveBlock:
             solver.solve_block(
                 _dirichlet_problem(), np.zeros((2, square_cloud_12.n + 1))
             )
+
+
+class TestIterativeBackend:
+    """LocalRBFSolver with ``linear_solver="iterative"`` (Krylov path)."""
+
+    def _exact(self, p):
+        return np.sin(np.pi * p[:, 0]) * np.sinh(np.pi * p[:, 1]) / np.sinh(
+            np.pi
+        )
+
+    def test_invalid_backend_name_raises(self, square_cloud_12):
+        with pytest.raises(ValueError, match="linear_solver"):
+            LocalRBFSolver(square_cloud_12, linear_solver="multigrid")
+
+    def test_solver_name_reflects_backend(self, square_cloud_12):
+        direct = LocalRBFSolver(square_cloud_12)
+        iterative = LocalRBFSolver(square_cloud_12, linear_solver="iterative")
+        assert direct.solver_name == "rbf-sparse-splu"
+        assert iterative.solver_name == "rbf-sparse-krylov"
+
+    def test_iterative_solution_matches_direct(self, square_cloud_12):
+        prob = _dirichlet_problem(self._exact)
+        u_direct = LocalRBFSolver(square_cloud_12).solve(prob)
+        u_iter = LocalRBFSolver(
+            square_cloud_12, linear_solver="iterative"
+        ).solve(prob)
+        np.testing.assert_allclose(u_iter, u_direct, rtol=1e-7, atol=1e-9)
+
+    def test_solver_opts_forwarded(self, square_cloud_12):
+        solver = LocalRBFSolver(
+            square_cloud_12,
+            linear_solver="iterative",
+            solver_opts={"method": "gmres", "tol": 1e-8, "maxiter": 500},
+        )
+        fac, _ = solver._factors(_dirichlet_problem(), "k", None)
+        assert fac.method == "gmres"
+        assert fac.tol == 1e-8
+        assert fac.maxiter == 500
+
+    def test_preconditioner_cached_across_solves(self, square_cloud_12):
+        solver = LocalRBFSolver(square_cloud_12, linear_solver="iterative")
+        assert solver.n_factorizations == 0
+        for v in (1.0, 2.0, 3.0):
+            solver.solve(_dirichlet_problem(v), cache_key="loop")
+        assert solver.n_factorizations == 1
+        fac, _ = solver._factors(_dirichlet_problem(), "loop", None)
+        assert fac.n_factorizations == 1  # ONE preconditioner build
+        assert fac.n_solves == 3
+        assert fac.n_fallbacks == 0
+
+    def test_events_come_from_the_krylov_solver(self, square_cloud_12):
+        from repro.obs import TraceRecorder
+
+        solver = LocalRBFSolver(square_cloud_12, linear_solver="iterative")
+        solver.recorder = TraceRecorder(test="rbf-iterative")
+        solver.solve(_dirichlet_problem(1.0), cache_key="k")
+        events = solver.recorder.solver_events
+        # The KrylovSolver reports its own factorize/solve (with
+        # iteration counts); the generic rbf-sparse events are
+        # suppressed so nothing is double-counted.
+        assert [e.event for e in events] == ["factorize", "solve"]
+        assert all(e.solver == "sparse-krylov" for e in events)
+        assert events[-1].iterations >= 1
+
+    def test_block_solve_bitwise_matches_per_row(self, square_cloud_12):
+        solver = LocalRBFSolver(square_cloud_12, linear_solver="iterative")
+        prob = _dirichlet_problem()
+        rng = np.random.default_rng(11)
+        B = rng.standard_normal((3, square_cloud_12.n))
+        X = solver.solve_block(prob, B, cache_key="k")
+        fac, _ = solver._factors(prob, "k", None)
+        for i in range(3):
+            assert np.array_equal(X[i], fac.solve_numpy(B[i])), f"rhs {i}"
