@@ -48,6 +48,7 @@ import scipy.sparse.linalg as spla
 
 from repro.autodiff.batching import primitive
 from repro.autodiff.tensor import ArrayLike, Tensor, make_node, tensor
+from repro.obs.health import current_watchdog
 from repro.obs.metrics import get_registry
 from repro.obs.profile import span as _span
 
@@ -524,6 +525,13 @@ class KrylovSolver:
                 final = true_r / b_norm
                 if true_r > 10.0 * _stop_threshold(b_norm, self.tol, self.atol):
                     converged = False
+        wd = current_watchdog()
+        if wd is not None:
+            for ev in wd.observe_krylov(self.n, res.iterations, converged=converged):
+                if self.recorder:
+                    self.recorder.health_event(
+                        ev.check, ev.severity, ev.iteration, ev.value, ev.message
+                    )
         if not converged:
             reg.counter("krylov.failures").inc()
             if self.recorder:

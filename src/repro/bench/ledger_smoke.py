@@ -1,0 +1,156 @@
+"""CI smoke gate: the performance ledger's append/diff contract, end-to-end.
+
+Drives ``python -m repro.bench`` twice back-to-back (Laplace DP only,
+the fastest matrix entry) against a scratch ledger directory and checks
+the whole chain the ledger promises:
+
+1. each invocation appends exactly one schema-valid entry to
+   ``<dir>/<suite>.jsonl`` and refreshes the ``BENCH_<suite>.json``
+   snapshot;
+2. an *honest* re-run on the same machine scores **neutral** — no
+   metric may cross the regression threshold from run-to-run noise
+   alone;
+3. an *injected* 2× wall-time slowdown (a synthetic entry cloned from
+   the last honest run with every timing metric doubled) is flagged
+   **regressed** by the comparator.
+
+Point 2 and 3 together pin the comparator's noise model: floors wide
+enough for CI wobble, tight enough that a genuine 2× slowdown can
+never hide.  Exits nonzero on any violation.
+
+Usage::
+
+    python -m repro.bench.ledger_smoke [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import tempfile
+
+from repro.bench.__main__ import main as bench_main
+from repro.obs.ledger import (
+    ENTRY_KIND,
+    SNAPSHOT_KIND,
+    PerformanceLedger,
+    compare_entries,
+    format_verdicts,
+    validate_entry,
+)
+
+SUITE = "smoke"
+
+
+def _bench(ledger_dir: str, snapshot: str) -> int:
+    return bench_main([
+        "--methods", "dp", "--problem", "laplace",
+        "--ledger-dir", ledger_dir, "--suite", SUITE,
+        "--ledger-snapshot", snapshot,
+    ])
+
+
+def _fail(msg: str) -> int:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _inject_slowdown(entry: dict, factor: float) -> dict:
+    """Clone ``entry`` with every timing metric multiplied by ``factor``."""
+    slow = copy.deepcopy(entry)
+    for metrics in slow["runs"].values():
+        if "wall_time_s" in metrics:
+            metrics["wall_time_s"] *= factor
+        for phase in (metrics.get("phase_seconds") or {}):
+            metrics["phase_seconds"][phase] *= factor
+    if "wall_time_s" in slow:
+        slow["wall_time_s"] *= factor
+    return validate_entry(slow)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="keep the ledger + snapshot here "
+                         "(default: a scratch temp dir)")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="injected slowdown factor (default 2.0)")
+    args = ap.parse_args(argv)
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        out_dir = args.out_dir
+        ctx = None
+    else:
+        ctx = tempfile.TemporaryDirectory(prefix="repro-ledger-smoke-")
+        out_dir = ctx.name
+    try:
+        ledger_dir = os.path.join(out_dir, "ledger")
+        snapshot = os.path.join(out_dir, f"BENCH_{SUITE}.json")
+        store = PerformanceLedger(ledger_dir, SUITE)
+
+        # --- 1. two honest invocations -> two schema-valid entries ----
+        for i in (1, 2):
+            print(f"--- ledger_smoke: bench invocation {i}/2 ---")
+            rc = _bench(ledger_dir, snapshot)
+            if rc != 0:
+                return _fail(f"bench invocation {i} exited {rc}")
+            entries = store.entries()  # entries() re-validates every line
+            if len(entries) != i:
+                return _fail(
+                    f"after invocation {i}: {len(entries)} ledger entries "
+                    f"in {store.path}, expected {i}"
+                )
+        first, second = entries
+        for e in (first, second):
+            if e["kind"] != ENTRY_KIND or e["suite"] != SUITE:
+                return _fail(f"unexpected entry header: {e['kind']}/{e['suite']}")
+        if "laplace_dp" not in second["runs"]:
+            return _fail(f"run 'laplace_dp' missing from entry: "
+                         f"{sorted(second['runs'])}")
+
+        if not os.path.exists(snapshot):
+            return _fail(f"snapshot {snapshot} was not written")
+        with open(snapshot, "r", encoding="utf-8") as f:
+            snap = json.load(f)
+        if snap.get("kind") != SNAPSHOT_KIND or snap.get("n_entries") != 2:
+            return _fail(
+                f"snapshot malformed: kind={snap.get('kind')!r} "
+                f"n_entries={snap.get('n_entries')!r}"
+            )
+
+        # --- 2. honest re-run must be neutral -------------------------
+        verdicts = compare_entries(second, [first])
+        print("\nhonest re-run vs first run:")
+        print(format_verdicts(verdicts))
+        regressed = [v.metric for v in verdicts if v.verdict == "regressed"]
+        if regressed:
+            return _fail(
+                f"honest re-run flagged as regressed: {regressed} "
+                f"(the noise floors are too tight)"
+            )
+
+        # --- 3. injected slowdown must regress ------------------------
+        slow = _inject_slowdown(second, args.factor)
+        verdicts = compare_entries(slow, [first, second])
+        print(f"\ninjected {args.factor:g}x slowdown vs honest history:")
+        print(format_verdicts(verdicts))
+        slow_regressed = {v.metric for v in verdicts if v.verdict == "regressed"}
+        if "laplace_dp/wall_time_s" not in slow_regressed:
+            return _fail(
+                f"injected {args.factor:g}x wall-time slowdown was NOT "
+                f"flagged (regressed: {sorted(slow_regressed)})"
+            )
+
+        print("\nOK")
+        return 0
+    finally:
+        if ctx is not None:
+            ctx.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

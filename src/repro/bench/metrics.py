@@ -23,12 +23,20 @@ def measure_run(
     When a live ``recorder`` is given, the measurements are also merged
     into the trace metadata (``bench_wall_time_s``/``bench_peak_bytes``)
     so a trace artifact is self-describing without the table next to it.
+
+    Child-worker memory: runs that fan out (``--jobs``) do their heavy
+    allocation in worker processes ``tracemalloc`` cannot see, so the
+    manager also watches the children's OS-level peak RSS and the
+    reported peak is ``max(parent traced, child RSS)`` — ledger memory
+    numbers stay truthful for parallel runs.
     """
-    with PeakMemory() as mem:
+    with PeakMemory(track_children=True) as mem:
         with Timer() as timer:
             result = fn()
     if recorder:
         recorder.set_meta(
-            bench_wall_time_s=timer.elapsed, bench_peak_bytes=mem.peak_bytes
+            bench_wall_time_s=timer.elapsed,
+            bench_peak_bytes=mem.total_peak_bytes,
+            bench_child_peak_bytes=mem.child_peak_bytes,
         )
-    return result, timer.elapsed, mem.peak_bytes
+    return result, timer.elapsed, mem.total_peak_bytes

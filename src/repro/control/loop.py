@@ -16,6 +16,7 @@ import numpy as np
 from repro.control.problem import CostOracle
 from repro.nn.optimizers import Adam
 from repro.nn.schedules import paper_schedule
+from repro.obs.health import current_watchdog
 from repro.obs.profile import span as _span
 from repro.utils.timers import Timer
 
@@ -84,6 +85,9 @@ def optimize(
     history = OptimizationHistory()
     best_c, best_j = c.copy(), np.inf
     trace = recorder if recorder else None
+    # One hoisted global read; the disabled path costs one ``is not
+    # None`` test per iteration (same class as the trace guards).
+    wd = current_watchdog()
 
     with Timer() as timer:
         for it in range(n_iterations):
@@ -107,6 +111,15 @@ def optimize(
                 if callback is not None:
                     callback(it, c, float(j))
                 grad_finite = bool(np.all(np.isfinite(g)))
+                if wd is not None:
+                    for ev in wd.observe_iteration(
+                        it, history.costs[-1], history.grad_norms[-1]
+                    ):
+                        if trace is not None:
+                            trace.health_event(
+                                ev.check, ev.severity, ev.iteration,
+                                ev.value, ev.message,
+                            )
             if not grad_finite:
                 # Divergence (the DAL-on-NS failure mode): stop updating
                 # but keep the record — the benchmark reports it.

@@ -40,6 +40,7 @@ from repro.nn.mlp import MLP
 from repro.nn.optimizers import Adam
 from repro.nn.pytree import value_and_grad_tree
 from repro.nn.schedules import paper_schedule
+from repro.obs.health import current_watchdog
 from repro.obs.hooks import record_compile_cache
 from repro.obs.profile import span as _span
 from repro.utils.timers import Timer
@@ -148,6 +149,7 @@ def _train(
     history: List[float] = []
     tracked: Dict[str, List[float]] = {name: [] for name, _ in trackers}
     trace = recorder if recorder else None
+    wd = current_watchdog()
     with Timer() as timer:
         for epoch in range(config.epochs):
             if trace is not None:
@@ -168,9 +170,18 @@ def _train(
                         if k != active:
                             grads[k] = _zeros_like_tree(grads[k])
                 params, state = opt.step(params, grads, state, lr=lr)
+            if wd is not None or trace is not None:
+                gnorm = _tree_grad_norm(grads)
+            if wd is not None:
+                for ev in wd.observe_iteration(epoch, float(val), gnorm):
+                    if trace is not None:
+                        trace.health_event(
+                            ev.check, ev.severity, ev.iteration,
+                            ev.value, ev.message,
+                        )
             if trace is not None:
                 trace.iteration(
-                    epoch, float(val), _tree_grad_norm(grads), lr,
+                    epoch, float(val), gnorm, lr,
                     phases={"grad": t_grad, "update": timer.lap("update")},
                 )
     if trace is not None:

@@ -17,10 +17,36 @@ Public surface:
   baseline traces (imported lazily; it pulls in the control stack).
 - :mod:`repro.obs.report` — standalone HTML rendering of profile
   artifacts (imported lazily by ``SpanProfiler.save_html``).
-- ``python -m repro.obs`` — summary / diff / record / report CLI.
+- :class:`~repro.obs.ledger.PerformanceLedger` / :func:`compare_entries`
+  — append-only bench history with robust (median/MAD) regression
+  verdicts; written by ``python -m repro.bench --ledger-dir``.
+- :class:`~repro.obs.health.Watchdog` / :func:`watching` — in-process
+  run-health monitoring (NaN/Inf, stalled convergence, Krylov iteration
+  blow-ups) emitting typed :class:`HealthRecord` events.
+- :func:`~repro.obs.fingerprint.environment_fingerprint` /
+  :func:`~repro.obs.fingerprint.config_digest` — shared provenance for
+  every performance artifact.
+- ``python -m repro.obs`` — summary / diff / record / report / ledger CLI.
 """
 
 from repro.obs.compare import Deviation, TolerancePolicy, diff_traces, format_diff
+from repro.obs.fingerprint import config_digest, environment_fingerprint
+from repro.obs.health import (
+    Watchdog,
+    WatchdogConfig,
+    current_watchdog,
+    set_watchdog,
+    watching,
+)
+from repro.obs.ledger import (
+    DiffPolicy,
+    LedgerError,
+    MetricVerdict,
+    PerformanceLedger,
+    compare_entries,
+    format_verdicts,
+    write_snapshot,
+)
 from repro.obs.merge import (
     merge_chrome_traces,
     merge_metrics_payloads,
@@ -49,6 +75,7 @@ from repro.obs.profile import (
     Span,
     SpanProfiler,
     current_profiler,
+    metrics_payload,
     profiled,
     profiling,
     set_profiler,
@@ -58,6 +85,7 @@ from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.obs.schema import (
     SCHEMA_VERSION,
     CacheRecord,
+    HealthRecord,
     IterationRecord,
     SolverRecord,
 )
@@ -67,29 +95,42 @@ __all__ = [
     "CacheRecord",
     "Counter",
     "Deviation",
+    "DiffPolicy",
     "Gauge",
+    "HealthRecord",
     "Histogram",
     "IterationRecord",
+    "LedgerError",
+    "MetricVerdict",
     "MetricsRegistry",
     "NULL_PROFILER",
     "NULL_RECORDER",
     "NullProfiler",
     "NullRecorder",
+    "PerformanceLedger",
     "ProfileError",
     "SolverRecord",
     "Span",
     "SpanProfiler",
     "TolerancePolicy",
     "TraceRecorder",
+    "Watchdog",
+    "WatchdogConfig",
+    "compare_entries",
+    "config_digest",
     "current_profiler",
+    "current_watchdog",
     "diff_traces",
+    "environment_fingerprint",
     "format_diff",
+    "format_verdicts",
     "get_registry",
     "merge_chrome_traces",
     "merge_metrics_payloads",
     "merge_profile_artifacts",
     "merge_snapshots",
     "merge_trace_jsonl",
+    "metrics_payload",
     "profiled",
     "profiling",
     "record_compile_cache",
@@ -97,6 +138,9 @@ __all__ = [
     "record_solver_cache",
     "set_profiler",
     "set_registry",
+    "set_watchdog",
     "span",
     "use_registry",
+    "watching",
+    "write_snapshot",
 ]

@@ -18,6 +18,12 @@ Commands
     comparison page.
 ``list``
     Show the available tier-0 configs.
+``ledger list|diff|report``
+    Performance-ledger tooling over a ``--ledger-dir`` store
+    (:mod:`repro.obs.ledger`): ``list`` prints the entries of a suite,
+    ``diff`` scores the latest entry against the rolling history (exit 1
+    when any metric regressed), ``report`` renders the trajectory — one
+    sparkline per metric plus the verdicts — into a standalone HTML page.
 """
 
 from __future__ import annotations
@@ -55,8 +61,8 @@ def _cmd_record(args) -> int:
     from repro.obs.goldens import run_tier0
 
     if args.profile_dir:
-        from repro.obs.metrics import get_registry, use_registry
-        from repro.obs.profile import SpanProfiler, profiling
+        from repro.obs.metrics import use_registry
+        from repro.obs.profile import SpanProfiler, metrics_payload, profiling
 
         os.makedirs(args.profile_dir, exist_ok=True)
         prof = SpanProfiler()
@@ -67,15 +73,8 @@ def _cmd_record(args) -> int:
                     "wall_time_s": time.perf_counter() - t0}
             stem = os.path.join(args.profile_dir, args.config)
             prof.save_chrome_trace(f"{stem}.trace.json", meta=meta)
-            payload = {
-                "kind": "repro.profile.metrics",
-                "meta": meta,
-                "phase_seconds": prof.phase_seconds(),
-                "spans": prof.summary_rows(),
-                "metrics": get_registry().snapshot(),
-            }
             with open(f"{stem}.metrics.json", "w", encoding="utf-8") as f:
-                json.dump(payload, f, indent=1)
+                json.dump(metrics_payload(prof, meta=meta), f, indent=1)
         print(f"profile -> {stem}.trace.json / {stem}.metrics.json")
     else:
         trace = run_tier0(args.config)
@@ -97,6 +96,66 @@ def _cmd_report(args) -> int:
     with open(args.out, "w", encoding="utf-8") as f:
         f.write(page)
     print(f"wrote {args.out} ({len(docs)} artifact(s))")
+    return 0
+
+
+def _ledger_store(args):
+    from repro.obs.ledger import PerformanceLedger
+
+    return PerformanceLedger(args.ledger_dir, args.suite)
+
+
+def _cmd_ledger_list(args) -> int:
+    store = _ledger_store(args)
+    entries = store.entries()
+    if not entries:
+        print(f"no entries in {store.path}")
+        return 0
+    print(f"{store.path}: {len(entries)} entries")
+    for i, e in enumerate(entries):
+        fp = e.get("fingerprint", {})
+        sha = (fp.get("git_sha") or "?")[:12]
+        wall = e.get("wall_time_s")
+        wall_s = f"{wall:8.2f}s" if isinstance(wall, (int, float)) else "       ?"
+        print(
+            f"  [{i}] {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(e['created_unix']))} "
+            f"sha={sha} scale={e['scale']} jobs={e['jobs']} "
+            f"runs={len(e['runs'])} wall={wall_s}"
+        )
+    return 0
+
+
+def _cmd_ledger_diff(args) -> int:
+    from repro.obs.ledger import DiffPolicy, compare_entries, format_verdicts
+
+    store = _ledger_store(args)
+    entries = store.entries()
+    if not entries:
+        print(f"no entries in {store.path}", file=sys.stderr)
+        return 2
+    current = entries[args.index] if args.index is not None else entries[-1]
+    history = [e for e in entries if e is not current]
+    policy = DiffPolicy(z=args.z, history_window=args.window)
+    verdicts = compare_entries(current, history, policy)
+    print(format_verdicts(verdicts))
+    return 1 if any(v.verdict == "regressed" for v in verdicts) else 0
+
+
+def _cmd_ledger_report(args) -> int:
+    from repro.obs.ledger import compare_entries, format_verdicts
+    from repro.obs.report import render_ledger_report
+
+    store = _ledger_store(args)
+    entries = store.entries()
+    if not entries:
+        print(f"no entries in {store.path}", file=sys.stderr)
+        return 2
+    verdicts = compare_entries(entries[-1], entries[:-1])
+    page = render_ledger_report(entries, verdicts, title=args.title)
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(page)
+    print(f"wrote {args.out} ({len(entries)} entries)")
+    print(format_verdicts(verdicts))
     return 0
 
 
@@ -149,6 +208,38 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("list", help="list tier-0 configs")
     p.set_defaults(fn=_cmd_list)
+
+    led = sub.add_parser("ledger", help="performance-ledger tooling")
+    led_sub = led.add_subparsers(dest="ledger_command", required=True)
+
+    def _ledger_common(q):
+        q.add_argument("ledger_dir", help="ledger directory (--ledger-dir)")
+        q.add_argument("--suite", default="performance",
+                       help="suite name (default: performance)")
+
+    q = led_sub.add_parser("list", help="print the entries of a suite")
+    _ledger_common(q)
+    q.set_defaults(fn=_cmd_ledger_list)
+
+    q = led_sub.add_parser(
+        "diff", help="score one entry against the rest (exit 1 on regression)"
+    )
+    _ledger_common(q)
+    q.add_argument("--index", type=int, default=None,
+                   help="entry to score (default: the latest)")
+    q.add_argument("--z", type=float, default=3.0,
+                   help="robust z threshold (default 3.0)")
+    q.add_argument("--window", type=int, default=20,
+                   help="rolling-history window (default 20)")
+    q.set_defaults(fn=_cmd_ledger_diff)
+
+    q = led_sub.add_parser(
+        "report", help="render the perf trajectory as a standalone HTML page"
+    )
+    _ledger_common(q)
+    q.add_argument("-o", "--out", default="ledger_report.html")
+    q.add_argument("--title", default="Performance ledger")
+    q.set_defaults(fn=_cmd_ledger_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

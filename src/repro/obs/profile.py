@@ -65,6 +65,7 @@ __all__ = [
     "Span",
     "SpanProfiler",
     "current_profiler",
+    "metrics_payload",
     "profiled",
     "profiling",
     "set_profiler",
@@ -425,8 +426,15 @@ class SpanProfiler:
         # worker's real ones, so each worker gets its own process track.
         events.extend(self.external_events())
         out: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+        # Profile artifacts share provenance with ledger entries and trace
+        # headers: the environment fingerprint rides in ``metadata.env``
+        # (caller-supplied ``meta`` keys win on collision).
+        from repro.obs.fingerprint import environment_fingerprint
+
+        metadata: Dict[str, Any] = {"env": environment_fingerprint()}
         if meta:
-            out["metadata"] = dict(meta)
+            metadata.update(meta)
+        out["metadata"] = metadata
         return out
 
     def save_chrome_trace(self, path, meta: Optional[Dict[str, Any]] = None) -> None:
@@ -549,6 +557,32 @@ def span(name: str, category: str = "", attrs: Optional[Dict[str, Any]] = None):
     if p is None:
         return _NOOP_SPAN
     return p.span(name, category, attrs)
+
+
+def metrics_payload(
+    profiler: Optional[SpanProfiler] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The ``repro.profile.metrics`` artifact document, fingerprinted.
+
+    One shared constructor for the metrics-snapshot payload the bench
+    CLI, ``repro.obs record``, and the parallel worker shards all write:
+    run metadata, the environment fingerprint, the profiler's per-phase
+    seconds and span rows, and the active registry snapshot.  ``profiler``
+    defaults to the installed one (no-op rows when none is active).
+    """
+    from repro.obs.fingerprint import environment_fingerprint
+    from repro.obs.metrics import get_registry
+
+    prof: Any = profiler if profiler is not None else (_ACTIVE or NULL_PROFILER)
+    return {
+        "kind": "repro.profile.metrics",
+        "meta": dict(meta) if meta else {},
+        "env": environment_fingerprint(),
+        "phase_seconds": prof.phase_seconds(),
+        "spans": prof.summary_rows(),
+        "metrics": get_registry().snapshot(),
+    }
 
 
 def profiled(name: Optional[str] = None, category: str = "function") -> Callable:

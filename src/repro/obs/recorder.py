@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.schema import (
     CacheRecord,
+    HealthRecord,
     IterationRecord,
     Record,
     SolverRecord,
@@ -26,6 +27,13 @@ from repro.obs.schema import (
 )
 
 import json
+
+
+def _health_counts(events: List[HealthRecord]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for ev in events:
+        out[ev.check] = out.get(ev.check, 0) + 1
+    return out
 
 
 class TraceRecorder:
@@ -42,6 +50,10 @@ class TraceRecorder:
 
     def __init__(self, **meta: Any) -> None:
         self.meta: Dict[str, Any] = dict(meta)
+        #: Environment fingerprint written into the JSONL header.  Left
+        #: ``None`` it is captured lazily at :meth:`to_jsonl` time; set
+        #: it explicitly (e.g. to ``{}``) to override or suppress.
+        self.env: Optional[Dict[str, Any]] = None
         # Holds schema records plus raw iteration tuples awaiting
         # materialisation (see :meth:`iteration`); consumers go through
         # the :attr:`records` property, which settles the tuples first.
@@ -127,6 +139,25 @@ class TraceRecorder:
             CacheRecord(cache=cache, hits=int(hits), misses=int(misses))
         )
 
+    def health_event(
+        self,
+        check: str,
+        severity: str,
+        iteration: int,
+        value: float,
+        message: str = "",
+    ) -> None:
+        """Record one watchdog health event (see :mod:`repro.obs.health`)."""
+        self._records.append(
+            HealthRecord(
+                check=check,
+                severity=severity,
+                iteration=int(iteration),
+                value=float(value),
+                message=message,
+            )
+        )
+
     def absorb(self, other: "TraceRecorder") -> None:
         """Append another recorder's records and merge its metadata.
 
@@ -151,6 +182,10 @@ class TraceRecorder:
     def caches(self) -> List[CacheRecord]:
         return [r for r in self.records if isinstance(r, CacheRecord)]
 
+    @property
+    def healths(self) -> List[HealthRecord]:
+        return [r for r in self.records if isinstance(r, HealthRecord)]
+
     # -- summary -------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """Headline numbers of the trace (what ``repro.obs summary`` prints)."""
@@ -174,13 +209,25 @@ class TraceRecorder:
                 r.cache: {"hits": r.hits, "misses": r.misses, "hit_rate": r.hit_rate}
                 for r in self.caches
             },
+            "health": _health_counts(self.healths),
         }
 
     # -- persistence ---------------------------------------------------
     def to_jsonl(self, path) -> None:
-        """Write the trace as one JSON object per line (header first)."""
+        """Write the trace as one JSON object per line (header first).
+
+        The header carries the environment fingerprint (see
+        :mod:`repro.obs.fingerprint`) so trace artifacts share provenance
+        with ledger entries; it rides outside ``meta`` and never affects
+        golden identity comparisons.
+        """
+        env = self.env
+        if env is None:
+            from repro.obs.fingerprint import environment_fingerprint
+
+            env = environment_fingerprint()
         with open(path, "w", encoding="utf-8") as f:
-            f.write(dumps_line(encode_header(self.meta)) + "\n")
+            f.write(dumps_line(encode_header(self.meta, env=env)) + "\n")
             for rec in self.records:
                 f.write(dumps_line(encode_record(rec)) + "\n")
 
@@ -192,7 +239,9 @@ class TraceRecorder:
             first = f.readline()
             if not first.strip():
                 raise ValueError(f"empty trace file: {path}")
-            rec.meta = decode_header(json.loads(first))
+            header = json.loads(first)
+            rec.meta = decode_header(header)
+            rec.env = header.get("env")
             for line in f:
                 line = line.strip()
                 if line:
@@ -239,6 +288,9 @@ class NullRecorder:
         pass
 
     def cache_stats(self, cache, hits, misses) -> None:
+        pass
+
+    def health_event(self, check, severity, iteration, value, message="") -> None:
         pass
 
 

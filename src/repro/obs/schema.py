@@ -15,13 +15,21 @@ kinds cover every producer in the repository:
 ``cache``
     Cumulative hit/miss counters of one cache (LU factorisations,
     compiled replay programs, ...), reported once at the end of a run.
+``health``
+    One typed run-health event from the watchdog
+    (:mod:`repro.obs.health`): a NaN/Inf in the telemetry stream, a
+    stalled convergence window, a Krylov iteration blow-up.
 
 Records are frozen dataclasses so a trace cannot be mutated after the
 fact, and the field lists are part of the public schema: the
 ``tests/obs`` suite pins them, and :data:`SCHEMA_VERSION` must be bumped
 whenever a field is added, removed or renamed.  On disk a trace is one
 JSON object per line — a ``header`` line carrying the schema version and
-run metadata, followed by the records in emission order.
+run metadata (plus an optional ``env`` environment fingerprint, see
+:mod:`repro.obs.fingerprint`), followed by the records in emission
+order.  Readers accept every version in :data:`SUPPORTED_VERSIONS`:
+older versions only ever *lack* record kinds, so a v2 file decodes
+unchanged under a v3 reader.
 """
 
 from __future__ import annotations
@@ -30,13 +38,19 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Union
 
-SCHEMA_VERSION = 2  # v2: SolverRecord gained ``iterations`` (Krylov backends)
+SCHEMA_VERSION = 3  # v3: HealthRecord (watchdog events); v2: SolverRecord
+# gained ``iterations`` (Krylov backends).
+
+#: Versions this build can read.  Bumps that only *add* a record kind
+#: keep the older versions readable (they simply never contain it).
+SUPPORTED_VERSIONS = (2, 3)
 
 #: ``kind`` tag used on the wire for each record type.
 KIND_HEADER = "header"
 KIND_ITERATION = "iteration"
 KIND_SOLVER = "solver"
 KIND_CACHE = "cache"
+KIND_HEALTH = "health"
 
 
 @dataclass(frozen=True)
@@ -84,12 +98,24 @@ class CacheRecord:
         return self.hits / total if total else 0.0
 
 
-Record = Union[IterationRecord, SolverRecord, CacheRecord]
+@dataclass(frozen=True)
+class HealthRecord:
+    """One typed run-health event emitted by the watchdog (schema v3)."""
+
+    check: str  # "nan" | "stall" | "krylov_blowup" | "krylov_failure" | ...
+    severity: str  # "warning" | "error"
+    iteration: int
+    value: float
+    message: str = ""
+
+
+Record = Union[IterationRecord, SolverRecord, CacheRecord, HealthRecord]
 
 _KIND_OF = {
     IterationRecord: KIND_ITERATION,
     SolverRecord: KIND_SOLVER,
     CacheRecord: KIND_CACHE,
+    HealthRecord: KIND_HEALTH,
 }
 _TYPE_OF = {kind: cls for cls, kind in _KIND_OF.items()}
 
@@ -126,9 +152,23 @@ def decode_record(obj: Mapping[str, Any]) -> Record:
     return cls(**data)
 
 
-def encode_header(meta: Mapping[str, Any]) -> Dict[str, Any]:
-    """Header line: schema version + run metadata."""
-    return {"kind": KIND_HEADER, "schema_version": SCHEMA_VERSION, "meta": dict(meta)}
+def encode_header(
+    meta: Mapping[str, Any], env: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Header line: schema version + run metadata (+ env fingerprint).
+
+    ``env`` rides as its own top-level key, *not* inside ``meta``, so
+    golden-trace identity comparisons (which look only at ``meta``)
+    never see provenance churn between machines.
+    """
+    out: Dict[str, Any] = {
+        "kind": KIND_HEADER,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta),
+    }
+    if env:
+        out["env"] = dict(env)
+    return out
 
 
 def decode_header(obj: Mapping[str, Any]) -> Dict[str, Any]:
@@ -136,10 +176,10 @@ def decode_header(obj: Mapping[str, Any]) -> Dict[str, Any]:
     if obj.get("kind") != KIND_HEADER:
         raise ValueError("trace file does not start with a header line")
     version = obj.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"trace schema version {version!r} is not supported "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     return dict(obj.get("meta", {}))
 

@@ -25,6 +25,7 @@ import json
 import multiprocessing as mp
 import os
 import shutil
+import sys
 import tempfile
 import time
 from dataclasses import dataclass
@@ -42,7 +43,7 @@ from repro.parallel.task import (
     exception_payload,
     record_task_metrics,
 )
-from repro.parallel.worker import WORKER_ENV, worker_main
+from repro.parallel.worker import WORKER_ENV, heartbeat_path, worker_main
 
 __all__ = ["ParallelEngine", "resolve_jobs", "run_tasks"]
 
@@ -82,6 +83,12 @@ class _Running:
     conn: Any
     t0: float
     deadline: Optional[float]
+    #: Heartbeat file this attempt's worker touches (None = disabled).
+    hb_path: Optional[str] = None
+    #: Wall-clock launch time (heartbeat mtimes are wall-clock).
+    wall0: float = 0.0
+    #: Set once when the heartbeat goes stale; sticky for the attempt.
+    stalled: bool = False
 
 
 class ParallelEngine:
@@ -114,6 +121,16 @@ class ParallelEngine:
         Multiprocessing start method (default ``$REPRO_MP_START``, else
         ``fork`` where available — task functions then need not be
         picklable — else the platform default).
+    heartbeat:
+        Interval (seconds) at which workers touch their heartbeat file;
+        ``0`` disables heartbeats entirely.
+    heartbeat_stall:
+        Age (seconds) past which a worker's heartbeat counts as stale.
+        ``None`` defaults to ``max(5 * heartbeat, 5.0)``.  A stale task
+        is flagged once — stderr warning, ``parallel.heartbeat_stalls``
+        counter, ``TaskResult.stalled`` — but only the hard ``timeout``
+        kills it: the heartbeat is an early-warning channel, not a
+        second executioner.
     """
 
     def __init__(
@@ -125,6 +142,8 @@ class ParallelEngine:
         root_seed: int = 0,
         shard_dir: Optional[str] = None,
         mp_start: Optional[str] = None,
+        heartbeat: float = 1.0,
+        heartbeat_stall: Optional[float] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.timeout = timeout
@@ -132,6 +151,10 @@ class ParallelEngine:
         self.backoff = float(backoff)
         self.root_seed = int(root_seed)
         self.shard_dir = shard_dir
+        self.heartbeat = max(0.0, float(heartbeat))
+        if heartbeat_stall is None:
+            heartbeat_stall = max(5.0 * self.heartbeat, 5.0)
+        self.heartbeat_stall = float(heartbeat_stall)
         if mp_start is None:
             mp_start = os.environ.get("REPRO_MP_START") or None
         if mp_start is None:
@@ -208,10 +231,12 @@ class ParallelEngine:
 
         def launch(index: int, attempt: int) -> None:
             task = tasks[index]
+            stem = _sanitize(task.key)
             shard = {
                 "dir": shard_dir,
-                "stem": _sanitize(task.key),
+                "stem": stem,
                 "trace": want_trace,
+                "heartbeat": self.heartbeat,
             }
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             proc = self._ctx.Process(
@@ -239,6 +264,10 @@ class ParallelEngine:
                 conn=parent_conn,
                 t0=t0,
                 deadline=None if timeout is None else t0 + timeout,
+                hb_path=(
+                    heartbeat_path(shard_dir, stem) if self.heartbeat else None
+                ),
+                wall0=time.time(),
             )
 
         def settle(info: _Running, status: str, payload=None, error=None) -> None:
@@ -263,6 +292,7 @@ class ParallelEngine:
                 duration_s=duration,
                 worker_pid=(payload or {}).get("pid", info.proc.pid),
                 seed=seeds[info.index],
+                stalled=info.stalled,
             )
             results[info.index] = result
             record_task_metrics(result)
@@ -321,6 +351,33 @@ class ParallelEngine:
                             info, STATUS_ERROR, payload=payload,
                             error=payload.get("error"),
                         )
+                # Heartbeat staleness: flag (once) workers whose beat
+                # stopped — an early warning channel, never a kill.
+                if self.heartbeat:
+                    wall_now = time.time()
+                    for info in running.values():
+                        if info.stalled or info.hb_path is None:
+                            continue
+                        try:
+                            age = wall_now - os.path.getmtime(info.hb_path)
+                        except OSError:
+                            # No file yet: allow worker startup (imports,
+                            # fork latency) one extra interval of grace.
+                            age = wall_now - info.wall0 - self.heartbeat
+                        if age > self.heartbeat_stall:
+                            info.stalled = True
+                            from repro.obs.metrics import get_registry
+
+                            get_registry().counter(
+                                "parallel.heartbeat_stalls"
+                            ).inc()
+                            print(
+                                f"[repro.parallel] task "
+                                f"{tasks[info.index].key!r} (pid "
+                                f"{info.proc.pid}) heartbeat stale for "
+                                f"{age:.1f}s — worker may be hung",
+                                file=sys.stderr,
+                            )
                 # Deadline enforcement for still-running workers.
                 now = time.monotonic()
                 for conn in [
@@ -413,6 +470,8 @@ def run_tasks(
     backoff: float = 0.05,
     root_seed: int = 0,
     shard_dir: Optional[str] = None,
+    heartbeat: float = 1.0,
+    heartbeat_stall: Optional[float] = None,
 ) -> List[TaskResult]:
     """One-shot convenience: build a :class:`ParallelEngine` and run."""
     return ParallelEngine(
@@ -422,4 +481,6 @@ def run_tasks(
         backoff=backoff,
         root_seed=root_seed,
         shard_dir=shard_dir,
+        heartbeat=heartbeat,
+        heartbeat_stall=heartbeat_stall,
     ).run(tasks)

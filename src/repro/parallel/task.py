@@ -54,6 +54,9 @@ class TaskResult:
     the worker from the live exception, so it survives the pipe even
     when the exception object itself does not pickle.  ``duration_s``
     covers the final attempt only; ``attempts`` counts every attempt.
+    ``stalled`` is the engine's heartbeat verdict: the worker's
+    heartbeat file went stale while it ran (a hung-task early warning —
+    the status still reflects how the attempt ultimately ended).
     """
 
     key: str
@@ -64,6 +67,7 @@ class TaskResult:
     duration_s: float = 0.0
     worker_pid: Optional[int] = None
     seed: Optional[int] = None
+    stalled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -90,6 +94,7 @@ class TaskResult:
             "duration_s": self.duration_s,
             "worker_pid": self.worker_pid,
             "seed": self.seed,
+            "stalled": self.stalled,
             "error": dict(self.error) if self.error else None,
         }
 

@@ -5,12 +5,21 @@ observability, call the function, ship a picklable payload back through
 the pipe.  Everything defensive lives here — a task may raise anything,
 return anything, or die outright, and the parent must still get (at
 worst) an EOF it can classify.
+
+Heartbeats: when the shard spec carries a ``heartbeat`` interval, a
+daemon thread touches ``<stem>.heartbeat`` in the shard directory every
+interval.  The engine watches the file's mtime and flags a task whose
+heartbeat goes stale long before the hard timeout kills it — a hung
+worker (deadlock, SIGSTOP, livelocked solve) stops touching the file,
+while a merely slow one keeps beating.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from typing import Any, Dict, Optional
 
 from repro.parallel.seeding import seed_everything
@@ -23,7 +32,7 @@ WORKER_ENV = "REPRO_PARALLEL_WORKER"
 
 def _write_shards(shard: Dict[str, Any], profiler, task_key: str) -> Dict[str, str]:
     """Export this worker's obs state as artifact shards; return the paths."""
-    from repro.obs.metrics import get_registry
+    from repro.obs.profile import NULL_PROFILER, metrics_payload
 
     os.makedirs(shard["dir"], exist_ok=True)
     stem = os.path.join(shard["dir"], shard["stem"])
@@ -31,13 +40,9 @@ def _write_shards(shard: Dict[str, Any], profiler, task_key: str) -> Dict[str, s
     paths: Dict[str, str] = {}
 
     metrics_path = f"{stem}.metrics.json"
-    payload = {
-        "kind": "repro.profile.metrics",
-        "meta": meta,
-        "phase_seconds": profiler.phase_seconds() if profiler else {},
-        "spans": profiler.summary_rows() if profiler else [],
-        "metrics": get_registry().snapshot(),
-    }
+    payload = metrics_payload(
+        profiler if profiler is not None else NULL_PROFILER, meta=meta
+    )
     with open(metrics_path, "w", encoding="utf-8") as f:
         json.dump(payload, f)
     paths["metrics"] = metrics_path
@@ -47,6 +52,28 @@ def _write_shards(shard: Dict[str, Any], profiler, task_key: str) -> Dict[str, s
         profiler.save_chrome_trace(trace_path, meta=meta)
         paths["trace"] = trace_path
     return paths
+
+
+def heartbeat_path(shard_dir: str, stem: str) -> str:
+    """Where one task's heartbeat file lives (shared with the engine)."""
+    return os.path.join(shard_dir, f"{stem}.heartbeat")
+
+
+def _heartbeat_loop(path: str, interval: float, stop: threading.Event) -> None:
+    """Touch ``path`` every ``interval`` seconds until ``stop`` is set.
+
+    The loop freezes with the process (SIGSTOP, deadlocked GIL holder,
+    hard livelock under a C extension never releasing the GIL) — exactly
+    the conditions the parent wants an early signal for.
+    """
+    while True:
+        try:
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(f"{os.getpid()} {time.time():.6f}\n")
+        except OSError:
+            pass  # a missed beat is a false stall at worst, never a crash
+        if stop.wait(interval):
+            return
 
 
 def worker_main(
@@ -79,6 +106,22 @@ def worker_main(
     if profiler is not None:
         set_profiler(profiler)
 
+    hb_stop: Optional[threading.Event] = None
+    hb_file: Optional[str] = None
+    if shard and shard.get("heartbeat"):
+        try:
+            os.makedirs(shard["dir"], exist_ok=True)
+            hb_file = heartbeat_path(shard["dir"], shard["stem"])
+            hb_stop = threading.Event()
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(hb_file, float(shard["heartbeat"]), hb_stop),
+                name="repro-heartbeat",
+                daemon=True,
+            ).start()
+        except Exception:
+            hb_stop, hb_file = None, None  # heartbeats are best-effort
+
     out: Dict[str, Any] = {"pid": os.getpid(), "shards": None}
     try:
         value = fn(*args, **kwargs)
@@ -88,6 +131,12 @@ def worker_main(
         out["status"] = "error"
         out["error"] = exception_payload(exc)
     finally:
+        if hb_stop is not None:
+            hb_stop.set()
+            try:
+                os.unlink(hb_file)
+            except OSError:
+                pass
         if shard is not None:
             try:
                 out["shards"] = _write_shards(shard, profiler, key)

@@ -14,10 +14,30 @@ failing benchmark run cannot poison later measurements.
 
 from __future__ import annotations
 
+import sys
 import time
 import tracemalloc
 from types import TracebackType
 from typing import Dict, List, Optional, Type
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def _child_peak_rss_bytes() -> int:
+    """Peak RSS over all *reaped* child processes of this process, bytes.
+
+    ``getrusage(RUSAGE_CHILDREN)`` reports ``ru_maxrss`` in KiB on Linux
+    and bytes on macOS; 0 on platforms without ``resource``.  The value
+    is a high-water mark over every child waited on so far — callers
+    compare before/after watermarks to attribute growth to their block.
+    """
+    if resource is None:
+        return 0
+    rss = int(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return rss if sys.platform == "darwin" else rss * 1024
 
 
 class Timer:
@@ -110,11 +130,23 @@ class PeakMemory:
     ``tracemalloc`` peak for its own measurement, but first credits the
     peak observed so far to every enclosing manager, so the outer result
     is the true maximum over its whole body (including the inner block).
+
+    With ``track_children=True`` the manager additionally watches the
+    OS-level peak RSS of child processes (``getrusage(RUSAGE_CHILDREN)``)
+    so parallel benchmark runs (``--jobs``) report truthful memory:
+    :attr:`child_peak_bytes` is the children's high-water mark when it
+    rose during the block (0 otherwise — the watermark is cumulative per
+    process, so growth is the only attributable signal), and
+    :attr:`total_peak_bytes` is the max of the traced parent peak and the
+    child peak.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, track_children: bool = False) -> None:
         self.peak_bytes: int = 0
+        self.child_peak_bytes: int = 0
+        self.track_children = bool(track_children)
         self._max_seen: int = 0
+        self._child0: int = 0
         self._started_here = False
 
     def __enter__(self) -> "PeakMemory":
@@ -129,6 +161,8 @@ class PeakMemory:
                 outer._max_seen = max(outer._max_seen, peak)
         tracemalloc.reset_peak()
         self._max_seen = 0
+        if self.track_children:
+            self._child0 = _child_peak_rss_bytes()
         _ACTIVE.append(self)
         return self
 
@@ -146,11 +180,22 @@ class PeakMemory:
                 # was folded in rather than crashing.
                 peak = 0
             self.peak_bytes = max(self._max_seen, peak)
+            if self.track_children:
+                after = _child_peak_rss_bytes()
+                # The children watermark is cumulative over the process
+                # lifetime; only growth during this block is attributable
+                # to it (conservative: a smaller child leaves 0).
+                self.child_peak_bytes = after if after > self._child0 else 0
         finally:
             if self in _ACTIVE:
                 _ACTIVE.remove(self)
             if self._started_here and tracemalloc.is_tracing():
                 tracemalloc.stop()
+
+    @property
+    def total_peak_bytes(self) -> int:
+        """Max of the parent's traced peak and the child-worker peak RSS."""
+        return max(self.peak_bytes, self.child_peak_bytes)
 
     @property
     def peak_mib(self) -> float:

@@ -117,6 +117,85 @@ class TestProfileArtifacts:
         assert (out_dir / "laplace_dp.trace.json").exists()
 
 
+class TestLedger:
+    def _run(self, tmp_path, extra=()):
+        return main([
+            "--methods", "dp", "--problem", "laplace",
+            "--ledger-dir", str(tmp_path / "ledger"),
+            "--suite", "test",
+            "--ledger-snapshot", str(tmp_path / "BENCH_test.json"),
+            *extra,
+        ])
+
+    def test_each_invocation_appends_one_valid_entry(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("repro.bench.__main__.get_scale", lambda: TINY_SCALE)
+        from repro.obs.ledger import PerformanceLedger
+
+        store = PerformanceLedger(str(tmp_path / "ledger"), "test")
+        assert self._run(tmp_path) == 0
+        assert len(store.entries()) == 1  # entries() schema-validates
+        assert self._run(tmp_path) == 0
+        entries = store.entries()
+        assert len(entries) == 2
+        e = entries[-1]
+        assert e["suite"] == "test"
+        assert e["scale"] == "tiny"
+        assert e["config_digest"].startswith("sha256:")
+        assert "python" in e["fingerprint"]
+        metrics = e["runs"]["laplace_dp"]
+        assert metrics["wall_time_s"] > 0
+        assert metrics["iterations"] == 150
+        # --ledger-dir implies metric collection: phase timings and the
+        # cache counters come along without --profile-dir.
+        assert set(metrics["phase_seconds"]) >= {"grad", "update"}
+        assert "lu-cache" in metrics["cache_hit_rate"]
+        out = capsys.readouterr().out
+        assert "ledger:" in out
+
+    def test_snapshot_written_and_verdicts_printed(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("repro.bench.__main__.get_scale", lambda: TINY_SCALE)
+        assert self._run(tmp_path) == 0
+        assert self._run(tmp_path) == 0
+        snap = json.loads((tmp_path / "BENCH_test.json").read_text())
+        assert snap["kind"] == "repro.bench.snapshot"
+        assert snap["n_entries"] == 2
+        assert "laplace_dp/wall_time_s" in snap["history"]
+        assert len(snap["history"]["laplace_dp/wall_time_s"]) == 2
+        # The second invocation is scored against the first.
+        assert snap["verdicts"]
+        assert all(v["verdict"] != "new" for v in snap["verdicts"])
+        out = capsys.readouterr().out
+        assert "laplace_dp/wall_time_s" in out
+
+    def test_ledger_env_var_respected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.__main__.get_scale", lambda: TINY_SCALE)
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "envledger"))
+        monkeypatch.chdir(tmp_path)  # default snapshot lands in the cwd
+        rc = main(["--methods", "dp", "--problem", "laplace"])
+        assert rc == 0
+        assert (tmp_path / "envledger" / "performance.jsonl").exists()
+        assert (tmp_path / "BENCH_performance.json").exists()
+        capsys.readouterr()
+
+
+class TestWatchdogFlag:
+    def test_watchdog_flag_runs_clean_and_uninstalls(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr("repro.bench.__main__.get_scale", lambda: TINY_SCALE)
+        from repro.obs.health import current_watchdog
+
+        rc = main(["--methods", "dp", "--problem", "laplace", "--watchdog"])
+        assert rc == 0
+        assert current_watchdog() is None  # scoped install, restored
+        # A healthy Laplace DP run raises no health events.
+        assert "watchdog:" not in capsys.readouterr().err
+
+
 class TestJobsFanOut:
     def test_jobs_matrix_matches_serial(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setattr("repro.bench.__main__.get_scale", lambda: TINY_SCALE)

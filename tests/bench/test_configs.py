@@ -10,8 +10,10 @@ from repro.bench.configs import (
     artifact_dir,
     get_scale,
     is_full_scale,
+    ledger_dir,
     profile_dir,
     trace_dir,
+    watchdog_enabled,
 )
 
 
@@ -38,27 +40,37 @@ class TestArtifactDirPrecedence:
     def test_unset_everywhere_is_disabled(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
         monkeypatch.delenv("REPRO_PROFILE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
         assert trace_dir() is None
         assert profile_dir() is None
+        assert ledger_dir() is None
 
     def test_env_var_enables(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_DIR", "/tmp/traces")
         monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/profiles")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "/tmp/ledger")
         assert trace_dir() == "/tmp/traces"
         assert profile_dir() == "/tmp/profiles"
+        assert ledger_dir() == "/tmp/ledger"
 
     def test_cli_flag_wins_over_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_DIR", "/tmp/from-env")
         monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/from-env")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "/tmp/from-env")
         assert trace_dir("/tmp/from-cli") == "/tmp/from-cli"
         assert profile_dir("/tmp/from-cli") == "/tmp/from-cli"
+        assert ledger_dir("/tmp/from-cli") == "/tmp/from-cli"
 
     def test_blank_values_mean_disabled(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROFILE_DIR", "   ")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "   ")
         assert profile_dir() is None
+        assert ledger_dir() is None
         # An explicit empty CLI value also disables (and masks the env).
         monkeypatch.setenv("REPRO_PROFILE_DIR", "/tmp/from-env")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "/tmp/from-env")
         assert profile_dir("") is None
+        assert ledger_dir("") is None
 
     def test_shared_helper_directly(self, monkeypatch):
         monkeypatch.setenv("SOME_DIR", "/tmp/env")
@@ -67,6 +79,29 @@ class TestArtifactDirPrecedence:
         assert artifact_dir("", "SOME_DIR") is None
         monkeypatch.delenv("SOME_DIR")
         assert artifact_dir(None, "SOME_DIR") is None
+
+
+class TestWatchdogSwitch:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCHDOG", raising=False)
+        assert watchdog_enabled() is False
+
+    def test_cli_flag_enables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCHDOG", raising=False)
+        assert watchdog_enabled(True) is True
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG", "1")
+        assert watchdog_enabled() is True
+
+    def test_falsy_env_spellings(self, monkeypatch):
+        for v in ("0", "", "false", "False"):
+            monkeypatch.setenv("REPRO_WATCHDOG", v)
+            assert watchdog_enabled() is False
+
+    def test_cli_flag_overrides_falsy_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG", "0")
+        assert watchdog_enabled(True) is True
 
 
 class TestPaperAlignment:

@@ -1,0 +1,79 @@
+"""Environment fingerprinting and config content-digests."""
+
+from dataclasses import dataclass
+
+from repro.obs.fingerprint import config_digest, environment_fingerprint
+
+
+@dataclass(frozen=True)
+class _Cfg:
+    nx: int = 26
+    lr: float = 1e-2
+    backend: str = "dense"
+
+
+class TestEnvironmentFingerprint:
+    def test_carries_the_identity_keys(self):
+        fp = environment_fingerprint()
+        for key in ("git_sha", "platform", "python", "implementation",
+                    "cpu_count", "numpy", "blas", "env"):
+            assert key in fp
+        assert fp["cpu_count"] >= 1
+        assert isinstance(fp["numpy"], str)
+
+    def test_returns_a_fresh_dict_each_call(self):
+        a = environment_fingerprint()
+        b = environment_fingerprint()
+        assert a == b
+        assert a is not b
+        a["python"] = "mutated"
+        assert environment_fingerprint()["python"] != "mutated"
+
+    def test_repro_env_capture_is_live(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SMOKE_TEST", raising=False)
+        before = environment_fingerprint()
+        assert "REPRO_SMOKE_TEST" not in before["env"]
+        monkeypatch.setenv("REPRO_SMOKE_TEST", "1")
+        after = environment_fingerprint()
+        assert after["env"]["REPRO_SMOKE_TEST"] == "1"
+
+    def test_non_repro_env_is_excluded(self, monkeypatch):
+        monkeypatch.setenv("UNRELATED_KNOB", "x")
+        assert "UNRELATED_KNOB" not in environment_fingerprint()["env"]
+
+    def test_json_serialisable(self):
+        import json
+
+        json.dumps(environment_fingerprint())
+
+
+class TestConfigDigest:
+    def test_shape_and_determinism(self):
+        d = config_digest({"a": 1})
+        assert d.startswith("sha256:")
+        assert len(d) == len("sha256:") + 16
+        assert d == config_digest({"a": 1})
+
+    def test_dict_ordering_is_canonicalised(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_hash_identically(self):
+        assert config_digest((1, 2, 3)) == config_digest([1, 2, 3])
+
+    def test_dataclasses_digest_by_content(self):
+        assert config_digest(_Cfg()) == config_digest(_Cfg())
+        assert config_digest(_Cfg()) != config_digest(_Cfg(nx=27))
+        # A dataclass and its asdict() expansion are the same content.
+        assert config_digest(_Cfg()) == config_digest(
+            {"nx": 26, "lr": 1e-2, "backend": "dense"}
+        )
+
+    def test_value_changes_change_the_digest(self):
+        assert config_digest({"lr": 1e-2}) != config_digest({"lr": 1e-3})
+
+    def test_non_json_values_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert config_digest({"x": Odd()}) == config_digest({"x": Odd()})

@@ -351,3 +351,61 @@ class TestMergeSnapshot:
         parent.counter("n").inc(1)
         parent.merge_snapshot(shard.snapshot())
         assert parent.counter("n").value == 3
+
+    def test_empty_shard_is_a_noop(self):
+        # A worker that recorded nothing ships an empty snapshot; merging
+        # it must neither create instruments nor disturb existing ones.
+        parent = MetricsRegistry()
+        parent.counter("n").inc(5)
+        parent.merge_snapshot(MetricsRegistry().snapshot())
+        parent.merge_snapshot({})
+        assert len(parent) == 1
+        assert parent.counter("n").value == 5
+
+    def test_merge_into_empty_registry_from_empty_shard(self):
+        merged = MetricsRegistry()
+        merged.merge_snapshot({})
+        assert len(merged) == 0
+
+    def test_counter_name_collision_across_kinds_rejected(self):
+        # Shard says "n" is a counter, parent already has a gauge "n":
+        # silent summation would corrupt semantics, so it must raise.
+        shard = MetricsRegistry()
+        shard.counter("n").inc(1)
+        parent = MetricsRegistry()
+        parent.gauge("n").set(10)
+        with pytest.raises(TypeError, match="already registered as gauge"):
+            parent.merge_snapshot(shard.snapshot())
+        # And the symmetric direction: gauge shard into counter parent.
+        gshard = MetricsRegistry()
+        gshard.gauge("m").set(1)
+        cparent = MetricsRegistry()
+        cparent.counter("m").inc(1)
+        with pytest.raises(TypeError, match="already registered as counter"):
+            cparent.merge_snapshot(gshard.snapshot())
+
+    def test_merge_after_merge_matches_single_pass(self):
+        # Folding shards pairwise then folding the result again must give
+        # the same totals as one flat pass — merge is associative.
+        shards = []
+        for i in range(1, 4):
+            r = MetricsRegistry()
+            r.counter("n").inc(i)
+            r.histogram("t", (1.0, 10.0)).observe(float(i))
+            shards.append(r.snapshot())
+
+        flat = MetricsRegistry()
+        for s in shards:
+            flat.merge_snapshot(s)
+
+        staged = MetricsRegistry()
+        staged.merge_snapshot(shards[0])
+        staged.merge_snapshot(shards[1])
+        intermediate = staged.snapshot()
+        nested = MetricsRegistry()
+        nested.merge_snapshot(intermediate)
+        nested.merge_snapshot(shards[2])
+
+        assert nested.snapshot() == flat.snapshot()
+        assert nested.counter("n").value == 6
+        assert nested.histogram("t", (1.0, 10.0)).count == 3

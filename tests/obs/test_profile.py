@@ -162,7 +162,13 @@ class TestChromeTrace:
         self._check_schema(trace)
         ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
         assert ev["dur"] >= 10_000  # >= 10 ms in µs
-        assert trace["metadata"] == {"method": "DP"}
+        assert trace["metadata"]["method"] == "DP"
+        # Every Chrome-trace artifact carries the environment fingerprint.
+        assert "python" in trace["metadata"]["env"]
+
+    def test_metadata_env_never_clobbers_caller_keys(self):
+        trace = SpanProfiler().to_chrome_trace(meta={"env": "mine"})
+        assert trace["metadata"]["env"] == "mine"
 
     def test_save_roundtrip(self, tmp_path):
         prof = SpanProfiler()

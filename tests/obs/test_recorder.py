@@ -10,7 +10,9 @@ from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.obs.schema import (
     FIELDS,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     CacheRecord,
+    HealthRecord,
     IterationRecord,
     SolverRecord,
     decode_header,
@@ -32,6 +34,8 @@ def _sample_recorder() -> TraceRecorder:
     rec.solver_event("rbf-dense-lu", "solve", n=100, residual=1e-14)
     rec.solver_event("rbf-sparse-splu", "solve", n=100, nnz=900)
     rec.cache_stats("lu-cache", hits=48, misses=2)
+    rec.health_event("nan", "error", iteration=1, value=float("inf"),
+                     message="cost became non-finite")
     return rec
 
 
@@ -50,7 +54,8 @@ class TestTraceRecorder:
             "factorize", "solve", "solve",
         ]
         assert [r.cache for r in rec.caches] == ["lu-cache"]
-        assert len(rec.records) == 6
+        assert [r.check for r in rec.healths] == ["nan"]
+        assert len(rec.records) == 7
 
     def test_records_preserve_emission_order(self):
         rec = _sample_recorder()
@@ -58,7 +63,7 @@ class TestTraceRecorder:
         assert kinds == [
             "IterationRecord", "IterationRecord",
             "SolverRecord", "SolverRecord", "SolverRecord",
-            "CacheRecord",
+            "CacheRecord", "HealthRecord",
         ]
 
     def test_jsonl_round_trip(self, tmp_path):
@@ -89,7 +94,19 @@ class TestTraceRecorder:
         assert header["kind"] == "header"
         assert header["schema_version"] == SCHEMA_VERSION
         for line in lines[1:]:
-            assert json.loads(line)["kind"] in ("iteration", "solver", "cache")
+            assert json.loads(line)["kind"] in (
+                "iteration", "solver", "cache", "health",
+            )
+
+    def test_header_carries_environment_fingerprint(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        rec.to_jsonl(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert "env" in header
+        assert "python" in header["env"]
+        back = TraceRecorder.from_jsonl(path)
+        assert back.env == header["env"]
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"
@@ -134,17 +151,27 @@ class TestSchemaStability:
                 "condition_estimate", "nnz", "iterations",
             ),
             "cache": ("cache", "hits", "misses"),
+            "health": ("check", "severity", "iteration", "value", "message"),
         }
 
-    def test_schema_version_is_two(self):
-        # v2: SolverRecord gained ``iterations`` (Krylov backends).
-        assert SCHEMA_VERSION == 2
+    def test_schema_version_is_three(self):
+        # v3: HealthRecord (watchdog events) + env header key.
+        assert SCHEMA_VERSION == 3
+
+    def test_v2_traces_still_decode(self):
+        # v3 only *added* a record kind and an optional header key, so
+        # the committed v2 goldens must decode without regeneration.
+        assert 2 in SUPPORTED_VERSIONS
+        header = encode_header({"method": "DP"})
+        header["schema_version"] = 2
+        assert decode_header(header)["method"] == "DP"
 
     def test_encode_decode_identity(self):
         records = [
             IterationRecord(3, 0.5, 0.1, 1e-3, {"grad": 0.1}),
             SolverRecord("s", "solve", 10, residual=1e-9, nnz=7),
             CacheRecord("c", 5, 1),
+            HealthRecord("stall", "warning", 40, 1.2e-9, "no improvement"),
         ]
         for r in records:
             assert decode_record(encode_record(r)) == r
@@ -182,6 +209,7 @@ class TestNullRecorder:
         n.iteration(0, 1.0, 1.0, 1e-2, phases={"grad": 0.1})
         n.solver_event("s", "solve", 10, residual=1e-9)
         n.cache_stats("c", 1, 2)
+        n.health_event("nan", "error", 0, float("nan"))
         assert len(n) == 0
 
     def test_allocates_nothing(self):
@@ -192,6 +220,7 @@ class TestNullRecorder:
             n.iteration(0, 1.0, 1.0, 1e-2)
             n.solver_event("s", "solve", 10)
             n.cache_stats("c", 1, 2)
+            n.health_event("nan", "error", 0, 0.0)
         tracemalloc.start()
         try:
             before = tracemalloc.get_traced_memory()[0]
@@ -199,6 +228,7 @@ class TestNullRecorder:
                 n.iteration(i, 1.0, 1.0, 1e-2)
                 n.solver_event("s", "solve", 10)
                 n.cache_stats("c", 1, 2)
+                n.health_event("nan", "error", i, 0.0)
             after = tracemalloc.get_traced_memory()[0]
         finally:
             tracemalloc.stop()

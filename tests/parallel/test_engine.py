@@ -53,6 +53,16 @@ def _hang_forever():
     time.sleep(300)
 
 
+def _freeze_self():
+    """Stop the whole process — even the heartbeat thread goes silent.
+
+    ``time.sleep`` would keep the daemon heartbeat thread alive (that is
+    the point of a thread-based heartbeat: a busy-but-healthy worker
+    still beats), so a genuine stall needs SIGSTOP.
+    """
+    os.kill(os.getpid(), signal.SIGSTOP)
+
+
 def _return_unpicklable():
     return lambda: None
 
@@ -268,6 +278,68 @@ class TestFaultIsolation:
         )
         assert r.unwrap() == "recovered"
         assert r.attempts == 2
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+class TestHeartbeat:
+    def test_healthy_tasks_are_not_flagged(self):
+        results = run_tasks(
+            [Task(key=f"t{i}", fn=_square, args=(i,)) for i in range(3)],
+            jobs=2, timeout=60, heartbeat=0.05,
+        )
+        assert all(r.status == STATUS_OK for r in results)
+        assert all(r.stalled is False for r in results)
+        assert all(r.to_dict()["stalled"] is False for r in results)
+
+    def test_busy_sleeper_keeps_beating(self):
+        # A slow-but-alive worker must NOT be flagged: the heartbeat
+        # thread beats independently of the (sleeping) main thread.
+        (r,) = run_tasks(
+            [Task(key="slow", fn=time.sleep, args=(1.2,))],
+            jobs=2, timeout=60, heartbeat=0.05, heartbeat_stall=0.4,
+        )
+        assert r.status == STATUS_OK
+        assert r.stalled is False
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGSTOP"),
+                        reason="needs SIGSTOP (POSIX)")
+    def test_frozen_worker_flagged_before_hard_timeout(self, capfd):
+        with use_registry(MetricsRegistry()) as reg:
+            (r,) = run_tasks(
+                [Task(key="frozen", fn=_freeze_self, timeout=3.0)],
+                jobs=2, timeout=60, heartbeat=0.1, heartbeat_stall=0.5,
+            )
+            stalls = reg.counter("parallel.heartbeat_stalls").value
+        # The heartbeat is an early-warning flag, never the executioner:
+        # the hard timeout still decides the task's fate.
+        assert r.status == STATUS_TIMEOUT
+        assert r.stalled is True
+        assert stalls == 1
+        err = capfd.readouterr().err
+        assert "heartbeat stale" in err
+        assert "frozen" in err
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGSTOP"),
+                        reason="needs SIGSTOP (POSIX)")
+    def test_stall_flagged_once_per_attempt(self, capfd):
+        (r,) = run_tasks(
+            [Task(key="frozen", fn=_freeze_self, timeout=2.0)],
+            jobs=2, timeout=60, heartbeat=0.1, heartbeat_stall=0.3,
+        )
+        assert r.stalled is True
+        # ~1.7 s between flagging and the kill, polled every few ms —
+        # a re-flagging bug would print dozens of warnings.
+        assert capfd.readouterr().err.count("heartbeat stale") == 1
+
+    def test_heartbeat_disabled_with_zero_interval(self):
+        (r,) = run_tasks(
+            [Task(key="t", fn=_square, args=(2,))],
+            jobs=2, timeout=60, heartbeat=0.0,
+        )
+        assert r.unwrap() == 4
+        assert r.stalled is False
 
 
 # ----------------------------------------------------------------------

@@ -1,12 +1,14 @@
 """Tests for wall-time and peak-memory measurement."""
 
+import subprocess
+import sys
 import time
 import tracemalloc
 
 import numpy as np
 import pytest
 
-from repro.utils.timers import PeakMemory, Timer
+from repro.utils.timers import PeakMemory, Timer, _child_peak_rss_bytes
 
 
 class TestTimer:
@@ -205,3 +207,43 @@ class TestPeakMemory:
             tracemalloc.stop()  # hostile body
         assert m.peak_bytes == 0
         assert not tracemalloc.is_tracing()
+
+
+def _spawn_hungry_child(extra_bytes: int) -> None:
+    """Run a child process that allocates ``extra_bytes`` above the
+    current children RSS watermark, then exits (and is reaped)."""
+    need = _child_peak_rss_bytes() + extra_bytes
+    subprocess.run(
+        [sys.executable, "-c",
+         f"b = bytearray({need}); b[::4096] = b'x' * len(b[::4096])"],
+        check=True,
+    )
+
+
+@pytest.mark.skipif(_child_peak_rss_bytes() == 0 and sys.platform == "win32",
+                    reason="needs getrusage(RUSAGE_CHILDREN)")
+class TestChildMemory:
+    def test_child_allocation_tracked(self):
+        grow = 96 * 2**20  # well above kernel page-accounting noise
+        with PeakMemory(track_children=True) as m:
+            _spawn_hungry_child(grow)
+        assert m.child_peak_bytes >= grow
+        # The block itself allocated almost nothing in-process, so the
+        # child term dominates the combined figure.
+        assert m.total_peak_bytes == m.child_peak_bytes
+        assert m.total_peak_bytes > m.peak_bytes
+
+    def test_no_child_growth_reports_zero(self):
+        # The children watermark is cumulative per process: a block that
+        # spawns nothing (or only small children) must not inherit credit
+        # for some earlier test's hungry child.
+        with PeakMemory(track_children=True) as m:
+            _ = np.zeros(125_000)
+        assert m.child_peak_bytes == 0
+        assert m.total_peak_bytes == m.peak_bytes
+
+    def test_disabled_by_default(self):
+        with PeakMemory() as m:
+            _spawn_hungry_child(8 * 2**20)
+        assert m.child_peak_bytes == 0
+        assert m.total_peak_bytes == m.peak_bytes
