@@ -47,6 +47,15 @@ Options
     requested artifacts are additionally merged into a ``bench_merged.*``
     set; with a single entry the PINN ω line search parallelises instead.
     Results are bitwise-identical to a serial run either way.
+
+Subcommands
+-----------
+``python -m repro.bench serve``
+    Load-test the control service (:mod:`repro.serve`): boots a warm
+    worker pool, drives ≥8 concurrent clients, checks parity against
+    direct ``control.*`` calls, and ledgers throughput + p50/p95/p99
+    latency under the ``serve`` suite.  See
+    :mod:`repro.bench.serve_bench` for options.
 """
 
 from __future__ import annotations
@@ -255,6 +264,12 @@ def _append_ledger(ledger_out, suite, snapshot_path, scale, jobs,
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.bench.serve_bench import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation tables.",

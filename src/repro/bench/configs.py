@@ -28,10 +28,17 @@ import os
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.utils.env import env_flag
+
 
 def is_full_scale() -> bool:
-    """True when the ``REPRO_FULL`` environment switch is set."""
-    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+    """True when the ``REPRO_FULL`` environment switch is set.
+
+    Parsed by :func:`repro.utils.env.env_flag`: ``1``/``true``/``yes``/
+    ``on`` enable, ``0``/``false``/``no``/``off`` disable (case- and
+    whitespace-insensitive), anything else raises.
+    """
+    return env_flag("REPRO_FULL", default=False)
 
 
 def is_compile_enabled() -> bool:
@@ -50,12 +57,12 @@ def compile_mode() -> "bool | str":
     The return value feeds the ``compile=`` knob on the scale dataclasses
     unchanged.
     """
-    raw = os.environ.get("REPRO_COMPILE", "0").strip()
-    if raw in ("0", "", "false", "False"):
-        return False
+    raw = os.environ.get("REPRO_COMPILE", "").strip()
     if raw.lower() == "codegen":
         return "codegen"
-    return True
+    if raw.lower() == "replay":
+        return True
+    return env_flag("REPRO_COMPILE", default=False)
 
 
 def artifact_dir(cli_value: "str | None", env_var: str) -> "str | None":
@@ -120,7 +127,7 @@ def watchdog_enabled(cli_value: bool = False) -> bool:
     """
     if cli_value:
         return True
-    return os.environ.get("REPRO_WATCHDOG", "0") not in ("0", "", "false", "False")
+    return env_flag("REPRO_WATCHDOG", default=False)
 
 
 @dataclass(frozen=True)

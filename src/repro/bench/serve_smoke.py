@@ -1,0 +1,125 @@
+"""CI smoke gate: the control service's serving contract, end-to-end.
+
+Runs ``python -m repro.bench serve`` (a small battery: 8 concurrent
+clients, 2 evaluate rounds each) against a scratch ledger directory and
+checks everything the serving layer promises:
+
+1. the load generator itself exits 0 — which already gates request
+   parity against direct ``control.*`` calls, zero dropped requests,
+   store idempotency on byte-identical re-submits, cross-request
+   compiled-program and factorisation cache hits, and at least one
+   coalesced multi-RHS batch (see :mod:`repro.bench.serve_bench`);
+2. the run appended exactly one schema-valid ``serve``-suite entry to
+   the ledger and refreshed the ``BENCH_serve.json`` snapshot;
+3. the entry carries the throughput/latency artifact CI uploads —
+   ``throughput_rps`` plus p50/p95/p99 latency, all finite and
+   positive.
+
+Exits nonzero on any violation.
+
+Usage::
+
+    python -m repro.bench.serve_smoke [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+
+from repro.bench.serve_bench import main as serve_main
+from repro.obs.ledger import ENTRY_KIND, SNAPSHOT_KIND, PerformanceLedger
+
+SUITE = "serve"
+
+#: The latency metrics the gate requires in the ledger entry (seconds).
+LATENCY_METRICS = ("latency_p50_s", "latency_p95_s", "latency_p99_s")
+
+
+def _fail(msg: str) -> int:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="keep the ledger + snapshot + report here "
+                         "(default: a scratch temp dir)")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--rounds", type=int, default=2)
+    args = ap.parse_args(argv)
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        out_dir = args.out_dir
+        ctx = None
+    else:
+        ctx = tempfile.TemporaryDirectory(prefix="repro-serve-smoke-")
+        out_dir = ctx.name
+    try:
+        ledger_dir = os.path.join(out_dir, "ledger")
+        snapshot = os.path.join(out_dir, f"BENCH_{SUITE}.json")
+        report = os.path.join(out_dir, "serve_report.json")
+
+        rc = serve_main([
+            "--clients", str(args.clients), "--rounds", str(args.rounds),
+            "--ledger-dir", ledger_dir, "--suite", SUITE,
+            "--ledger-snapshot", snapshot, "--report", report,
+        ])
+        if rc != 0:
+            return _fail(f"serve bench exited {rc} (contract gate tripped)")
+
+        # --- the ledger artifact -------------------------------------
+        store = PerformanceLedger(ledger_dir, SUITE)
+        entries = store.entries()  # re-validates every line
+        if len(entries) != 1:
+            return _fail(f"{len(entries)} ledger entries in {store.path}, "
+                         "expected exactly 1")
+        entry = entries[0]
+        if entry["kind"] != ENTRY_KIND or entry["suite"] != SUITE:
+            return _fail(f"unexpected entry header: "
+                         f"{entry['kind']}/{entry['suite']}")
+        metrics = entry["runs"].get("serve")
+        if not metrics:
+            return _fail(f"run 'serve' missing from entry: "
+                         f"{sorted(entry['runs'])}")
+
+        # --- the throughput/latency numbers CI uploads ----------------
+        rps = metrics.get("throughput_rps")
+        if not isinstance(rps, (int, float)) or not math.isfinite(rps) or rps <= 0:
+            return _fail(f"throughput_rps is not finite-positive: {rps!r}")
+        for name in LATENCY_METRICS:
+            v = metrics.get(name)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                return _fail(f"{name} is not a finite latency: {v!r}")
+        if not (metrics[LATENCY_METRICS[0]]
+                <= metrics[LATENCY_METRICS[1]]
+                <= metrics[LATENCY_METRICS[2]]):
+            return _fail("latency percentiles are not monotone: "
+                         + ", ".join(f"{n}={metrics[n]:g}"
+                                     for n in LATENCY_METRICS))
+
+        if not os.path.exists(snapshot):
+            return _fail(f"snapshot {snapshot} was not written")
+        with open(snapshot, "r", encoding="utf-8") as f:
+            snap = json.load(f)
+        if snap.get("kind") != SNAPSHOT_KIND or snap.get("suite") != SUITE:
+            return _fail(f"snapshot malformed: kind={snap.get('kind')!r} "
+                         f"suite={snap.get('suite')!r}")
+        if not os.path.exists(report):
+            return _fail(f"JSON report {report} was not written")
+
+        print("\nOK")
+        return 0
+    finally:
+        if ctx is not None:
+            ctx.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ and rebuilds only when the coordinates actually change.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 from typing import Dict, Tuple
 
@@ -20,11 +21,22 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 _TREE_CACHE: "OrderedDict[Tuple, cKDTree]" = OrderedDict()
-# alias -> (digest key, pinned array).  Pinning the array keeps its id()
-# from being recycled by a different object while the alias is live.
+# alias (id, shape) -> (digest key, weakref to the keyed array).  A WEAK
+# reference: the alias must never extend the array's lifetime — a strong
+# reference here used to pin evicted 100k-node clouds in memory until an
+# arbitrary purge threshold.  The weakref's callback removes the alias
+# the moment the array is collected, so a recycled ``id()`` can never
+# resolve through a dead entry (the ``ref() is points`` identity check
+# guards the remaining window where the array is alive but different).
 _ID_ALIAS: Dict[Tuple[int, Tuple[int, ...]], Tuple] = {}
 _CACHE_CAPACITY = 8
 cache_stats = {"hits": 0, "misses": 0}
+
+
+def _drop_aliases_for(key: Tuple) -> None:
+    """Remove every identity alias that maps to the tree-cache ``key``."""
+    for alias in [a for a, (k, _) in _ID_ALIAS.items() if k == key]:
+        del _ID_ALIAS[alias]
 
 
 def kdtree(points: np.ndarray) -> cKDTree:
@@ -35,12 +47,14 @@ def kdtree(points: np.ndarray) -> cKDTree:
     alias (``id(points)``, shape) skips even the digest for the common
     case of repeated queries against the same array object.  Point
     clouds in this repository are immutable after construction, which is
-    what makes identity aliasing sound.
+    what makes identity aliasing sound.  Aliases hold only *weak*
+    references and are evicted together with their tree entry, so the
+    cache never keeps a point cloud alive on its own.
     """
     points = np.asarray(points, dtype=np.float64)
     alias = (id(points), points.shape)
     hit = _ID_ALIAS.get(alias)
-    if hit is not None and hit[1] is points and hit[0] in _TREE_CACHE:
+    if hit is not None and hit[1]() is points and hit[0] in _TREE_CACHE:
         key = hit[0]
         cache_stats["hits"] += 1
         _TREE_CACHE.move_to_end(key)
@@ -55,13 +69,16 @@ def kdtree(points: np.ndarray) -> cKDTree:
         tree = cKDTree(points)
         _TREE_CACHE[key] = tree
         while len(_TREE_CACHE) > _CACHE_CAPACITY:
-            _TREE_CACHE.popitem(last=False)
+            evicted_key, _ = _TREE_CACHE.popitem(last=False)
+            _drop_aliases_for(evicted_key)
     else:
         cache_stats["hits"] += 1
         _TREE_CACHE.move_to_end(key)
-    _ID_ALIAS[alias] = (key, points)
-    if len(_ID_ALIAS) > 4 * _CACHE_CAPACITY:
-        _ID_ALIAS.clear()
+
+    def _on_collect(_ref, alias=alias) -> None:
+        _ID_ALIAS.pop(alias, None)
+
+    _ID_ALIAS[alias] = (key, weakref.ref(points, _on_collect))
     return tree
 
 

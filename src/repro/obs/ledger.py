@@ -37,8 +37,14 @@ import json
 import math
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+try:  # POSIX file locking for the snapshot rewrite; absent on Windows.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 __all__ = [
     "LEDGER_SCHEMA",
@@ -217,33 +223,68 @@ class PerformanceLedger:
         return len(self.entries())
 
     def append(self, entry: Mapping[str, Any]) -> Dict[str, Any]:
-        """Validate and append one entry; returns the validated entry."""
+        """Validate and append one entry; returns the validated entry.
+
+        Concurrency contract: the serialised line (record + trailing
+        newline) is written with a *single* ``os.write`` on an
+        ``O_APPEND`` descriptor.  POSIX guarantees that appends of this
+        size from concurrent writers land whole and in some order —
+        buffered ``f.write`` offered no such guarantee and interleaved
+        half-lines when several bench workers shared one ledger
+        directory.
+        """
         entry = validate_entry(entry)
         os.makedirs(self.directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as f:
-            f.write(json.dumps(entry, sort_keys=True, allow_nan=True) + "\n")
+        line = (json.dumps(entry, sort_keys=True, allow_nan=True) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
         return entry
 
     def entries(self) -> List[Dict[str, Any]]:
-        """All entries in append order (empty list when no file yet)."""
+        """All entries in append order (empty list when no file yet).
+
+        A *torn* trailing line — the final line of the file when it
+        lacks a terminating newline and does not parse — is skipped with
+        a warning rather than raised: it means a writer died (or is
+        still mid-write) after ``os.open`` but the prior history is
+        intact.  Corrupt lines anywhere else, or a complete (newline-
+        terminated) final line that fails to parse, still raise
+        :class:`LedgerError` with ``path:lineno``.
+        """
         if not os.path.exists(self.path):
             return []
-        out: List[Dict[str, Any]] = []
         with open(self.path, "r", encoding="utf-8") as f:
-            for lineno, line in enumerate(f, start=1):
-                line = line.strip()
-                if not line:
+            raw = f.read()
+        ends_with_newline = raw.endswith("\n")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        out: List[Dict[str, Any]] = []
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            torn = lineno == len(lines) and not ends_with_newline
+            try:
+                obj = json.loads(line)
+                out.append(validate_entry(obj))
+            except (ValueError, LedgerError) as exc:
+                if torn:
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping torn trailing "
+                        f"line (no newline; writer interrupted?): {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                     continue
-                try:
-                    obj = json.loads(line)
-                except ValueError as exc:
-                    raise LedgerError(
-                        f"{self.path}:{lineno}: invalid JSON: {exc}"
-                    ) from None
-                try:
-                    out.append(validate_entry(obj))
-                except LedgerError as exc:
-                    raise LedgerError(f"{self.path}:{lineno}: {exc}") from None
+                raise LedgerError(
+                    f"{self.path}:{lineno}: "
+                    + (str(exc) if isinstance(exc, LedgerError)
+                       else f"invalid JSON: {exc}")
+                ) from None
         return out
 
 
@@ -262,7 +303,9 @@ def metric_direction(metric: str) -> Tuple[str, bool]:
         return "count", True
     if name == "fused_fraction" or "cache_hit_rate" in name:
         return "rate", False  # higher is better
-    # wall_time_s and every phase_seconds.* component
+    if name.endswith("_rps") or "throughput" in name:
+        return "throughput", False  # higher is better
+    # wall_time_s, latency percentiles, every phase_seconds.* component
     return "time", True
 
 
@@ -283,13 +326,21 @@ class DiffPolicy:
     z: float = 3.0
     history_window: int = 20
     min_history: int = 1
+    #: Minimum comparable history before the comparator will issue a
+    #: non-neutral verdict.  Below it, one noisy baseline run can turn an
+    #: honest re-run into a false ``regressed`` (the MAD of a singleton
+    #: history is zero, so only the floors stand between signal and
+    #: noise); such metrics stay ``neutral`` with an explicit
+    #: ``insufficient_history`` note.
+    min_window: int = 3
     match_config: bool = True
     rel_floors: Mapping[str, float] = field(default_factory=lambda: {
         "time": 0.25, "mem": 0.10, "cost": 1e-6, "count": 0.10, "rate": 0.0,
+        "throughput": 0.25,
     })
     abs_floors: Mapping[str, float] = field(default_factory=lambda: {
         "time": 0.02, "mem": float(2**20), "cost": 1e-12, "count": 2.0,
-        "rate": 0.02,
+        "rate": 0.02, "throughput": 0.5,
     })
 
 
@@ -304,6 +355,7 @@ class MetricVerdict:
     sigma: Optional[float] = None     # robust sigma (1.4826 * MAD)
     threshold: Optional[float] = None
     n_history: int = 0
+    note: Optional[str] = None  # e.g. "insufficient_history"
 
     @property
     def delta(self) -> Optional[float]:
@@ -318,6 +370,7 @@ class MetricVerdict:
             "sigma": self.sigma,
             "threshold": self.threshold,
             "n_history": self.n_history,
+            "note": self.note,
         }
 
 
@@ -392,6 +445,13 @@ def compare_entries(
         if len(series) < policy.min_history:
             verdicts.append(MetricVerdict(metric, "new", value))
             continue
+        if len(series) < policy.min_window:
+            median, sigma = baseline_stats(series)
+            verdicts.append(MetricVerdict(
+                metric, "neutral", value, baseline=median, sigma=sigma,
+                n_history=len(series), note="insufficient_history",
+            ))
+            continue
         median, sigma = baseline_stats(series)
         category, higher_is_worse = metric_direction(metric)
         threshold = max(
@@ -432,10 +492,13 @@ def format_verdicts(verdicts: List[MetricVerdict]) -> str:
         pct = ""
         if v.baseline:
             pct = f" ({100.0 * (v.value - v.baseline) / abs(v.baseline):+.1f}%)"
+        detail = (
+            f"[{v.note}, n={v.n_history}]" if v.note is not None
+            else f"[threshold ±{v.threshold:.3g}, n={v.n_history}]"
+        )
         lines.append(
             f"  {v.verdict:<9s} {v.metric}: {v.value:.6g} "
-            f"vs median {v.baseline:.6g}{pct}  "
-            f"[threshold ±{v.threshold:.3g}, n={v.n_history}]"
+            f"vs median {v.baseline:.6g}{pct}  {detail}"
         )
     head = ", ".join(
         f"{tallies[k]} {k}" for k in ("regressed", "improved", "neutral", "new")
@@ -477,7 +540,22 @@ def write_snapshot(
         "history": {k: history[k] for k in sorted(history)},
         "verdicts": [v.to_dict() for v in (verdicts or [])],
     }
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(doc, f, indent=1, sort_keys=True)
-        f.write("\n")
+    # Unlike the append path, the snapshot is a rewrite — serialise
+    # concurrent writers with an advisory lock on a sidecar (the target
+    # itself is replaced, so it cannot carry the lock), and publish via
+    # tmp + rename so readers never observe a half-written snapshot.
+    lock_path = path + ".lock"
+    lock_fd = os.open(lock_path, os.O_WRONLY | os.O_CREAT, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.lockf(lock_fd, fcntl.LOCK_EX)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if fcntl is not None:
+            fcntl.lockf(lock_fd, fcntl.LOCK_UN)
+        os.close(lock_fd)
     return doc

@@ -1,0 +1,59 @@
+"""``python -m repro.serve`` — boot the control service.
+
+Runs until SIGTERM/SIGINT, then drains gracefully: the socket closes,
+in-flight requests settle, open coalesce buckets flush, workers shut
+down.
+
+Usage::
+
+    python -m repro.serve [--host H] [--port P] [--workers N]
+                          [--queue-limit N] [--timeout S]
+                          [--store-dir DIR] [--coalesce-window S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.service import ControlService, ServeConfig
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8787)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--queue-limit", type=int, default=32)
+    ap.add_argument("--timeout", type=float, default=60.0,
+                    help="per-request worker deadline in seconds")
+    ap.add_argument("--store-dir", default=None,
+                    help="disk-backed result store (unset: disabled)")
+    ap.add_argument("--coalesce-window", type=float, default=0.01,
+                    help="evaluate-coalescing window in seconds")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, request_timeout_s=args.timeout,
+        store_dir=args.store_dir, coalesce_window_s=args.coalesce_window,
+        root_seed=args.seed,
+    )
+
+    async def run() -> None:
+        service = ControlService(config)
+        await service.start()
+        service.install_signal_handlers()
+        print(f"repro.serve listening on {config.host}:{service.port} "
+              f"({config.workers} warm workers)", flush=True)
+        await service.serve_forever()
+        print("repro.serve drained; bye", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Request coalescing: batch compatible evaluations into one solve.
+
+Evaluation requests that share a :func:`repro.serve.protocol.
+coalesce_key` — same family and system shape — hit the *same* factorised
+operator, so their right-hand sides can ride one multi-RHS
+``getrs``/``splu`` call instead of ``k`` separate solves.  The coalescer
+implements the classic micro-batch window: the first request of a key opens
+a bucket and starts a window timer; compatible requests join until the
+window elapses or the bucket reaches ``max_width``, then the whole
+bucket flushes as one worker job.
+
+Each joined request holds an ``asyncio.Future`` resolved with *its own*
+slice of the batch result.  A request whose client disconnected before
+the flush has a cancelled future — the batch still runs for the
+remaining members and the cancelled slot is simply dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Tuple
+
+__all__ = ["Coalescer"]
+
+
+class _Bucket:
+    __slots__ = ("items", "timer")
+
+    def __init__(self) -> None:
+        self.items: List[Tuple[Any, asyncio.Future]] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class Coalescer:
+    """Window/width-bounded batcher over an async flush callback.
+
+    ``flush`` receives the batched requests and must return one result
+    dict per request, aligned by position.  If ``flush`` raises, every
+    pending future in the bucket receives the exception (clients see a
+    typed error, not a hang).
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[List[Any]], Awaitable[List[Dict[str, Any]]]],
+        window_s: float = 0.01,
+        max_width: int = 16,
+    ) -> None:
+        if max_width < 1:
+            raise ValueError("max_width must be >= 1")
+        self._flush = flush
+        self.window_s = float(window_s)
+        self.max_width = int(max_width)
+        self._buckets: Dict[Tuple, _Bucket] = {}
+        self.batches = 0
+        self.widths: List[int] = []
+
+    async def submit(self, key: Tuple, request: Any) -> Dict[str, Any]:
+        """Join the bucket for ``key``; resolves with this request's result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+            bucket.timer = loop.call_later(
+                self.window_s, lambda: asyncio.ensure_future(self._fire(key))
+            )
+        bucket.items.append((request, future))
+        if len(bucket.items) >= self.max_width:
+            await self._fire(key)
+        return await future
+
+    async def _fire(self, key: Tuple) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return  # already flushed by the width trigger
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        # Drop requests whose clients have already gone away.
+        live = [(req, fut) for req, fut in bucket.items if not fut.done()]
+        if not live:
+            return
+        requests = [req for req, _ in live]
+        self.batches += 1
+        self.widths.append(len(live))
+        try:
+            results = await self._flush(requests)
+        except Exception as exc:  # noqa: BLE001 — propagate to every waiter
+            for _, fut in live:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for (_, fut), result in zip(live, results):
+            if not fut.done():
+                fut.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush every open bucket now (graceful shutdown)."""
+        for key in list(self._buckets):
+            await self._fire(key)

@@ -1,0 +1,83 @@
+"""Run the service on a background thread (for tests and the bench).
+
+The service is ``asyncio``-native; the bench and the test-suite are
+synchronous.  :class:`ServiceThread` bridges the two: it boots a
+:class:`~repro.serve.service.ControlService` inside its own event loop
+on a daemon thread, blocks until the socket is bound, and exposes the
+address.  ``close()`` (or the context manager exit) runs the same
+graceful drain SIGTERM would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.service import ControlService, ServeConfig
+
+__all__ = ["ServiceThread"]
+
+
+class ServiceThread:
+    """``with ServiceThread(config) as svc: ...`` — a live service."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 boot_timeout_s: float = 60.0) -> None:
+        self.config = config or ServeConfig()
+        self.service: Optional[ControlService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(boot_timeout_s):
+            raise TimeoutError("service did not boot in time")
+        if self._boot_error is not None:
+            raise RuntimeError("service failed to boot") from self._boot_error
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.service = ControlService(self.config)
+            try:
+                await self.service.start()
+            except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+                self._boot_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.service.serve_forever()
+
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def close(self) -> None:
+        """Graceful drain from the calling thread; idempotent."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        fut = asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop)
+        try:
+            fut.result(timeout=self.config.drain_timeout_s + 30.0)
+        except Exception:
+            pass
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,61 @@
+"""Disk-backed result store keyed by request content digest.
+
+The store holds the *exact serialised response bytes* of each completed
+request, so an idempotent re-submit replays the original payload
+byte-for-byte — no re-serialisation, no float round-trip, no field
+reordering.  Writes are atomic (tmp + ``os.replace``), so a concurrent
+reader sees either nothing or the whole payload; the digest-is-content
+property makes last-writer-wins safe (both writers hold the same bytes
+for the same computation).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Digest-keyed payload store under one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        # digests look like "sha256:0123abcd..."; keep the filename flat
+        # and filesystem-safe.
+        return os.path.join(self.directory, digest.replace(":", "_") + ".json")
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """The stored payload bytes, or ``None`` on a miss."""
+        try:
+            with open(self._path(digest), "rb") as f:
+                payload = f.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Atomically store ``payload`` under ``digest``."""
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self._path(digest))
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.directory):
+            return 0
+        return sum(1 for n in os.listdir(self.directory) if n.endswith(".json"))

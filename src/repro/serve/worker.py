@@ -1,0 +1,414 @@
+"""The warm serving worker: one process, long-lived caches, typed replies.
+
+Each worker owns three layers of state that persist *across requests* —
+this is the whole point of serving warm instead of forking per request:
+
+- **problems** keyed by ``(family, nx, ny)``: assembled collocation
+  systems (and, for Navier–Stokes, the factorised pressure Poisson
+  solver);
+- **solvers** keyed the same way: one LU/splu factorisation per system,
+  shared by every oracle and every coalesced evaluation that touches
+  that system — request N pays ``n_factorizations == 1`` and rides the
+  multi-solve path;
+- **oracles** keyed by ``(family, method, nx, ny, target-digest)``: the
+  Laplace DP oracle runs the trace-once replay engine, so the compiled
+  program is traced on the first request and *replayed* by every later
+  request with the same shape and target (the compiled tape bakes the
+  target constant in, hence the target digest in the key).
+
+The worker speaks a tiny framed protocol over a ``multiprocessing``
+pipe: one job dict in, exactly one reply dict out.  Replies are always
+``{"ok": True, "result": ..., "obs": ...}`` or ``{"ok": False, "error":
+{"type": ..., "message": ...}}`` — the worker never lets an exception
+escape to the pipe.  ``obs`` piggybacks the worker's cumulative cache
+counters on every reply so the service can publish cross-request hit
+rates without a separate polling round-trip.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WorkerState",
+    "build_oracle",
+    "build_problem",
+    "execute_job",
+    "serve_worker_main",
+]
+
+
+class WorkerState:
+    """Caches that live for the worker's lifetime."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self.problems: Dict[Tuple, Any] = {}
+        self.solvers: Dict[Tuple, Any] = {}
+        self.oracles: Dict[Tuple, Any] = {}
+
+    # -- problem / solver / oracle caches ------------------------------
+    def problem(self, family: str, nx: int, ny: int):
+        key = (family, nx, ny)
+        prob = self.problems.get(key)
+        if prob is None:
+            prob = build_problem(family, nx, ny)
+            self.problems[key] = prob
+        return prob
+
+    def solver(self, family: str, nx: int, ny: int):
+        """The shared factorisation for one assembled system (laplace)."""
+        from repro.autodiff.sparse import make_linear_solver
+
+        key = (family, nx, ny)
+        solver = self.solvers.get(key)
+        if solver is None:
+            prob = self.problem(family, nx, ny)
+            solver = make_linear_solver(
+                prob.system,
+                method=getattr(prob, "solver", "direct"),
+                **(getattr(prob, "solver_opts", None) or {}),
+            )
+            self.solvers[key] = solver
+        return solver
+
+    def oracle(self, request, target_digest: str):
+        key = (request.family, request.method, request.nx, request.ny,
+               target_digest)
+        oracle = self.oracles.get(key)
+        if oracle is None:
+            prob = self._problem_for(request)
+            oracle = build_oracle(request.family, request.method, prob)
+            if request.family == "laplace":
+                # All Laplace oracles (and the coalesced evaluate path)
+                # share ONE factorisation per system — a per-request
+                # target only changes the post-solve mismatch, never
+                # the matrix.
+                oracle.solver = self.solver(request.family, request.nx,
+                                            request.ny)
+            self.oracles[key] = oracle
+        return oracle
+
+    def _problem_for(self, request):
+        prob = self.problem(request.family, request.nx, request.ny)
+        if request.target is None:
+            return prob
+        target = np.asarray(request.target, dtype=np.float64)
+        if target.shape != prob.target.shape:
+            raise _Reject(
+                f"'target' must have length {prob.target.shape[0]} for "
+                f"nx={request.nx}, got {target.shape[0]}"
+            )
+        # Shallow copy: the assembled system, quadrature and control
+        # grid are shared; only the target profile differs.
+        prob = copy.copy(prob)
+        prob.target = target
+        return prob
+
+    # -- cumulative cache counters (piggybacked on every reply) --------
+    def cache_obs(self) -> Dict[str, Dict[str, int]]:
+        lu_hits = lu_miss = 0
+        for solver in self.solvers.values():
+            n_fact = int(getattr(solver, "n_factorizations", 0))
+            n_solve = int(getattr(solver, "n_solves", 0))
+            lu_hits += max(n_solve - n_fact, 0)
+            lu_miss += n_fact
+        for prob in self.problems.values():
+            ps = getattr(prob, "pressure_solver", None)
+            if ps is not None:
+                n_fact = int(getattr(ps, "n_factorizations", 0))
+                n_solve = int(getattr(ps, "n_solves", 0))
+                lu_hits += max(n_solve - n_fact, 0)
+                lu_miss += n_fact
+        replays = traces = 0
+        for oracle in self.oracles.values():
+            vg = getattr(oracle, "_vg", None)
+            info = vg.cache_info() if hasattr(vg, "cache_info") else None
+            if info:
+                replays += int(info.get("replays", 0))
+                traces += int(info.get("traces", 0)) + int(info.get("eager", 0))
+        return {
+            "lu-cache": {"hits": lu_hits, "misses": lu_miss},
+            "compiled-replay": {"hits": replays, "misses": traces},
+        }
+
+
+class _Reject(ValueError):
+    """Raised by job execution for a request that is invalid at worker
+    resolution (profile-length mismatch etc.) — maps to HTTP 400."""
+
+
+# ----------------------------------------------------------------------
+# Oracles and problems
+# ----------------------------------------------------------------------
+def build_problem(family: str, nx: int, ny: int):
+    """One assembled problem instance for a request shape."""
+    if family == "laplace":
+        from repro.cloud.square import SquareCloud
+        from repro.pde.laplace import LaplaceControlProblem
+
+        return LaplaceControlProblem(SquareCloud(nx))
+    from repro.cloud.channel import ChannelCloud
+    from repro.pde.navier_stokes import ChannelFlowProblem
+
+    return ChannelFlowProblem(cloud=ChannelCloud(nx, ny), perturbation=0.3)
+
+
+#: Pseudo-time refinements used for served Navier–Stokes requests —
+#: the DP paper value; bounded so one request cannot run unbounded.
+NS_REFINEMENTS = 10
+
+
+def build_oracle(family: str, method: str, problem):
+    """The ``control.*`` oracle a served request runs through.
+
+    Laplace DP runs with ``compile=True`` (trace-once replay): the first
+    request traces, every subsequent same-shape request replays the
+    compiled program — the cross-request program-cache contract.
+    """
+    if family == "laplace":
+        if method == "dp":
+            from repro.control.dp import LaplaceDP
+
+            return LaplaceDP(problem, compile=True)
+        if method == "dal":
+            from repro.control.dal import LaplaceDAL
+
+            return LaplaceDAL(problem)
+    else:
+        from repro.pde.navier_stokes import NSConfig
+
+        cfg = NSConfig(refinements=NS_REFINEMENTS)
+        if method == "dp":
+            from repro.control.dp import NavierStokesDP
+
+            return NavierStokesDP(problem, cfg)
+        if method == "dal":
+            from repro.control.dal import NavierStokesDAL
+
+            return NavierStokesDAL(problem, cfg)
+    raise _Reject(f"method {method!r} is not served for family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# Job execution
+# ----------------------------------------------------------------------
+def _solve(state: WorkerState, request, digest: str) -> Dict[str, Any]:
+    if request.method == "pinn":
+        return _solve_pinn(state, request, digest)
+    oracle = state.oracle(request, _target_digest(request))
+    from repro.control.loop import optimize
+
+    best_c, hist = optimize(oracle, request.iterations, request.lr)
+    cost = float(hist.best_cost)
+    return {
+        "kind": "solve",
+        "final_cost": cost,
+        "control": [float(v) for v in best_c],
+        "iterations": int(request.iterations),
+        "converged": (None if request.tolerance is None
+                      else bool(cost <= request.tolerance)),
+    }
+
+
+#: Fixed cost weight for served PINN solves (the paper's Laplace ω*).
+PINN_OMEGA = 0.1
+
+
+def _solve_pinn(state: WorkerState, request, digest: str) -> Dict[str, Any]:
+    from repro.control.dp import LaplaceDP
+    from repro.control.pinn import LaplacePINN, PINNTrainConfig
+    from repro.parallel.seeding import derive_seed
+
+    prob = state._problem_for(request)
+    cfg = PINNTrainConfig(
+        epochs=request.iterations, lr=request.lr,
+        n_interior=200, n_boundary=24,
+    )
+    pinn = LaplacePINN(prob, config=cfg)
+    seed = derive_seed(request.seed, digest)
+    run = pinn.train_pair(PINN_OMEGA, seed=seed)
+    c = pinn.control_values(run.params_c)
+    # Price the PINN control under the reference (RBF) physics, through
+    # the same shared factorisation every other request uses.
+    dp_eval = state.oracle(
+        _replace_method(request, "dp"), _target_digest(request)
+    )
+    cost = float(dp_eval.value(c))
+    return {
+        "kind": "solve",
+        "final_cost": cost,
+        "control": [float(v) for v in c],
+        "iterations": int(request.iterations),
+        "converged": (None if request.tolerance is None
+                      else bool(cost <= request.tolerance)),
+    }
+
+
+def _replace_method(request, method: str):
+    from dataclasses import replace
+
+    return replace(request, method=method)
+
+
+def _target_digest(request) -> str:
+    from repro.obs.fingerprint import config_digest
+
+    return config_digest(
+        None if request.target is None else list(request.target)
+    )
+
+
+def _evaluate_batch(state: WorkerState, requests: List) -> List[Dict[str, Any]]:
+    """Price a batch of controls; Laplace batches share ONE multi-RHS solve.
+
+    Every request in the batch shares a coalesce key — same family and
+    system shape — which is what makes stacking sound.  For Laplace the
+    right-hand sides become the columns of one ``(n, k)`` block pushed
+    through a single factorised ``getrs``/``splu`` call; the per-request
+    targets enter only in the post-solve mismatch.  Navier–Stokes costs
+    are nonlinear in the control, so they run sequentially (still one
+    worker round-trip).
+    """
+    if not requests:
+        return []
+    family = requests[0].family
+    if family != "laplace":
+        out = []
+        from repro.pde.navier_stokes import NSConfig
+
+        cfg = NSConfig(refinements=NS_REFINEMENTS)
+        prob = state.problem(family, requests[0].nx, requests[0].ny)
+        for req in requests:
+            c = np.asarray(req.control, dtype=np.float64)
+            if c.shape[0] != prob.inflow_y.shape[0]:
+                out.append(_reject_payload(
+                    f"'control' must have length {prob.inflow_y.shape[0]} "
+                    f"for nx={req.nx}, ny={req.ny}, got {c.shape[0]}"
+                ))
+                continue
+            st = prob.solve(c, cfg)
+            cost = float(prob.cost(st.u, st.v))
+            out.append(_evaluate_payload(cost, req))
+        return out
+
+    prob = state.problem(family, requests[0].nx, requests[0].ny)
+    solver = state.solver(family, requests[0].nx, requests[0].ny)
+    n_control = prob.S_top.shape[1]
+    columns: List[np.ndarray] = []
+    targets: List[Optional[np.ndarray]] = []
+    slots: List[int] = []
+    out: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+    for i, req in enumerate(requests):
+        c = np.asarray(req.control, dtype=np.float64)
+        if c.shape[0] != n_control:
+            out[i] = _reject_payload(
+                f"'control' must have length {n_control} for nx={req.nx}, "
+                f"got {c.shape[0]}"
+            )
+            continue
+        target = prob.target
+        if req.target is not None:
+            t = np.asarray(req.target, dtype=np.float64)
+            if t.shape != prob.target.shape:
+                out[i] = _reject_payload(
+                    f"'target' must have length {prob.target.shape[0]} for "
+                    f"nx={req.nx}, got {t.shape[0]}"
+                )
+                continue
+            target = t
+        columns.append(prob.S_top @ c + prob.b_fixed)
+        targets.append(target)
+        slots.append(i)
+    if columns:
+        # The coalesced solve: k right-hand sides, one factorisation.
+        rhs_block = np.stack(columns, axis=1)
+        u_block = solver.solve_numpy(rhs_block)
+        for j, i in enumerate(slots):
+            mismatch = prob.flux_rows @ u_block[:, j] - targets[j]
+            cost = float(np.sum(prob.quad_w * np.square(mismatch)))
+            out[i] = _evaluate_payload(cost, requests[i])
+    return out  # type: ignore[return-value]
+
+
+def _evaluate_payload(cost: float, request) -> Dict[str, Any]:
+    return {
+        "kind": "evaluate",
+        "cost": cost,
+        "converged": (None if request.tolerance is None
+                      else bool(cost <= request.tolerance)),
+    }
+
+
+def _reject_payload(message: str) -> Dict[str, Any]:
+    return {"error": {"type": "RequestError", "message": message}}
+
+
+def execute_job(state: WorkerState, job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job against the worker caches; never raises."""
+    try:
+        op = job.get("op")
+        if op == "solve":
+            result = _solve(state, job["request"], job.get("digest", ""))
+            return {"ok": True, "result": result, "obs": state.cache_obs()}
+        if op == "evaluate":
+            results = _evaluate_batch(state, job["requests"])
+            return {"ok": True, "results": results, "obs": state.cache_obs()}
+        if op == "ping":
+            return {"ok": True, "result": {"pid": os.getpid()},
+                    "obs": state.cache_obs()}
+        return {"ok": False, "error": {
+            "type": "RequestError", "message": f"unknown op {op!r}",
+        }}
+    except _Reject as exc:
+        return {"ok": False, "error": {
+            "type": "RequestError", "message": str(exc),
+        }}
+    except MemoryError:
+        return {"ok": False, "error": {
+            "type": "InternalError", "message": "worker out of memory",
+        }}
+    except Exception as exc:  # noqa: BLE001 — typed 500, never a dead pipe
+        return {"ok": False, "error": {
+            "type": "InternalError",
+            "message": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=8),
+        }}
+
+
+def serve_worker_main(conn, root_seed: int = 0) -> None:
+    """Worker process entry point: job loop over a pipe until shutdown."""
+    from repro.obs.metrics import MetricsRegistry, set_registry
+    from repro.parallel.worker import WORKER_ENV
+
+    # Mark this process as a worker so library code never fans out
+    # nested process pools, and isolate its metrics from the parent's.
+    os.environ[WORKER_ENV] = "1"
+    set_registry(MetricsRegistry())
+    state = WorkerState(root_seed)
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        op = job.get("op")
+        if op == "shutdown":
+            conn.send({"ok": True, "result": {"shutdown": True}})
+            break
+        if op == "crash":  # test hook: die without replying
+            os._exit(2)
+        if op == "sleep":  # test hook: hold the worker busy
+            time.sleep(float(job.get("seconds", 1.0)))
+            conn.send({"ok": True, "result": {"slept": True}})
+            continue
+        try:
+            conn.send(execute_job(state, job))
+        except BrokenPipeError:
+            break
+    conn.close()

@@ -1,5 +1,6 @@
-"""Shared numerical utilities: quadrature, timers, validation helpers."""
+"""Shared numerical utilities: quadrature, timers, validation, env flags."""
 
+from repro.utils.env import env_flag
 from repro.utils.quadrature import trapezoid_weights, boundary_integral
 from repro.utils.timers import Timer, PeakMemory
 from repro.utils.validation import (
@@ -10,6 +11,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "env_flag",
     "trapezoid_weights",
     "boundary_integral",
     "Timer",

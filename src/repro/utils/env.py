@@ -1,0 +1,51 @@
+"""One parser for every ``REPRO_*`` boolean environment switch.
+
+Before this module each flag hand-rolled its own falsy set — most
+checked ``("0", "", "false", "False")`` — so ``REPRO_FULL=FALSE``,
+``REPRO_WATCHDOG=no`` and even ``REPRO_FULL=" 0 "`` silently counted as
+*truthy*.  :func:`env_flag` centralises the spelling contract:
+
+- **falsy**:  ``0``, ``false``, ``no``, ``off``
+- **truthy**: ``1``, ``true``, ``yes``, ``on``
+
+case-insensitively and with surrounding whitespace stripped; unset or
+empty resolves to ``default``.  Any other value raises ``ValueError``
+so a typo (``REPRO_FULL=ture``) fails the run loudly instead of
+silently selecting a tier the user did not ask for.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["FALSY", "TRUTHY", "env_flag"]
+
+#: Spellings accepted as "off" (after strip + casefold).
+FALSY = frozenset({"0", "false", "no", "off"})
+
+#: Spellings accepted as "on" (after strip + casefold).
+TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse the boolean environment switch ``name``.
+
+    Unset (or set to the empty string after stripping) resolves to
+    ``default``; recognised truthy/falsy spellings resolve accordingly;
+    anything else raises :class:`ValueError` naming the variable and the
+    accepted spellings.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return bool(default)
+    value = raw.strip().casefold()
+    if value == "":
+        return bool(default)
+    if value in TRUTHY:
+        return True
+    if value in FALSY:
+        return False
+    raise ValueError(
+        f"${name}={raw!r} is not a recognised boolean: use one of "
+        f"{sorted(TRUTHY)} to enable or {sorted(FALSY)} to disable"
+    )

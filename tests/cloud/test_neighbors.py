@@ -1,8 +1,12 @@
 """Tests for kd-tree neighbour queries and cloud-quality metrics."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
+from repro.cloud import neighbors
 from repro.cloud.neighbors import (
     cache_stats,
     clear_tree_cache,
@@ -104,3 +108,67 @@ class TestTreeCache:
         assert cache_stats == {"hits": 0, "misses": 0}
         kdtree(pts)
         assert cache_stats["misses"] == 1
+
+
+class TestAliasLifetime:
+    """The identity-alias map must never keep a point cloud alive.
+
+    Regression: ``_ID_ALIAS`` used to store a strong reference to each
+    keyed array, so a cloud whose tree had long been LRU-evicted stayed
+    resident until an arbitrary ``4 * capacity`` purge — for 100k-node
+    clouds that is ~1.6 MB apiece of dead weight.
+    """
+
+    def setup_method(self):
+        clear_tree_cache()
+
+    def teardown_method(self):
+        clear_tree_cache()
+
+    def test_alias_does_not_pin_evicted_array(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(size=(50, 2))
+        kdtree(pts)
+        ref = weakref.ref(pts)
+        # Overflow the LRU so pts' tree — which itself references the
+        # coordinate array — is evicted.  After that, nothing but the
+        # (weak) alias may still point at the cloud.
+        keep = [rng.uniform(size=(13, 2)) for _ in range(neighbors._CACHE_CAPACITY)]
+        for arr in keep:
+            kdtree(arr)
+        del pts
+        gc.collect()
+        assert ref() is None, "alias map kept the cloud alive after tree eviction"
+
+    def test_dead_alias_entry_removed_by_callback(self):
+        pts = np.random.default_rng(8).uniform(size=(20, 2))
+        kdtree(pts)
+        assert len(neighbors._ID_ALIAS) == 1
+        # Dropping the tree entry first leaves only the weak alias; the
+        # weakref callback must then clean up the mapping itself.
+        neighbors._TREE_CACHE.clear()
+        del pts
+        gc.collect()
+        assert len(neighbors._ID_ALIAS) == 0
+
+    def test_alias_evicted_with_tree_entry(self):
+        rng = np.random.default_rng(6)
+        first = rng.uniform(size=(12, 2))
+        kdtree(first)
+        first_key = next(iter(neighbors._TREE_CACHE))
+        # Overflow the LRU so `first`'s tree entry is evicted.
+        keep = []
+        for _ in range(neighbors._CACHE_CAPACITY):
+            arr = rng.uniform(size=(12, 2))
+            keep.append(arr)
+            kdtree(arr)
+        assert first_key not in neighbors._TREE_CACHE
+        assert all(k != first_key for k, _ in neighbors._ID_ALIAS.values())
+
+    def test_live_alias_still_fast_path(self):
+        pts = np.random.default_rng(7).uniform(size=(40, 2))
+        t1 = kdtree(pts)
+        gc.collect()  # a collection must not invalidate live aliases
+        t2 = kdtree(pts)
+        assert t1 is t2
+        assert cache_stats["hits"] == 1

@@ -157,6 +157,59 @@ class TestPerformanceLedger:
         assert len(a) == 1
         assert len(b) == 0
 
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path):
+        # A writer that died mid-append leaves a final line with no
+        # newline: readable history survives, the torn tail is skipped.
+        store = PerformanceLedger(tmp_path, "s")
+        store.append(_entry(wall=1.0, created=1.0))
+        store.append(_entry(wall=2.0, created=2.0))
+        with open(store.path, "a", encoding="utf-8") as f:
+            f.write('{"kind": "repro.ledger.entry", "truncat')  # no \n
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            entries = store.entries()
+        assert [e["wall_time_s"] for e in entries] == [1.0, 2.0]
+
+    def test_complete_corrupt_last_line_still_raises(self, tmp_path):
+        # Newline-terminated garbage is corruption, not a torn write.
+        store = PerformanceLedger(tmp_path, "s")
+        store.append(_entry())
+        with open(store.path, "a", encoding="utf-8") as f:
+            f.write("{not json\n")
+        with pytest.raises(LedgerError, match=r"s\.jsonl:2"):
+            store.entries()
+
+    def test_torn_line_midfile_still_raises(self, tmp_path):
+        # Only the *final* line gets torn-write forgiveness.
+        store = PerformanceLedger(tmp_path, "s")
+        with open(store.path, "w", encoding="utf-8") as f:
+            f.write("{half\n")
+        store.append(_entry())
+        with pytest.raises(LedgerError, match=r"s\.jsonl:1"):
+            store.entries()
+
+    def test_concurrent_appends_land_whole(self, tmp_path):
+        # Many threads hammering one ledger: every line must parse and
+        # every entry must survive — the O_APPEND single-write contract.
+        import threading
+
+        store = PerformanceLedger(tmp_path, "s")
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def writer(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                store.append(_entry(wall=1.0 + tid, created=float(i)))
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = store.entries()  # raises on any interleaved half-line
+        assert len(entries) == n_threads * per_thread
+
 
 class TestMetricDirection:
     @pytest.mark.parametrize("metric,category,worse", [
@@ -168,6 +221,8 @@ class TestMetricDirection:
         ("ns_dal/solver_iterations", "count", True),
         ("laplace_dp/fused_fraction", "rate", False),
         ("laplace_dp/cache_hit_rate.lu-cache", "rate", False),
+        ("serve/throughput_rps", "throughput", False),
+        ("serve/latency_p95_s", "time", True),
     ])
     def test_classification(self, metric, category, worse):
         assert metric_direction(metric) == (category, worse)
@@ -258,6 +313,38 @@ class TestCompareEntries:
         v = by_name["laplace_dp/wall_time_s"]
         assert v.n_history == 3
         assert v.verdict == "neutral"
+
+    @pytest.mark.parametrize("n_history", [1, 2])
+    def test_short_history_is_neutral_with_note(self, n_history):
+        # Below min_window even a 10x slowdown must stay neutral — one
+        # noisy baseline run is not evidence — but the note says why.
+        history = [_entry(wall=1.0, created=i) for i in range(n_history)]
+        verdicts = compare_entries(_entry(wall=10.0, created=9.0), history)
+        by_name = {v.metric: v for v in verdicts}
+        v = by_name["laplace_dp/wall_time_s"]
+        assert v.verdict == "neutral"
+        assert v.note == "insufficient_history"
+        assert v.n_history == n_history
+        assert v.baseline == pytest.approx(1.0)
+        assert v.to_dict()["note"] == "insufficient_history"
+        # and format_verdicts renders it without a threshold
+        assert "insufficient_history" in format_verdicts(verdicts)
+
+    def test_min_window_boundary_issues_real_verdicts(self):
+        history = [_entry(wall=1.0, created=i) for i in range(3)]
+        verdicts = compare_entries(_entry(wall=10.0, created=9.0), history)
+        by_name = {v.metric: v for v in verdicts}
+        v = by_name["laplace_dp/wall_time_s"]
+        assert v.verdict == "regressed"
+        assert v.note is None
+
+    def test_min_window_configurable(self):
+        policy = DiffPolicy(min_window=1)
+        history = [_entry(wall=1.0, created=0.0)]
+        verdicts = compare_entries(_entry(wall=10.0, created=9.0),
+                                   history, policy)
+        by_name = {v.metric: v for v in verdicts}
+        assert by_name["laplace_dp/wall_time_s"].verdict == "regressed"
 
     def test_verdicts_sorted_regressions_first(self):
         history = [_entry(wall=1.0, created=i) for i in range(5)]

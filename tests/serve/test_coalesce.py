@@ -1,0 +1,125 @@
+"""The micro-batch coalescer: window, width trigger, failure fan-out."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_flush(log):
+    async def flush(requests):
+        log.append(list(requests))
+        return [{"echo": r} for r in requests]
+
+    return flush
+
+
+def test_window_batches_concurrent_submits():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=0.05, max_width=16)
+        return await asyncio.gather(
+            co.submit(("k",), "a"), co.submit(("k",), "b"),
+            co.submit(("k",), "c"),
+        )
+
+    results = run(scenario())
+    assert [r["echo"] for r in results] == ["a", "b", "c"]
+    assert log == [["a", "b", "c"]]  # one batch, positionally aligned
+
+
+def test_width_trigger_fires_before_window():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=60.0, max_width=2)
+        return await asyncio.gather(co.submit(("k",), 1), co.submit(("k",), 2))
+
+    # window_s=60 would hang the test if the width trigger didn't fire.
+    results = run(asyncio.wait_for(scenario(), timeout=5.0))
+    assert [r["echo"] for r in results] == [1, 2]
+    assert log == [[1, 2]]
+
+
+def test_distinct_keys_never_mix():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=0.02)
+        return await asyncio.gather(
+            co.submit(("k1",), "a"), co.submit(("k2",), "b")
+        )
+
+    run(scenario())
+    assert sorted(map(tuple, log)) == [("a",), ("b",)]
+
+
+def test_flush_failure_reaches_every_waiter():
+    async def flush(requests):
+        raise RuntimeError("solver exploded")
+
+    async def scenario():
+        co = Coalescer(flush, window_s=0.01)
+        results = await asyncio.gather(
+            co.submit(("k",), 1), co.submit(("k",), 2),
+            return_exceptions=True,
+        )
+        return results
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_cancelled_member_is_dropped_not_flushed():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=0.05)
+        t1 = asyncio.ensure_future(co.submit(("k",), "keep"))
+        t2 = asyncio.ensure_future(co.submit(("k",), "gone"))
+        await asyncio.sleep(0)  # both joined the bucket
+        t2.cancel()
+        result = await t1
+        with pytest.raises(asyncio.CancelledError):
+            await t2
+        return result
+
+    result = run(scenario())
+    assert result["echo"] == "keep"
+    assert log == [["keep"]]  # the cancelled request never ran
+
+
+def test_drain_flushes_open_buckets():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=60.0)
+        task = asyncio.ensure_future(co.submit(("k",), "x"))
+        await asyncio.sleep(0)
+        await co.drain()
+        return await task
+
+    result = run(asyncio.wait_for(scenario(), timeout=5.0))
+    assert result["echo"] == "x"
+    assert log == [["x"]]
+
+
+def test_counters_track_batches_and_widths():
+    log = []
+
+    async def scenario():
+        co = Coalescer(make_flush(log), window_s=0.02, max_width=2)
+        await asyncio.gather(*[co.submit(("k",), i) for i in range(4)])
+        return co
+
+    co = run(scenario())
+    assert co.batches == 2
+    assert sorted(co.widths) == [2, 2]

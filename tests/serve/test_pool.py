@@ -1,0 +1,72 @@
+"""The warm worker pool: typed failures, replacement, clean shutdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.pool import ServeWorker, WarmPool
+
+
+@pytest.fixture()
+def worker():
+    w = ServeWorker(worker_id=0, root_seed=0)
+    yield w
+    w.shutdown()
+
+
+def test_ping_round_trip(worker):
+    reply = worker.call({"op": "ping"}, timeout=30.0)
+    assert reply["ok"]
+    assert reply["result"]["pid"] != 0
+    assert reply["result"]["pid"] != __import__("os").getpid()
+
+
+def test_crash_mid_request_is_typed_not_raised(worker):
+    reply = worker.call({"op": "crash"}, timeout=30.0)
+    assert not reply["ok"]
+    assert reply["error"]["type"] == "WorkerCrashed"
+    worker.process.join(timeout=5.0)  # reap before asserting liveness
+    assert not worker.alive()
+    # A dead worker keeps answering with the typed error, never raising.
+    again = worker.call({"op": "ping"}, timeout=5.0)
+    assert again["error"]["type"] == "WorkerCrashed"
+
+
+def test_deadline_overrun_is_typed_timeout(worker):
+    reply = worker.call({"op": "sleep", "seconds": 30.0}, timeout=0.2)
+    assert not reply["ok"]
+    assert reply["error"]["type"] == "RequestTimeout"
+
+
+class TestWarmPool:
+    def test_pool_boots_distinct_workers(self):
+        pool = WarmPool(size=2, root_seed=0)
+        try:
+            pids = {
+                w.call({"op": "ping"}, timeout=30.0)["result"]["pid"]
+                for w in pool.workers
+            }
+            assert len(pids) == 2
+        finally:
+            pool.shutdown()
+
+    def test_replace_swaps_in_a_live_worker(self):
+        pool = WarmPool(size=1, root_seed=0)
+        try:
+            dead = pool.workers[0]
+            dead.call({"op": "crash"}, timeout=30.0)
+            dead.process.join(timeout=5.0)  # reap before asserting liveness
+            assert not dead.alive()
+            fresh = pool.replace(dead)
+            assert fresh is pool.workers[0] and fresh is not dead
+            assert pool.replacements == 1
+            reply = fresh.call({"op": "ping"}, timeout=30.0)
+            assert reply["ok"]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_reaps_all_processes(self):
+        pool = WarmPool(size=2, root_seed=0)
+        workers = list(pool.workers)
+        pool.shutdown()
+        assert all(not w.alive() for w in workers)

@@ -1,0 +1,275 @@
+"""End-to-end service tests over real HTTP: happy paths and failure modes."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.runner import ServiceThread
+from repro.serve.service import ServeConfig
+
+SOLVE = {"family": "laplace", "kind": "solve", "method": "dp",
+         "iterations": 4}
+
+#: A solve slow enough (several seconds) to still be in flight when a
+#: test kills its worker, times it out, or disconnects its client.
+SLOW_SOLVE = {"family": "laplace", "kind": "solve", "method": "dal",
+              "iterations": 2000, "nx": 40}
+
+
+def _evaluate(values):
+    return {"family": "laplace", "kind": "evaluate", "control": list(values)}
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# Shared happy-path service (booting a pool is the expensive part)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    config = ServeConfig(
+        workers=2,
+        store_dir=str(tmp_path_factory.mktemp("serve-store")),
+        coalesce_window_s=0.05,
+    )
+    with ServiceThread(config) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServeClient(service.host, service.port, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def n_control():
+    from repro.serve.worker import WorkerState
+
+    return WorkerState(0).problem("laplace", 26, 11).n_control
+
+
+def test_healthz(client):
+    doc = client.healthz()
+    assert doc["status"] == "ok"
+    assert doc["workers"] == 2
+
+
+def test_solve_round_trip_matches_direct_execution(client):
+    doc = client.control(**SOLVE)
+    from repro.serve.protocol import parse_request, request_digest
+    from repro.serve.worker import WorkerState, execute_job
+
+    request = parse_request(SOLVE)
+    reply = execute_job(WorkerState(0), {
+        "op": "solve", "request": request,
+        "digest": request_digest(request),
+    })
+    assert doc["result"]["final_cost"] == pytest.approx(
+        reply["result"]["final_cost"], rel=1e-9
+    )
+    assert doc["digest"] == request_digest(request)
+
+
+def test_resubmit_is_bitwise_store_hit(client):
+    request = dict(SOLVE, iterations=5)
+    status1, headers1, body1 = client.post_control_raw(request)
+    status2, headers2, body2 = client.post_control_raw(request)
+    assert status1 == status2 == 200
+    assert headers1["x-repro-store"] == "miss"
+    assert headers2["x-repro-store"] == "hit"
+    assert body1 == body2  # byte-identical, straight from disk
+
+
+def test_equivalent_spellings_share_one_digest(client):
+    # Defaults resolve before digesting: spelling them out is the same
+    # request, so the second submission must be a store hit.
+    implicit = {"family": "laplace", "kind": "solve", "method": "dp",
+                "iterations": 7}
+    explicit = dict(implicit, nx=26, seed=0, lr=1e-2)
+    _, h1, b1 = client.post_control_raw(implicit)
+    _, h2, b2 = client.post_control_raw(explicit)
+    assert h2["x-repro-store"] == "hit"
+    assert b1 == b2
+
+
+def test_invalid_request_is_typed_400(client):
+    with pytest.raises(ServeHTTPError) as err:
+        client.control(family="laplace", kind="solve", method="sgd")
+    assert err.value.status == 400
+    assert err.value.error["type"] == "RequestError"
+
+
+def test_worker_level_reject_is_typed_400(client):
+    with pytest.raises(ServeHTTPError) as err:
+        client.control(**dict(SOLVE, target=[0.5, 0.5]))
+    assert err.value.status == 400
+    assert "target" in err.value.error["message"]
+
+
+def test_unknown_route_404_and_wrong_method_405(client):
+    status, _, _ = client.request_raw("GET", "/v2/nothing")
+    assert status == 404
+    status, _, _ = client.request_raw("GET", "/v1/control")
+    assert status == 405
+
+
+def test_concurrent_evaluates_coalesce(client, n_control):
+    before = client.metrics()["metrics"]
+
+    def width(doc):
+        return (doc.get("serve.coalesce.requests", {}).get("value", 0.0),
+                doc.get("serve.coalesce.batches", {}).get("value", 0.0))
+
+    results = [None] * 4
+    barrier = threading.Barrier(4)
+
+    def post(i):
+        barrier.wait()
+        results[i] = client.control(**_evaluate(
+            [0.02 * (i + 1)] * n_control
+        ))
+
+    threads = [threading.Thread(target=post, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(r is not None for r in results)
+    costs = [r["result"]["cost"] for r in results]
+    assert len(set(costs)) == len(costs)  # each got its own column
+
+    after = client.metrics()["metrics"]
+    d_requests = width(after)[0] - width(before)[0]
+    d_batches = width(after)[1] - width(before)[1]
+    assert d_requests == 4
+    assert 1 <= d_batches < 4  # at least one multi-RHS batch
+
+
+def test_metrics_exposes_cache_and_latency(client):
+    doc = client.metrics()
+    lat = doc["latency"]
+    assert lat["count"] > 0
+    assert lat["p50_s"] <= lat["p95_s"] <= lat["p99_s"]
+    metrics = doc["metrics"]
+    # Cross-request warm caches: the workers have replayed compiled
+    # programs and reused factorisations across the tests above.
+    assert metrics["cache.compiled-replay.hits"]["value"] > 0
+    assert metrics["cache.lu-cache.hits"]["value"] > 0
+    assert doc["store"]["hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Failure modes (each gets its own small service)
+# ---------------------------------------------------------------------------
+def test_backpressure_returns_429():
+    config = ServeConfig(workers=1, queue_limit=1, coalesce_window_s=0.5)
+    with ServiceThread(config) as svc:
+        client = ServeClient(svc.host, svc.port, timeout=30.0)
+        n_control = 24  # wrong length is fine: it still occupies the window
+        first = {}
+
+        def occupant():
+            try:
+                first["doc"] = client.control(**_evaluate([0.0] * n_control))
+            except ServeHTTPError as exc:
+                first["doc"] = exc.error
+
+        t = threading.Thread(target=occupant)
+        t.start()
+        # While the occupant sits in the coalesce window the queue is
+        # full; a second request must bounce with 429 immediately.
+        assert _wait_until(
+            lambda: svc.service._inflight >= 1, timeout=5.0
+        )
+        with pytest.raises(ServeHTTPError) as err:
+            client.control(**SOLVE)
+        assert err.value.status == 429
+        assert err.value.error["type"] == "Backpressure"
+        t.join()
+        assert "doc" in first  # the occupant itself was served
+        rejected = client.metrics()["metrics"]["serve.rejected"]["value"]
+        assert rejected >= 1
+
+
+def test_worker_timeout_is_504_and_worker_is_replaced():
+    # The deadline must sit between a cold default solve (~0.4s: problem
+    # build + compile + 4 iterations) and SLOW_SOLVE (~8s).
+    config = ServeConfig(workers=1, request_timeout_s=2.0)
+    with ServiceThread(config) as svc:
+        client = ServeClient(svc.host, svc.port, timeout=30.0)
+        with pytest.raises(ServeHTTPError) as err:
+            client.control(**SLOW_SOLVE)
+        assert err.value.status == 504
+        assert err.value.error["type"] == "RequestTimeout"
+        doc = client.metrics()
+        assert doc["pool"]["replacements"] == 1
+        assert doc["metrics"]["serve.worker.timeouts"]["value"] == 1
+        # The replacement worker serves the next request normally.
+        assert client.control(**SOLVE)["result"]["final_cost"] >= 0.0
+
+
+def test_worker_crash_is_typed_500_and_worker_is_replaced():
+    config = ServeConfig(workers=1)
+    with ServiceThread(config) as svc:
+        client = ServeClient(svc.host, svc.port, timeout=60.0)
+        caught = {}
+
+        def slow():
+            try:
+                caught["doc"] = client.control(**SLOW_SOLVE)
+            except ServeHTTPError as exc:
+                caught["status"] = exc.status
+                caught["error"] = exc.error
+
+        t = threading.Thread(target=slow)
+        t.start()
+        assert _wait_until(lambda: svc.service._inflight >= 1, timeout=5.0)
+        time.sleep(0.2)  # let the job reach the worker
+        svc.service.pool.workers[0].process.kill()
+        t.join(timeout=30.0)
+        assert caught.get("status") == 500
+        assert caught["error"]["type"] == "WorkerCrashed"
+        doc = client.metrics()
+        assert doc["pool"]["replacements"] == 1
+        assert doc["metrics"]["serve.worker.crashes"]["value"] == 1
+        assert client.control(**SOLVE)["result"]["final_cost"] >= 0.0
+
+
+def test_client_disconnect_frees_the_slot():
+    config = ServeConfig(workers=1, queue_limit=4)
+    with ServiceThread(config) as svc:
+        body = json.dumps(SLOW_SOLVE).encode("utf-8")
+        head = (
+            f"POST /v1/control HTTP/1.1\r\nHost: x\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        sock = socket.create_connection((svc.host, svc.port), timeout=10.0)
+        sock.sendall(head + body)
+        assert _wait_until(lambda: svc.service._inflight >= 1, timeout=5.0)
+        sock.close()  # walk away mid-request
+
+        client = ServeClient(svc.host, svc.port, timeout=60.0)
+        assert _wait_until(
+            lambda: client.metrics()["metrics"].get(
+                "serve.client.disconnects", {}
+            ).get("value", 0.0) >= 1,
+            timeout=10.0,
+        )
+        # The admission slot came back and the worker returns to
+        # rotation once its in-flight job settles; a new request works.
+        assert _wait_until(lambda: svc.service._inflight == 0, timeout=10.0)
+        assert client.control(**SOLVE)["result"]["final_cost"] >= 0.0

@@ -1,0 +1,42 @@
+"""Disk-backed result store: bitwise idempotency and counters."""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve.store import ResultStore
+
+DIGEST = "sha256:0123456789abcdef"
+
+
+def test_miss_then_bitwise_hit(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert store.get(DIGEST) is None
+    payload = b'{"digest":"sha256:0123456789abcdef","result":{"cost":0.25}}'
+    store.put(DIGEST, payload)
+    assert store.get(DIGEST) == payload  # exact bytes, not a re-encode
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_put_is_idempotent_and_atomic(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put(DIGEST, b"first")
+    store.put(DIGEST, b"first")
+    assert store.get(DIGEST) == b"first"
+    assert len(store) == 1
+    # No stray temp files left behind by the write-then-rename protocol.
+    leftovers = [f for f in os.listdir(tmp_path) if not f.endswith(".json")]
+    assert leftovers == []
+
+
+def test_contains_and_len(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert DIGEST not in store and len(store) == 0
+    store.put(DIGEST, b"x")
+    assert DIGEST in store and len(store) == 1
+
+
+def test_reopen_sees_persisted_results(tmp_path):
+    ResultStore(str(tmp_path)).put(DIGEST, b"persisted")
+    fresh = ResultStore(str(tmp_path))
+    assert fresh.get(DIGEST) == b"persisted"

@@ -1,0 +1,129 @@
+"""Warm-worker job execution: caches, coalesced evaluation, typed errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import parse_request, request_digest
+from repro.serve.worker import WorkerState, execute_job
+
+
+@pytest.fixture(scope="module")
+def state():
+    """One warm worker state shared by the module (caches persist)."""
+    return WorkerState(root_seed=0)
+
+
+def _job_solve(**over):
+    spec = {"family": "laplace", "kind": "solve", "method": "dp",
+            "iterations": 4}
+    spec.update(over)
+    req = parse_request(spec)
+    return {"op": "solve", "request": req, "digest": request_digest(req)}
+
+
+def _job_evaluate(controls, **over):
+    requests = []
+    for c in controls:
+        spec = {"family": "laplace", "kind": "evaluate", "control": list(c)}
+        spec.update(over)
+        requests.append(parse_request(spec))
+    return {"op": "evaluate", "requests": requests}
+
+
+@pytest.fixture(scope="module")
+def n_control(state):
+    return state.problem("laplace", 26, 11).n_control
+
+
+def test_solve_returns_cost_and_control(state, n_control):
+    reply = execute_job(state, _job_solve())
+    assert reply["ok"], reply
+    result = reply["result"]
+    assert result["kind"] == "solve"
+    assert np.isfinite(result["final_cost"])
+    assert len(result["control"]) == n_control
+    assert result["converged"] is None  # no tolerance given
+
+
+def test_solve_repeat_replays_compiled_program(state):
+    before = state.cache_obs()["compiled-replay"]
+    reply = execute_job(state, _job_solve(iterations=3, lr=2e-2))
+    assert reply["ok"]
+    after = state.cache_obs()["compiled-replay"]
+    # Same oracle key as the previous solve: zero new traces, only replays.
+    assert after["misses"] == before["misses"]
+    assert after["hits"] > before["hits"]
+
+
+def test_coalesced_evaluate_matches_individual(state, n_control):
+    rng = np.random.default_rng(7)
+    controls = rng.normal(scale=0.2, size=(4, n_control))
+    batched = execute_job(state, _job_evaluate(controls))
+    assert batched["ok"]
+    costs = [r["cost"] for r in batched["results"]]
+    for c, batched_cost in zip(controls, costs):
+        single = execute_job(state, _job_evaluate([c]))
+        assert single["results"][0]["cost"] == pytest.approx(
+            batched_cost, rel=1e-12
+        )
+
+
+def test_batch_shares_one_factorisation(state, n_control):
+    before = state.cache_obs()["lu-cache"]
+    reply = execute_job(
+        state, _job_evaluate(np.zeros((5, n_control)) + 0.1)
+    )
+    assert reply["ok"]
+    after = state.cache_obs()["lu-cache"]
+    assert after["misses"] == before["misses"]  # no new factorisation
+    assert after["hits"] > before["hits"]
+
+
+def test_per_item_length_error_does_not_poison_batch(state, n_control):
+    good = [0.0] * n_control
+    bad = [0.0] * (n_control + 1)
+    reply = execute_job(state, _job_evaluate([good, bad, good]))
+    assert reply["ok"]
+    ok0, err, ok2 = reply["results"]
+    assert "cost" in ok0 and "cost" in ok2
+    assert err["error"]["type"] == "RequestError"
+    assert "control" in err["error"]["message"]
+
+
+def test_wrong_target_length_is_typed_request_error(state):
+    spec = {"family": "laplace", "kind": "solve", "method": "dp",
+            "iterations": 1, "target": [0.5, 0.5]}
+    req = parse_request(spec)
+    reply = execute_job(state, {"op": "solve", "request": req,
+                                "digest": request_digest(req)})
+    assert not reply["ok"]
+    assert reply["error"]["type"] == "RequestError"
+    assert "target" in reply["error"]["message"]
+
+
+def test_unknown_op_is_typed_request_error(state):
+    reply = execute_job(state, {"op": "meditate"})
+    assert not reply["ok"]
+    assert reply["error"]["type"] == "RequestError"
+
+
+def test_internal_errors_never_escape(state):
+    # A malformed job (missing keys) must come back as a typed error,
+    # not an exception through the pipe.
+    reply = execute_job(state, {"op": "solve"})
+    assert not reply["ok"]
+    assert reply["error"]["type"] == "InternalError"
+    assert "traceback" in reply["error"]
+
+
+def test_tolerance_sets_converged_flag(state, n_control):
+    loose = execute_job(
+        state, _job_evaluate([[0.0] * n_control], tolerance=1e6)
+    )
+    assert loose["results"][0]["converged"] is True
+    tight = execute_job(
+        state, _job_evaluate([[0.0] * n_control], tolerance=1e-300)
+    )
+    assert tight["results"][0]["converged"] is False
